@@ -1,0 +1,56 @@
+// Microbenchmark: the knapsack oracle of Algorithm 1 (unit-profit greedy)
+// and the DP solver, across item counts.  The oracle dominates the cost of
+// a priority recomputation, so its scaling is what bounds the Section
+// 6.3.3 overhead numbers.
+#include <benchmark/benchmark.h>
+
+#include "dollymp/common/rng.h"
+#include "dollymp/sched/knapsack.h"
+#include "dollymp/sched/priority.h"
+
+using namespace dollymp;
+
+namespace {
+
+std::vector<double> random_weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+  return weights;
+}
+
+void BM_KnapsackUnitProfit(benchmark::State& state) {
+  const auto weights = random_weights(static_cast<std::size_t>(state.range(0)), 1);
+  const double budget = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_unit_profit(weights, budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackUnitProfit)->Range(16, 16384)->Complexity(benchmark::oNLogN);
+
+void BM_KnapsackDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto weights = random_weights(n, 2);
+  const auto profits = random_weights(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_dp(weights, profits, 50.0, 1024));
+  }
+}
+BENCHMARK(BM_KnapsackDp)->Range(16, 1024);
+
+void BM_TransientPriorities(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<PriorityJobInput> jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto& j : jobs) {
+    j.volume = rng.uniform(0.1, 50.0);
+    j.length = rng.uniform(1.0, 500.0);
+    j.dominant = rng.uniform(0.0, 0.3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_transient_priorities(jobs));
+  }
+}
+BENCHMARK(BM_TransientPriorities)->Range(16, 4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Section 6.3.3: scheduling overhead.
+//
+// Paper: "the scheduler takes less than 20 ms to make scheduling decisions
+// for all jobs in our private cluster.  ...scheduling 1K jobs to 30K
+// machines costs less than 50 ms on a 3.3 GHz 6-Core Intel Core i5."
+//
+// BM_Decide30Nodes measures one full decision round (priority recompute +
+// placement passes) for the paper's 30-node cluster; BM_Decide1KJobs30K
+// measures 1 000 jobs against a 30 000-server inventory.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/workload/trace_model.h"
+
+using namespace dollymp;
+using namespace dollymp::bench;
+
+namespace {
+
+std::vector<JobSpec> overhead_jobs(int count) {
+  TraceModelConfig config;
+  config.max_tasks_per_phase = 100;
+  TraceModel model(config, 5);
+  return model.sample_jobs(count);
+}
+
+SimConfig overhead_config() {
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = 5;
+  config.background.enabled = false;
+  return config;
+}
+
+void decide(DryRunContext& ctx, DollyMPScheduler& scheduler) {
+  scheduler.reset();
+  scheduler.recompute_priorities(ctx);
+  scheduler.schedule(ctx);
+}
+
+void BM_Decide30Nodes(benchmark::State& state) {
+  DryRunContext ctx(Cluster::paper30(), overhead_jobs(static_cast<int>(state.range(0))),
+                    overhead_config());
+  DollyMPScheduler scheduler;
+  for (auto _ : state) {
+    decide(ctx, scheduler);
+    state.PauseTiming();
+    ctx.reset_placements();
+    state.ResumeTiming();
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Decide30Nodes)->Arg(10)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_Decide1KJobs30KMachines(benchmark::State& state) {
+  DryRunContext ctx(Cluster::google_like(30000), overhead_jobs(1000), overhead_config());
+  DollyMPScheduler scheduler;
+  int placements = 0;
+  for (auto _ : state) {
+    decide(ctx, scheduler);
+    state.PauseTiming();
+    placements = ctx.placements();
+    ctx.reset_placements();
+    state.ResumeTiming();
+  }
+  state.counters["placements"] = static_cast<double>(placements);
+}
+BENCHMARK(BM_Decide1KJobs30KMachines)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_PriorityRecomputeOnly(benchmark::State& state) {
+  DryRunContext ctx(Cluster::google_like(1000), overhead_jobs(static_cast<int>(state.range(0))),
+                    overhead_config());
+  DollyMPScheduler scheduler;
+  for (auto _ : state) {
+    scheduler.recompute_priorities(ctx);
+  }
+}
+BENCHMARK(BM_PriorityRecomputeOnly)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// What-if analysis: how many clones should a straggler-prone job get?
+//
+// Sweeps the clone budget for a single map->reduce job whose task durations
+// have Pareto-shaped tails, on an otherwise idle cluster, and reports the
+// completion-time distribution (across environment seeds) against the
+// extra resources consumed — the practical trade-off behind the paper's
+// Figs. 1 and 9.
+//
+// Build & run:  ./build/examples/cloning_whatif
+#include <iostream>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/distributions.h"
+#include "dollymp/common/stats.h"
+#include "dollymp/common/table.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/apps.h"
+
+int main() {
+  using namespace dollymp;
+
+  const Cluster cluster = Cluster::paper30();
+  const int kSeeds = 25;
+
+  // The theoretical prediction first: the speedup function fitted from the
+  // job's duration statistics (Eqs. 1-3).
+  AppConfig app;
+  app.straggler_cv = 1.0;
+  const JobSpec probe = make_wordcount(0, 4.0, 0.0, app);
+  const auto h = SpeedupFunction::from_stats(probe.phases[0].theta_seconds,
+                                             probe.phases[0].sigma_seconds);
+  std::cout << "fitted Pareto shape alpha = " << h.alpha()
+            << "; expected per-task speedups: h(2) = " << h(2.0)
+            << ", h(3) = " << h(3.0) << " (cap " << h.upper_bound() << ")\n\n";
+
+  ConsoleTable table({"clone_budget", "mean_completion_s", "p90_completion_s",
+                      "worst_completion_s", "mean_resource_s", "resource_overhead"});
+  double base_resources = 0.0;
+  for (int budget = 0; budget <= 3; ++budget) {
+    RunningStats completion;
+    RunningStats resources;
+    Cdf completion_cdf;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      SimConfig config;
+      config.slot_seconds = 5.0;
+      config.seed = 100 + static_cast<unsigned>(seed);
+      config.max_copies_per_task = 1 + budget;
+      DollyMPConfig dc;
+      dc.clone_budget = budget;
+      DollyMPScheduler scheduler(dc);
+      const std::vector<JobSpec> jobs{make_wordcount(0, 4.0, 0.0, app)};
+      const SimResult result = simulate(cluster, config, jobs, scheduler);
+      completion.add(result.jobs[0].running_time());
+      completion_cdf.add(result.jobs[0].running_time());
+      resources.add(result.jobs[0].resource_seconds);
+    }
+    if (budget == 0) base_resources = resources.mean();
+    table.add_labeled_row(std::to_string(budget),
+                          {completion.mean(), completion_cdf.quantile(0.9),
+                           completion.max(), resources.mean(),
+                           resources.mean() / base_resources - 1.0},
+                          2);
+  }
+  std::cout << table.render()
+            << "\nReading: one clone removes most of the straggler tail; the second "
+               "stabilizes the p90;\na third mostly burns resources — which is why "
+               "DollyMP defaults to two (Section 5).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A simulated "day" of diurnal load: arrivals follow a day/night cycle and
+// the scheduler comparison is run with the parallel experiment API —
+// demonstrating run_comparison/run_replicated and the diurnal arrival
+// process.
+//
+// Build & run:  ./build/examples/diurnal_day
+#include <iostream>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/table.h"
+#include "dollymp/metrics/experiment.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/tetris.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+int main() {
+  using namespace dollymp;
+
+  // A compressed "day": 600 trace-model jobs over a 2-hour sinusoidal
+  // cycle; load peaks at ~1.8x the mean and troughs at ~0.2x.
+  ComparisonSpec spec;
+  spec.cluster = Cluster::google_like(60);
+  spec.config.slot_seconds = 5.0;
+  spec.config.seed = 7;
+  TraceModel model({}, 7);
+  spec.jobs = model.sample_jobs(600);
+  assign_diurnal_arrivals(spec.jobs, /*mean_gap=*/12.0, /*amplitude=*/0.8,
+                          /*period=*/7200.0, /*seed=*/8);
+
+  const std::vector<ComparisonEntry> entries{
+      {"capacity", [] { return std::make_unique<CapacityScheduler>(); }},
+      {"tetris", [] { return std::make_unique<TetrisScheduler>(); }},
+      {"dollymp^2", [] { return std::make_unique<DollyMPScheduler>(); }},
+  };
+
+  ThreadPool pool;
+  const auto stats = run_replicated(spec, entries, {1, 2, 3, 4, 5}, &pool);
+
+  ConsoleTable table({"scheduler", "mean_flow_s (avg±sd)", "makespan_s",
+                      "cloned_task_frac"});
+  for (const auto& s : stats) {
+    table.add_row({s.name,
+                   ConsoleTable::format_double(s.mean_flowtime.mean(), 1) + " ± " +
+                       ConsoleTable::format_double(s.mean_flowtime.stddev(), 1),
+                   ConsoleTable::format_double(s.makespan.mean(), 0),
+                   ConsoleTable::format_double(s.cloned_task_fraction.mean(), 3)});
+  }
+  std::cout << "diurnal day: 600 jobs, 2h sine cycle, 5 environment seeds\n\n"
+            << table.render()
+            << "\nDollyMP's cloning throttles itself at the daily peak and opens up "
+               "in the trough\n(the Section 4.1 rule) — compare the cloned-task "
+               "fraction to a flat-arrival run.\n";
+  return 0;
+}

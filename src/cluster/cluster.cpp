@@ -1,0 +1,93 @@
+#include "dollymp/cluster/cluster.h"
+
+#include <algorithm>
+
+namespace dollymp {
+
+Cluster::Cluster(const std::vector<ServerGroup>& groups) {
+  for (const auto& group : groups) {
+    for (int i = 0; i < group.count; ++i) add_server(group.spec);
+  }
+}
+
+void Cluster::add_server(ServerSpec spec) {
+  rack_count_ = std::max(rack_count_, spec.rack + 1);
+  total_ += spec.capacity;
+  servers_.emplace_back(static_cast<ServerId>(servers_.size()), std::move(spec));
+}
+
+Resources Cluster::total_free() const {
+  Resources free;
+  for (const auto& s : servers_) free += s.free();
+  return free;
+}
+
+Resources Cluster::total_used() const {
+  Resources used;
+  for (const auto& s : servers_) used += s.used();
+  return used;
+}
+
+double Cluster::utilization() const {
+  if (servers_.empty()) return 0.0;
+  const Resources used = total_used();
+  double util = 0.0;
+  if (total_.cpu > 0.0) util = std::max(util, used.cpu / total_.cpu);
+  if (total_.mem > 0.0) util = std::max(util, used.mem / total_.mem);
+  return util;
+}
+
+void Cluster::reset_allocations() {
+  for (auto& s : servers_) s.reset();
+}
+
+Cluster Cluster::paper30() {
+  // Section 6.1: 2 powerful (24c/48GB), 7 normal (16c/32-64GB), 21 small
+  // (8c/16GB); 2 + 7 + 21 = 30 nodes; 2*24 + 7*16 + 21*8 = 328 cores.
+  // Memory for the 7 normal nodes alternates 32/64 GB ("32-64GB").
+  std::vector<ServerGroup> groups;
+  groups.push_back({ServerSpec{{24, 48}, 1.6, 0, "power-24c"}, 2});
+  for (int i = 0; i < 7; ++i) {
+    const double mem = (i % 2 == 0) ? 32.0 : 64.0;
+    groups.push_back({ServerSpec{{16, mem}, 1.25, i < 4 ? 0 : 1, "normal-16c"}, 1});
+  }
+  groups.push_back({ServerSpec{{8, 16}, 1.0, 1, "small-8c"}, 11});
+  groups.push_back({ServerSpec{{8, 16}, 1.0, 0, "small-8c"}, 10});
+  return Cluster(groups);
+}
+
+Cluster Cluster::google_like(std::size_t servers) {
+  // Google 2011 trace machine mix (normalized): roughly half mid-size
+  // machines, a band of large ones and a long tail of small ones.  We use
+  // three platform classes with speeds spanning the heterogeneity the trace
+  // analysis reports, spread over racks of 40.
+  Cluster cluster;
+  for (std::size_t i = 0; i < servers; ++i) {
+    const int rack = static_cast<int>(i / 40);
+    const std::size_t r = i % 10;
+    if (r < 5) {
+      cluster.add_server(ServerSpec{{16, 32}, 1.0, rack, "mid-16c"});
+    } else if (r < 8) {
+      cluster.add_server(ServerSpec{{32, 64}, 1.3, rack, "big-32c"});
+    } else {
+      cluster.add_server(ServerSpec{{8, 16}, 0.8, rack, "small-8c"});
+    }
+  }
+  return cluster;
+}
+
+Cluster Cluster::single(Resources capacity, double base_speed) {
+  Cluster cluster;
+  cluster.add_server(ServerSpec{capacity, base_speed, 0, "single"});
+  return cluster;
+}
+
+Cluster Cluster::uniform(std::size_t servers, Resources capacity, double base_speed) {
+  Cluster cluster;
+  for (std::size_t i = 0; i < servers; ++i) {
+    cluster.add_server(ServerSpec{capacity, base_speed, static_cast<int>(i / 40), "uniform"});
+  }
+  return cluster;
+}
+
+}  // namespace dollymp

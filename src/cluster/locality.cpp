@@ -1,0 +1,65 @@
+#include "dollymp/cluster/locality.h"
+
+#include <algorithm>
+
+namespace dollymp {
+
+const char* to_string(LocalityLevel level) {
+  switch (level) {
+    case LocalityLevel::kNode: return "NODE";
+    case LocalityLevel::kRack: return "RACK";
+    case LocalityLevel::kOffRack: return "OFF_RACK";
+  }
+  return "?";
+}
+
+BlockPlacement LocalityModel::place_block(Rng& rng) const {
+  BlockPlacement block;
+  if (!config_.enabled || num_servers_ == 0) return block;
+  const int replicas = std::min<int>(config_.replicas, static_cast<int>(num_servers_));
+  block.replicas.reserve(static_cast<std::size_t>(replicas));
+  // First replica anywhere; subsequent replicas prefer a different rack
+  // (HDFS default policy), falling back to any distinct server.
+  while (static_cast<int>(block.replicas.size()) < replicas) {
+    const auto candidate = static_cast<ServerId>(rng.below(num_servers_));
+    if (std::find(block.replicas.begin(), block.replicas.end(), candidate) !=
+        block.replicas.end()) {
+      continue;
+    }
+    if (block.replicas.size() == 1) {
+      const int first_rack = racks_[static_cast<std::size_t>(block.replicas[0])];
+      const bool other_rack_exists =
+          std::any_of(racks_.begin(), racks_.end(), [&](int r) { return r != first_rack; });
+      if (other_rack_exists && racks_[static_cast<std::size_t>(candidate)] == first_rack) {
+        continue;  // keep sampling until we cross racks
+      }
+    }
+    block.replicas.push_back(candidate);
+  }
+  return block;
+}
+
+LocalityLevel LocalityModel::classify(const BlockPlacement& block, ServerId server) const {
+  if (!config_.enabled || block.replicas.empty()) return LocalityLevel::kNode;
+  if (std::find(block.replicas.begin(), block.replicas.end(), server) !=
+      block.replicas.end()) {
+    return LocalityLevel::kNode;
+  }
+  const int rack = racks_.at(static_cast<std::size_t>(server));
+  for (const auto replica : block.replicas) {
+    if (racks_.at(static_cast<std::size_t>(replica)) == rack) return LocalityLevel::kRack;
+  }
+  return LocalityLevel::kOffRack;
+}
+
+double LocalityModel::penalty(LocalityLevel level) const {
+  if (!config_.enabled) return 1.0;
+  switch (level) {
+    case LocalityLevel::kNode: return 1.0;
+    case LocalityLevel::kRack: return config_.rack_penalty;
+    case LocalityLevel::kOffRack: return config_.off_rack_penalty;
+  }
+  return 1.0;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,24 @@
+#include "dollymp/cluster/server.h"
+
+#include <stdexcept>
+
+namespace dollymp {
+
+bool Server::allocate(const Resources& demand) {
+  if (!demand.non_negative()) {
+    throw std::invalid_argument("Server::allocate: negative demand");
+  }
+  if (!can_fit(demand)) return false;
+  used_ += demand;
+  return true;
+}
+
+void Server::release(const Resources& demand) {
+  if (!demand.non_negative()) {
+    throw std::invalid_argument("Server::release: negative demand");
+  }
+  used_ -= demand;
+  used_ = used_.clamped();
+}
+
+}  // namespace dollymp

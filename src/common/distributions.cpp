@@ -1,0 +1,160 @@
+#include "dollymp/common/distributions.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dollymp {
+
+namespace {
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Pareto ---
+
+ParetoDist::ParetoDist(double scale, double shape) : scale_(scale), shape_(shape) {
+  require(scale > 0.0, "ParetoDist: scale must be > 0");
+  require(shape > 0.0, "ParetoDist: shape must be > 0");
+}
+
+double ParetoDist::mean() const {
+  if (shape_ <= 1.0) throw std::domain_error("ParetoDist::mean: requires alpha > 1");
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+double ParetoDist::variance() const {
+  if (shape_ <= 2.0) throw std::domain_error("ParetoDist::variance: requires alpha > 2");
+  const double am1 = shape_ - 1.0;
+  return scale_ * scale_ * shape_ / (am1 * am1 * (shape_ - 2.0));
+}
+
+double ParetoDist::tail(double x) const {
+  if (x <= scale_) return 1.0;
+  return std::pow(scale_ / x, shape_);
+}
+
+double ParetoDist::quantile(double u) const {
+  u = std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+  return scale_ * std::pow(1.0 - u, -1.0 / shape_);
+}
+
+ParetoDist ParetoDist::fit(double mean, double cv) {
+  require(mean > 0.0, "ParetoDist::fit: mean must be > 0");
+  require(cv > 0.0, "ParetoDist::fit: cv must be > 0");
+  const double alpha = 1.0 + std::sqrt(1.0 + 1.0 / (cv * cv));
+  const double scale = mean * (alpha - 1.0) / alpha;
+  return {scale, alpha};
+}
+
+// -------------------------------------------------------- bounded Pareto ---
+
+BoundedParetoDist::BoundedParetoDist(double scale, double shape, double upper)
+    : scale_(scale), shape_(shape), upper_(upper) {
+  require(scale > 0.0, "BoundedParetoDist: scale must be > 0");
+  require(shape > 0.0, "BoundedParetoDist: shape must be > 0");
+  require(upper > scale, "BoundedParetoDist: upper must exceed scale");
+}
+
+double BoundedParetoDist::quantile(double u) const {
+  u = std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+  const double la = std::pow(scale_, shape_);
+  const double ha = std::pow(upper_, shape_);
+  // Inverse CDF of the truncated Pareto.
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / shape_);
+}
+
+double BoundedParetoDist::mean() const {
+  if (shape_ == 1.0) {
+    return scale_ * upper_ / (upper_ - scale_) * std::log(upper_ / scale_);
+  }
+  const double la = std::pow(scale_, shape_);
+  const double ha = std::pow(upper_, shape_);
+  return la / (1.0 - la / ha) * (shape_ / (shape_ - 1.0)) *
+         (1.0 / std::pow(scale_, shape_ - 1.0) - 1.0 / std::pow(upper_, shape_ - 1.0));
+}
+
+// ------------------------------------------------------------- lognormal ---
+
+LognormalDist::LognormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma >= 0.0, "LognormalDist: sigma must be >= 0");
+}
+
+double LognormalDist::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+LognormalDist LognormalDist::fit(double mean, double cv) {
+  require(mean > 0.0, "LognormalDist::fit: mean must be > 0");
+  require(cv >= 0.0, "LognormalDist::fit: cv must be >= 0");
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return {mu, std::sqrt(sigma2)};
+}
+
+// ----------------------------------------------------------- exponential ---
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean) {
+  require(mean > 0.0, "ExponentialDist: mean must be > 0");
+}
+
+double ExponentialDist::sample(Rng& rng) const {
+  // -log(1-U) with U in [0,1): argument stays in (0,1], no log(0).
+  return -mean_ * std::log1p(-rng.uniform());
+}
+
+double sample_standard_normal(Rng& rng) {
+  // Marsaglia polar method; rejection loop terminates with probability 1.
+  for (;;) {
+    const double u = 2.0 * rng.uniform() - 1.0;
+    const double v = 2.0 * rng.uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+// ----------------------------------------------------- speedup function  ---
+
+SpeedupFunction::SpeedupFunction(double alpha) : alpha_(alpha) {
+  if (std::isfinite(alpha)) {
+    require(alpha > 1.0, "SpeedupFunction: alpha must be > 1");
+  }
+}
+
+SpeedupFunction SpeedupFunction::from_stats(double mean, double stddev) {
+  require(mean > 0.0, "SpeedupFunction::from_stats: mean must be > 0");
+  require(stddev >= 0.0, "SpeedupFunction::from_stats: stddev must be >= 0");
+  if (stddev == 0.0) {
+    return SpeedupFunction(std::numeric_limits<double>::infinity());
+  }
+  return SpeedupFunction(ParetoDist::fit(mean, stddev / mean).shape());
+}
+
+double SpeedupFunction::operator()(double x) const {
+  if (x < 1.0) throw std::invalid_argument("SpeedupFunction: x must be >= 1");
+  if (degenerate()) return 1.0;
+  return 1.0 + (1.0 - 1.0 / x) / (alpha_ - 1.0);
+}
+
+double SpeedupFunction::upper_bound() const {
+  if (degenerate()) return 1.0;
+  return alpha_ / (alpha_ - 1.0);
+}
+
+int SpeedupFunction::min_copies_for(double theta, double budget) const {
+  if (budget <= 0.0) return 0;
+  if (budget >= theta) return 1;
+  if (degenerate()) return 0;  // h == 1 forever; no number of copies helps.
+  // Need h(r) >= theta/budget, i.e. 1 + (1-1/r)/(alpha-1) >= theta/budget.
+  const double target = theta / budget;
+  if (target >= upper_bound()) return 0;
+  // Solve (1 - 1/r) >= (target - 1)(alpha - 1)  =>  r >= 1 / (1 - rhs).
+  const double rhs = (target - 1.0) * (alpha_ - 1.0);
+  const double r = 1.0 / (1.0 - rhs);
+  return static_cast<int>(std::ceil(r - 1e-12));
+}
+
+}  // namespace dollymp

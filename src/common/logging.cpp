@@ -1,0 +1,40 @@
+#include "dollymp/common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dollymp {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (!log_enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::clog << "[" << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace dollymp

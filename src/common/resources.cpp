@@ -1,0 +1,32 @@
+#include "dollymp/common/resources.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dollymp {
+
+double Resources::dominant_share(const Resources& total) const {
+  double share = 0.0;
+  if (total.cpu > 0.0) share = std::max(share, cpu / total.cpu);
+  if (total.mem > 0.0) share = std::max(share, mem / total.mem);
+  return share;
+}
+
+std::string Resources::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Resources& r) {
+  return os << "(" << r.cpu << " cores, " << r.mem << " GB)";
+}
+
+double normalized_sum(const Resources& r, const Resources& total) {
+  double sum = 0.0;
+  if (total.cpu > 0.0) sum += r.cpu / total.cpu;
+  if (total.mem > 0.0) sum += r.mem / total.mem;
+  return sum;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,23 @@
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless method: multiply-shift with a rejection
+  // step that removes modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace dollymp

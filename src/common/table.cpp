@@ -1,0 +1,79 @@
+#include "dollymp/common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dollymp {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("ConsoleTable: empty header");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("ConsoleTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void ConsoleTable::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (const double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+void ConsoleTable::add_labeled_row(std::string label, const std::vector<double>& values,
+                                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(std::move(label));
+  for (const double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string ConsoleTable::format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  return os.str();
+}
+
+std::string ConsoleTable::render(const std::string& caption) const {
+  return banner(caption) + render();
+}
+
+std::string banner(const std::string& title) {
+  std::ostringstream os;
+  os << "\n== " << title << " " << std::string(title.size() < 66 ? 66 - title.size() : 2, '=')
+     << '\n';
+  return os.str();
+}
+
+}  // namespace dollymp

@@ -1,0 +1,79 @@
+// A heterogeneous server: capacity, base speed, rack placement, allocation.
+//
+// Section 2 attributes stragglers to (i) server heterogeneity and (ii)
+// time-varying background load on the physical hosts.  We model (i) with a
+// static per-server base speed factor and (ii) with a pluggable background
+// slowdown process (see background_load.h).  A copy placed on server s at
+// time t runs at s.effective_speed(t) times nominal rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dollymp/common/resources.h"
+
+namespace dollymp {
+
+using ServerId = std::int32_t;
+inline constexpr ServerId kInvalidServer = -1;
+
+/// Immutable description of a server model.
+struct ServerSpec {
+  Resources capacity;      ///< (C_i cores, M_i GB) of Eq. (5).
+  double base_speed = 1.0; ///< >0; 1.0 is a "normal" node, >1 is a fast node.
+  int rack = 0;            ///< rack index for the locality model.
+  std::string model;       ///< human-readable label, e.g. "xeon-24c".
+};
+
+/// Mutable allocation state of a single server inside a simulation.
+class Server {
+ public:
+  Server(ServerId id, ServerSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] const ServerSpec& spec() const { return spec_; }
+  [[nodiscard]] const Resources& capacity() const { return spec_.capacity; }
+  [[nodiscard]] const Resources& used() const { return used_; }
+  [[nodiscard]] Resources free() const { return (spec_.capacity - used_).clamped(); }
+  [[nodiscard]] int rack() const { return spec_.rack; }
+
+  /// True when `demand` fits in the remaining capacity and the server is
+  /// up.
+  [[nodiscard]] bool can_fit(const Resources& demand) const {
+    return !down_ && (used_ + demand).fits_within(spec_.capacity);
+  }
+
+  /// Failure-injection state: a down server accepts no allocations (its
+  /// running copies are killed by the simulator when it goes down).
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  /// Reserve resources; returns false (and changes nothing) if they do not
+  /// fit.  The simulator is the only caller, so all capacity accounting
+  /// (Eq. 5) funnels through this one check.
+  bool allocate(const Resources& demand);
+
+  /// Release previously allocated resources.
+  void release(const Resources& demand);
+
+  /// Running-copy counters (for utilization reporting).
+  void note_copy_started() { ++running_copies_; }
+  void note_copy_finished() { --running_copies_; }
+  [[nodiscard]] int running_copies() const { return running_copies_; }
+
+  /// Reset allocation state (between simulation runs).
+  void reset() {
+    used_ = {};
+    running_copies_ = 0;
+    down_ = false;
+  }
+
+ private:
+  ServerId id_;
+  ServerSpec spec_;
+  Resources used_;
+  int running_copies_ = 0;
+  bool down_ = false;
+};
+
+}  // namespace dollymp

@@ -1,0 +1,153 @@
+// Probability distributions and the cloning speedup model of Section 3.
+//
+// The paper models task execution times as Type-I Pareto random variables
+// (Eq. 2), fits the shape parameter alpha from the (mean, standard
+// deviation) statistics each Application Master reports, and derives the
+// cloning speedup function (Eq. 3)
+//
+//     h(x) = (alpha - 1/x) / (alpha - 1) = 1 + (1 - 1/x) / (alpha - 1),
+//
+// which is the ratio E[Theta] / E[min of x i.i.d. copies]: launching x
+// simultaneous copies divides the expected execution time by h(x) (Eq. 1).
+// h is strictly increasing and concave in x, with supremum R = alpha/(alpha-1)
+// (the bound used by Theorem 1).
+//
+// All samplers are inverse-CDF based on Rng::uniform() so results are
+// bit-identical across platforms and standard libraries.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+
+/// Type-I Pareto distribution: Pr{X > x} = (x_m / x)^alpha for x >= x_m.
+class ParetoDist {
+ public:
+  /// @param scale   x_m > 0, the minimum value.
+  /// @param shape   alpha > 0.  Mean exists for alpha > 1, variance for
+  ///                alpha > 2.
+  ParetoDist(double scale, double shape);
+
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double shape() const { return shape_; }
+
+  /// Mean alpha*x_m/(alpha-1); throws std::domain_error if alpha <= 1.
+  [[nodiscard]] double mean() const;
+  /// Variance; throws std::domain_error if alpha <= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Pr{X > x}.
+  [[nodiscard]] double tail(double x) const;
+  /// Inverse CDF at u in [0,1).
+  [[nodiscard]] double quantile(double u) const;
+
+  [[nodiscard]] double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// Fit (x_m, alpha) from a target mean and coefficient of variation
+  /// (cv = sd/mean), inverting cv^2 = 1/(alpha*(alpha-2)):
+  ///   alpha = 1 + sqrt(1 + 1/cv^2),  x_m = mean*(alpha-1)/alpha.
+  /// This is the fit the DollyMP Application Master performs from measured
+  /// task statistics (Section 3 / Section 5.2).  cv must be > 0.
+  static ParetoDist fit(double mean, double cv);
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Pareto truncated to [scale, upper]: keeps the heavy tail shape but bounds
+/// the worst straggler (the traces in Section 6.3 report stragglers up to
+/// ~20x the normal task).
+class BoundedParetoDist {
+ public:
+  BoundedParetoDist(double scale, double shape, double upper);
+
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double upper() const { return upper_; }
+
+  [[nodiscard]] double quantile(double u) const;
+  [[nodiscard]] double sample(Rng& rng) const { return quantile(rng.uniform()); }
+  [[nodiscard]] double mean() const;
+
+ private:
+  double scale_;
+  double shape_;
+  double upper_;
+};
+
+/// Lognormal distribution, parameterized by the underlying normal (mu,
+/// sigma).  Used by the workload generator for task-count and input-size
+/// dispersion, which Google-trace analyses report as roughly lognormal.
+class LognormalDist {
+ public:
+  LognormalDist(double mu, double sigma);
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+  [[nodiscard]] double mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Fit from a target mean and coefficient of variation.
+  static LognormalDist fit(double mean, double cv);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential distribution with the given mean; used for Poisson arrivals.
+class ExponentialDist {
+ public:
+  explicit ExponentialDist(double mean);
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double sample(Rng& rng) const;
+
+ private:
+  double mean_;
+};
+
+/// Standard normal sample via the Marsaglia polar variant of Box-Muller,
+/// consuming only Rng::uniform draws.
+[[nodiscard]] double sample_standard_normal(Rng& rng);
+
+/// The cloning speedup function h(x) of Eq. (3), parameterized by the Pareto
+/// shape alpha of the underlying task-duration distribution.
+///
+/// Invariants (asserted by the test suite): h(1) == 1, h strictly increasing,
+/// h concave on the positive integers, h(x) < R = alpha/(alpha-1) for all x.
+class SpeedupFunction {
+ public:
+  /// @param alpha  Pareto shape, must be > 1 so the mean exists.
+  explicit SpeedupFunction(double alpha);
+
+  /// Build from measured (mean, sd) task statistics, via ParetoDist::fit.
+  /// cv == 0 (deterministic tasks) degenerates to h(x) == 1 for all x,
+  /// represented internally by alpha = +infinity.
+  static SpeedupFunction from_stats(double mean, double stddev);
+
+  /// h(x); x >= 1.  For the degenerate (deterministic) case returns 1.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Supremum R = alpha/(alpha-1) (Theorem 1's bound); +infinity never
+  /// occurs because alpha > 1.  Degenerate case returns 1.
+  [[nodiscard]] double upper_bound() const;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] bool degenerate() const { return !std::isfinite(alpha_); }
+
+  /// Smallest number of copies r such that budget * h(r) >= theta, i.e. the
+  /// r_j of Corollary 4.1 (r_j = min { r : 2^l h(r) >= theta_j }); returns 0
+  /// if even r -> infinity cannot reach theta within the budget.
+  [[nodiscard]] int min_copies_for(double theta, double budget) const;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace dollymp

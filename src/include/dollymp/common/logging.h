@@ -1,0 +1,52 @@
+// Lightweight leveled logging.
+//
+// The simulator is a hot loop, so log statements must cost one branch when
+// disabled.  Thread-safe: each emitted line is formatted into a local buffer
+// and written with a single locked call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dollymp {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; default kWarn so library users see problems but not
+/// simulator chatter.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Emit one line (appends '\n'); used by the LOG macro below.
+void log_line(LogLevel level, const std::string& message);
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dollymp
+
+/// Usage: DOLLYMP_LOG(kInfo) << "scheduled " << n << " tasks";
+#define DOLLYMP_LOG(severity)                                          \
+  if (!::dollymp::log_enabled(::dollymp::LogLevel::severity)) {        \
+  } else                                                               \
+    ::dollymp::detail::LogStream(::dollymp::LogLevel::severity)

@@ -1,0 +1,98 @@
+// Multi-dimensional resource vectors (CPU cores + memory GB).
+//
+// The paper's model (Section 3) is two-dimensional: each task of phase
+// phi_j^k demands c_j^k CPU cores and m_j^k GB of memory, and server i has
+// capacity (C_i, M_i).  Everything the schedulers need from resources is
+// collected here: component-wise arithmetic, the fits-within partial order
+// (capacity constraint Eq. 5), the inner-product alignment score used by
+// Tetris and by DollyMP's intra-priority tie break, and the dominant-share
+// computation of Eq. 9 / Eq. 15.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+#include <string>
+
+namespace dollymp {
+
+/// A point in (CPU cores, memory GB) space.  Values are non-negative by
+/// convention; helper constructors and operations never produce NaN for
+/// non-negative inputs.
+struct Resources {
+  double cpu = 0.0;
+  double mem = 0.0;
+
+  constexpr Resources() = default;
+  constexpr Resources(double cpu_cores, double mem_gb) : cpu(cpu_cores), mem(mem_gb) {}
+
+  [[nodiscard]] constexpr bool fits_within(const Resources& capacity) const {
+    // Tolerate tiny floating error so that repeated alloc/release round trips
+    // never spuriously reject a task that exactly fills a server.
+    constexpr double kSlack = 1e-9;
+    return cpu <= capacity.cpu + kSlack && mem <= capacity.mem + kSlack;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return cpu == 0.0 && mem == 0.0; }
+  [[nodiscard]] constexpr bool non_negative() const { return cpu >= 0.0 && mem >= 0.0; }
+
+  /// Inner product — the "alignment score" of Tetris (Section 2) and the
+  /// resource-fit tie break of Algorithm 2, step 12.
+  [[nodiscard]] constexpr double dot(const Resources& other) const {
+    return cpu * other.cpu + mem * other.mem;
+  }
+
+  /// Dominant share with respect to a total capacity (Eq. 9 / Eq. 15):
+  ///   d = max(cpu / total.cpu, mem / total.mem).
+  /// A zero capacity dimension contributes 0 (that dimension cannot be
+  /// dominant when the cluster has none of it and the demand must be 0).
+  [[nodiscard]] double dominant_share(const Resources& total) const;
+
+  /// Component-wise minimum / maximum.
+  [[nodiscard]] constexpr Resources min(const Resources& o) const {
+    return {cpu < o.cpu ? cpu : o.cpu, mem < o.mem ? mem : o.mem};
+  }
+  [[nodiscard]] constexpr Resources max(const Resources& o) const {
+    return {cpu > o.cpu ? cpu : o.cpu, mem > o.mem ? mem : o.mem};
+  }
+
+  /// Clamp negatives (from floating noise after release) back to zero.
+  [[nodiscard]] constexpr Resources clamped() const {
+    return {cpu < 0.0 ? 0.0 : cpu, mem < 0.0 ? 0.0 : mem};
+  }
+
+  constexpr Resources& operator+=(const Resources& o) {
+    cpu += o.cpu;
+    mem += o.mem;
+    return *this;
+  }
+  constexpr Resources& operator-=(const Resources& o) {
+    cpu -= o.cpu;
+    mem -= o.mem;
+    return *this;
+  }
+  constexpr Resources& operator*=(double s) {
+    cpu *= s;
+    mem *= s;
+    return *this;
+  }
+
+  friend constexpr Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend constexpr Resources operator-(Resources a, const Resources& b) { return a -= b; }
+  friend constexpr Resources operator*(Resources a, double s) { return a *= s; }
+  friend constexpr Resources operator*(double s, Resources a) { return a *= s; }
+  friend constexpr bool operator==(const Resources& a, const Resources& b) {
+    return a.cpu == b.cpu && a.mem == b.mem;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Resources& r);
+
+/// Sum of normalized dimensions, used as the scalar "resource usage" in the
+/// paper's Fig. 8 metric ("the sum across the (normalized) CPU and Memory
+/// resource multiplied by the task duration").
+[[nodiscard]] double normalized_sum(const Resources& r, const Resources& total);
+
+}  // namespace dollymp

@@ -1,0 +1,86 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every simulation must be exactly reproducible from a single 64-bit seed so
+// experiments can be replayed and paired comparisons (e.g. DollyMP^2 vs
+// DollyMP^0 on the *same* straggler realization, Fig. 10) are valid.  We use
+// xoshiro256** seeded via SplitMix64, both public-domain algorithms, rather
+// than std::mt19937 so results are identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace dollymp {
+
+/// SplitMix64 step — used for seeding and for cheap hash-like mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator, so it can be
+/// plugged into <random> distributions, though the distributions in
+/// distributions.h are preferred (they are portable across stdlibs).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  53 bits of mantissa entropy.
+  [[nodiscard]] double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator.  Children created with distinct
+  /// tags are statistically independent of each other and of the parent, so
+  /// subsystems (arrivals, durations, placement noise) can evolve without
+  /// perturbing each other's streams when one consumes more randomness.
+  [[nodiscard]] Rng split(std::uint64_t tag) const {
+    std::uint64_t sm = state_[0] ^ rotl(state_[3], 13) ^ (tag * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dollymp

@@ -1,0 +1,42 @@
+// Console table rendering for the figure/table bench harnesses.
+//
+// Every bench binary prints the rows/series a paper figure reports; this
+// renderer keeps them aligned and readable without any dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dollymp {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 2);
+
+  /// Mixed first-column label + numeric rest.
+  void add_labeled_row(std::string label, const std::vector<double>& values,
+                       int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+
+  /// Render with a caption line above the table.
+  [[nodiscard]] std::string render(const std::string& caption) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  static std::string format_double(double v, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a one-line section banner (used by benches between sub-figures).
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace dollymp

@@ -1,0 +1,41 @@
+// DAG utilities over a job's phase graph: children, terminals, critical
+// paths (the L_j of Section 5) and structural queries used by the
+// schedulers and the effective-volume computation.
+#pragma once
+
+#include <vector>
+
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+/// Children adjacency (inverse of PhaseSpec::parents).
+[[nodiscard]] std::vector<std::vector<PhaseIndex>> phase_children(const JobSpec& job);
+
+/// Phases with no children — the job completes when all of them do (the
+/// paper's phi_j^{pi_j}; general DAGs may have several sinks).
+[[nodiscard]] std::vector<PhaseIndex> terminal_phases(const JobSpec& job);
+
+/// Phases with no parents — runnable at arrival.
+[[nodiscard]] std::vector<PhaseIndex> source_phases(const JobSpec& job);
+
+/// Length of the longest path ending at each phase, where a phase's weight
+/// is its effective per-task length e_j^k = theta + r*sigma.  Index k gives
+/// the critical-path length from any source through phase k inclusive.
+[[nodiscard]] std::vector<double> longest_path_through(const JobSpec& job,
+                                                       double sigma_factor);
+
+/// Critical-path length of the whole job: e_j of Eq. (14).
+[[nodiscard]] double critical_path_length(const JobSpec& job, double sigma_factor);
+
+/// Critical-path length restricted to the not-yet-finished phases (Eq. 17):
+/// finished phases contribute zero weight but still carry precedence.
+/// `finished[k]` marks phase k complete.
+[[nodiscard]] double remaining_critical_path_length(const JobSpec& job,
+                                                    const std::vector<bool>& finished,
+                                                    double sigma_factor);
+
+/// The phase indices on one critical path (ties broken toward lower index).
+[[nodiscard]] std::vector<PhaseIndex> critical_path(const JobSpec& job, double sigma_factor);
+
+}  // namespace dollymp

@@ -1,0 +1,53 @@
+// Effective volume and effective length of DAG jobs — Eqs. (9), (10),
+// (14)-(17).
+//
+// These are the two scalars DollyMP's priority oracle consumes:
+//   d_j^k = max(c_j^k / sum C_i, m_j^k / sum M_i)          (Eq. 15)
+//   v_j   = sum_k n_j^k * e_j^k * d_j^k                    (Eq. 14, volume)
+//   e_j   = sum over the critical path of e_j^k            (Eq. 14, length)
+// and their remaining-work versions at time t (Eqs. 16-17), where finished
+// phases drop out and partially-finished phases count only unfinished tasks.
+#pragma once
+
+#include <vector>
+
+#include "dollymp/common/resources.h"
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+/// Defaults from Section 6.1 ("DollyMP with delta = 0.3, r = 1.5").
+inline constexpr double kDefaultSigmaFactor = 1.5;
+
+/// Dominant share of one phase's per-task demand (Eq. 15).
+[[nodiscard]] double phase_dominant_share(const PhaseSpec& phase,
+                                          const Resources& cluster_total);
+
+/// Effective volume of the whole job (Eq. 14 left).
+[[nodiscard]] double job_effective_volume(const JobSpec& job, const Resources& cluster_total,
+                                          double sigma_factor = kDefaultSigmaFactor);
+
+/// Effective length of the whole job: critical-path sum (Eq. 14 right).
+[[nodiscard]] double job_effective_length(const JobSpec& job,
+                                          double sigma_factor = kDefaultSigmaFactor);
+
+/// Remaining-progress snapshot used for the time-t recomputation.
+struct JobProgress {
+  /// Unfinished task count per phase (n_j^k(t)); size == phase_count.
+  std::vector<int> remaining_tasks;
+  /// Phase completion flags; finished phases contribute nothing.
+  std::vector<bool> phase_finished;
+};
+
+/// Remaining effective volume v_j(t) (Eq. 16).
+[[nodiscard]] double job_effective_volume_remaining(
+    const JobSpec& job, const JobProgress& progress, const Resources& cluster_total,
+    double sigma_factor = kDefaultSigmaFactor);
+
+/// Remaining effective length e_j(t): critical path over remaining phases
+/// (Eq. 17).
+[[nodiscard]] double job_effective_length_remaining(
+    const JobSpec& job, const JobProgress& progress,
+    double sigma_factor = kDefaultSigmaFactor);
+
+}  // namespace dollymp

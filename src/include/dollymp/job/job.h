@@ -1,0 +1,66 @@
+// The DAG job model of Section 3.
+//
+// Job j arrives at a_j and is a DAG G_j of phases Phi_j = {phi_j^1 ...
+// phi_j^{pi_j}}.  Phase phi_j^k holds n_j^k identical parallel tasks; each
+// task demands (c_j^k, m_j^k) and has a random execution time Theta_j^k with
+// mean theta_j^k and standard deviation sigma_j^k, both known at arrival
+// (estimated by the AM from recurring jobs / early tasks, Section 5.2).
+// A task may start only after all tasks of every parent phase finish (Eq. 7)
+// and the job finishes with its last phase (Eq. 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dollymp/common/resources.h"
+
+namespace dollymp {
+
+using JobId = std::int32_t;
+using PhaseIndex = std::int32_t;
+
+/// Static description of one phase.
+struct PhaseSpec {
+  std::string name;              ///< e.g. "map", "reduce", "iter3".
+  int task_count = 1;            ///< n_j^k
+  Resources demand;              ///< per-task (c_j^k, m_j^k)
+  double theta_seconds = 1.0;    ///< mean task duration theta_j^k
+  double sigma_seconds = 0.0;    ///< stddev sigma_j^k
+  std::vector<PhaseIndex> parents;  ///< upstream phases P(phi_j^k)
+
+  /// Effective per-task length e_j^k = theta + r * sigma (Section 5; the
+  /// paper's sigma-weighting factor defaults to r = 1.5 in Section 6.1).
+  [[nodiscard]] double effective_length(double sigma_factor) const {
+    return theta_seconds + sigma_factor * sigma_seconds;
+  }
+};
+
+/// Static description of one job.
+struct JobSpec {
+  JobId id = 0;
+  std::string name;
+  std::string app;               ///< application family, e.g. "wordcount".
+  double arrival_seconds = 0.0;  ///< a_j
+  std::vector<PhaseSpec> phases;
+
+  [[nodiscard]] int total_tasks() const;
+  [[nodiscard]] std::size_t phase_count() const { return phases.size(); }
+
+  /// Validate structure: >=1 phase, each phase has >=1 task, positive
+  /// theta, non-negative sigma/demands, parent indices in range and acyclic
+  /// (parents must have smaller indices — specs are stored in topological
+  /// order by construction).  Throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Convenience: a single-phase job (the setting of Sections 4.1-4.2 and
+  /// Theorems 1-2).
+  static JobSpec single_task(JobId id, Resources demand, double theta, double sigma = 0.0,
+                             double arrival = 0.0);
+
+  /// A one-phase job with n parallel tasks.
+  static JobSpec single_phase(JobId id, int tasks, Resources demand, double theta,
+                              double sigma = 0.0, double arrival = 0.0);
+};
+
+}  // namespace dollymp

@@ -1,0 +1,60 @@
+// Probability of Completion before Deadline (PoCD) — the deadline-oriented
+// redundancy analytics from the related work (Chronos, Xu et al.,
+// ICDCS'18; paper Section 7).
+//
+// Chronos chooses between cloning and speculative execution per job by
+// computing the probability that the job meets its deadline under each
+// strategy.  This module provides those closed-form probabilities for the
+// library's Pareto task model, so a user can reason about deadlines on top
+// of the flowtime-oriented DollyMP machinery:
+//
+// * A task with Pareto(x_m, alpha) duration and r simultaneous copies
+//   completes by t with probability 1 - (x_m/t)^(r*alpha)   (t >= x_m) —
+//   the min of r i.i.d. Pareto variables is Pareto with shape r*alpha.
+// * Under late speculation at time s with one backup, the task completes
+//   by t > s with probability
+//     1 - Pr{original > t, and (original > s implies backup > t - s)}
+//   which for the renewal approximation used by Chronos is
+//     1 - (x_m/t)^alpha * (x_m/(t-s))^alpha   for t - s >= x_m.
+// * A phase of n independent tasks meets the deadline iff all its tasks
+//   do; a chain of phases meets it iff a deadline split does (we use the
+//   proportional-to-theta split Chronos adopts).
+#pragma once
+
+#include <vector>
+
+#include "dollymp/common/distributions.h"
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+/// Probability that a single task (Pareto fit from theta/sigma) with `copies`
+/// simultaneous copies finishes within `deadline_seconds`.  sigma == 0
+/// degenerates to a step function at theta.
+[[nodiscard]] double task_pocd_cloning(double theta, double sigma, int copies,
+                                       double deadline_seconds);
+
+/// Probability that a single task finishes within the deadline under
+/// speculative execution: one backup launched at `speculate_at_seconds` if
+/// the original is still running then.
+[[nodiscard]] double task_pocd_speculation(double theta, double sigma,
+                                           double speculate_at_seconds,
+                                           double deadline_seconds);
+
+/// PoCD of one phase: all of its `task_count` i.i.d. tasks must finish by
+/// the deadline (with `copies` clones each).
+[[nodiscard]] double phase_pocd_cloning(const PhaseSpec& phase, int copies,
+                                        double deadline_seconds);
+
+/// PoCD of a chain-structured job (phases executed sequentially): the
+/// deadline is split across phases proportionally to their theta, the
+/// Chronos heuristic.  Throws if the job's DAG is not a chain.
+[[nodiscard]] double job_pocd_cloning(const JobSpec& job, int copies,
+                                      double deadline_seconds);
+
+/// Smallest number of copies (1..max_copies) whose phase PoCD reaches
+/// `target`; 0 when even max_copies cannot reach it.
+[[nodiscard]] int copies_for_target_pocd(const PhaseSpec& phase, double target,
+                                         double deadline_seconds, int max_copies = 8);
+
+}  // namespace dollymp

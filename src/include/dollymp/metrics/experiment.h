@@ -1,0 +1,62 @@
+// Experiment runner: paired scheduler comparisons and seed-replicated
+// sweeps, parallelized over a thread pool.
+//
+// Every run gets its own Simulator (the cluster prototype is copied) and a
+// fresh Scheduler from its factory, so runs share no mutable state and can
+// execute concurrently; results come back in input order.  This is the
+// programmatic version of what the figure benches do by hand, exposed so
+// downstream users can script their own comparisons.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/stats.h"
+#include "dollymp/common/thread_pool.h"
+#include "dollymp/metrics/records.h"
+#include "dollymp/sched/scheduler.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+struct ComparisonEntry {
+  std::string name;          ///< label carried into the results
+  SchedulerFactory factory;  ///< invoked once per run (thread safety)
+};
+
+struct ComparisonSpec {
+  Cluster cluster;
+  SimConfig config;
+  std::vector<JobSpec> jobs;
+};
+
+/// Run every scheduler on the same workload and environment seed (the
+/// paired-comparison setup of Figs. 8-11).  `pool` may be null for serial
+/// execution.  Results are in `entries` order.
+[[nodiscard]] std::vector<SimResult> run_comparison(
+    const ComparisonSpec& spec, const std::vector<ComparisonEntry>& entries,
+    ThreadPool* pool = nullptr);
+
+/// Aggregated statistics over seed replications of one scheduler.
+struct ReplicatedStats {
+  std::string name;
+  RunningStats total_flowtime;
+  RunningStats mean_flowtime;
+  RunningStats makespan;
+  RunningStats cloned_task_fraction;
+};
+
+/// Run each scheduler across `seeds` environment seeds (same workload
+/// specs; durations/background/locality re-realized per seed) and collect
+/// aggregate statistics.  Parallel over (scheduler x seed) when a pool is
+/// given.
+[[nodiscard]] std::vector<ReplicatedStats> run_replicated(
+    const ComparisonSpec& spec, const std::vector<ComparisonEntry>& entries,
+    const std::vector<std::uint64_t>& seeds, ThreadPool* pool = nullptr);
+
+}  // namespace dollymp

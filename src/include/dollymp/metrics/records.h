@@ -1,0 +1,101 @@
+// Result records produced by a simulation run.
+//
+// The evaluation metrics of Section 6: job flowtime (f_j - a_j), job running
+// time (first task start to finish), resource usage (normalized demand x
+// copy duration summed over copies, the Fig. 8 metric), clone counts, and
+// cluster utilization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dollymp/common/resources.h"
+#include "dollymp/job/job.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+struct JobRecord {
+  JobId id = -1;
+  std::string name;
+  std::string app;
+  double arrival_seconds = 0.0;
+  double first_start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  int total_tasks = 0;
+  int clones_launched = 0;        ///< extra copies beyond the first per task
+  int speculative_launched = 0;
+  int tasks_with_clones = 0;
+  double resource_seconds = 0.0;  ///< sum over copies: normalized demand * runtime
+
+  [[nodiscard]] double flowtime() const { return finish_seconds - arrival_seconds; }
+  [[nodiscard]] double running_time() const { return finish_seconds - first_start_seconds; }
+  [[nodiscard]] double wait_time() const { return first_start_seconds - arrival_seconds; }
+};
+
+struct TaskRecord {
+  TaskRef ref;
+  double first_start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  int copies = 0;
+};
+
+/// Kinds of simulator events exposed through the optional event trace
+/// (SimConfig::record_events) — the debugging/audit channel: every
+/// placement, completion, kill and failure in time order.
+enum class SimEventKind : std::uint8_t {
+  kJobArrival,
+  kCopyPlaced,
+  kClonePlaced,
+  kSpeculativePlaced,
+  kCopyFinished,
+  kCopyKilled,
+  kTaskCompleted,
+  kPhaseCompleted,
+  kJobCompleted,
+  kServerFailed,
+  kServerRepaired,
+};
+
+[[nodiscard]] const char* to_string(SimEventKind kind);
+
+struct SimEventRecord {
+  double seconds = 0.0;
+  SimEventKind kind = SimEventKind::kJobArrival;
+  JobId job = -1;
+  PhaseIndex phase = -1;
+  int task = -1;
+  std::int32_t server = -1;  ///< server involved (placements, kills, failures)
+};
+
+struct UtilizationSample {
+  double seconds = 0.0;
+  double cpu = 0.0;   ///< fraction of total CPU allocated
+  double mem = 0.0;   ///< fraction of total memory allocated
+};
+
+struct SimResult {
+  std::string scheduler;
+  double slot_seconds = 5.0;
+  double makespan_seconds = 0.0;
+  std::vector<JobRecord> jobs;
+  std::vector<TaskRecord> tasks;          ///< only when SimConfig::record_tasks
+  std::vector<UtilizationSample> utilization;
+  std::vector<SimEventRecord> events;     ///< only when SimConfig::record_events
+
+  // Aggregates filled by the simulator.
+  long long total_copies_launched = 0;
+  long long total_tasks_completed = 0;
+
+  [[nodiscard]] double total_flowtime() const;
+  [[nodiscard]] double mean_flowtime() const;
+  [[nodiscard]] double total_running_time() const;
+  [[nodiscard]] double total_resource_seconds() const;
+  /// Fraction of tasks that had at least one clone (Fig. 10b).
+  [[nodiscard]] double cloned_task_fraction() const;
+
+  /// Find a job record by id; throws std::out_of_range when absent.
+  [[nodiscard]] const JobRecord& job(JobId id) const;
+};
+
+}  // namespace dollymp

@@ -1,0 +1,82 @@
+// Derived reports over SimResults: the exact quantities the paper's figures
+// plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dollymp/common/stats.h"
+#include "dollymp/metrics/records.h"
+
+namespace dollymp {
+
+/// Scalar summary of one run.
+struct RunSummary {
+  std::string scheduler;
+  std::size_t jobs = 0;
+  double total_flowtime = 0.0;
+  double mean_flowtime = 0.0;
+  double p95_flowtime = 0.0;
+  double mean_running_time = 0.0;
+  double p95_running_time = 0.0;
+  double makespan = 0.0;
+  double total_resource_seconds = 0.0;
+  double cloned_task_fraction = 0.0;
+  long long clones_launched = 0;
+};
+
+[[nodiscard]] RunSummary summarize(const SimResult& result);
+
+/// Flowtime CDF over jobs (Figs. 4a, 6).
+[[nodiscard]] Cdf flowtime_cdf(const SimResult& result);
+/// Running-time CDF over jobs (Figs. 4b, 5).
+[[nodiscard]] Cdf running_time_cdf(const SimResult& result);
+
+/// Cumulative total flowtime in arrival order (Fig. 7): entry i is the sum
+/// of flowtimes of the first i+1 arrivals.
+[[nodiscard]] std::vector<std::pair<double, double>> cumulative_flowtime_series(
+    const SimResult& result);
+
+/// Per-job ratios between two runs on the same workload, matched by job id
+/// (Figs. 8, 10, 11).  ratio = metric(numerator) / metric(denominator).
+struct PairedRatios {
+  Cdf flowtime_ratio;
+  Cdf running_time_ratio;
+  Cdf resource_ratio;
+  /// Fraction of matched jobs with flowtime reduced by at least `cut`
+  /// (e.g. cut = 0.3 -> "at least 40% of jobs obtain a reduction by 30%").
+  [[nodiscard]] double fraction_flowtime_reduced_by(double cut) const;
+};
+
+[[nodiscard]] PairedRatios paired_ratios(const SimResult& numerator,
+                                         const SimResult& denominator);
+
+/// Speedup of mean flowtime: 1 - mean(numerator)/mean(denominator).
+[[nodiscard]] double mean_flowtime_reduction(const SimResult& candidate,
+                                             const SimResult& baseline);
+
+/// Render a comparison table of several run summaries.
+[[nodiscard]] std::string render_summaries(const std::vector<RunSummary>& summaries);
+
+/// Render a CDF as "value@q" rows for quantiles {0.1 ... 1.0}.
+[[nodiscard]] std::string render_cdf_rows(const std::string& label, const Cdf& cdf);
+
+/// Jain's fairness index over per-job slowdowns (flowtime / running time
+/// under an empty cluster is unknown, so slowdown here is flowtime divided
+/// by the job's own running time): 1 = perfectly equal slowdowns, 1/n =
+/// maximally unfair.  Used to quantify the fairness cost of size-based
+/// priorities (DollyMP/SVF) against fair-share policies (DRF/Carbyne).
+[[nodiscard]] double jain_fairness_of_slowdowns(const SimResult& result);
+
+/// Per-job slowdown samples: flowtime / running_time (>= 1; equals 1 when
+/// a job never waits).
+[[nodiscard]] Cdf slowdown_cdf(const SimResult& result);
+
+/// Serialize per-job records to CSV (one row per job) for external
+/// analysis/plotting; the inverse schema is human-stable:
+///   job_id,name,app,arrival_s,first_start_s,finish_s,flowtime_s,
+///   running_s,tasks,clones,speculative,tasks_with_clones,resource_s
+[[nodiscard]] std::string results_to_csv(const SimResult& result);
+void save_results(const SimResult& result, const std::string& path);
+
+}  // namespace dollymp

@@ -1,0 +1,101 @@
+// The DollyMP online scheduler (Section 5, Algorithm 2).
+//
+// On every job arrival the scheduler recomputes each active job's remaining
+// effective volume v_j(t) (Eq. 16) and remaining critical-path length
+// e_j(t) (Eq. 17), feeds them to Algorithm 1's knapsack priority oracle
+// (sched/priority.h) and caches the resulting priority classes ("to reduce
+// the overhead, the scheduling order of all jobs in the cluster won't be
+// updated until the next job arrival").
+//
+// At each decision slot it then:
+//   1. places new tasks in priority order — within a class the task/server
+//      pair with the best resource fit (inner product of demand and free
+//      capacity, Algorithm 2 step 12) wins, honoring data locality;
+//   2. once no new task fits anywhere, spends leftover resources on clones
+//      of running tasks, again smallest-priority jobs first (the Section
+//      4.1 rule: clone small jobs), up to `clone_budget` extra copies per
+//      task (DollyMP^0/1/2/3 of the evaluation).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "dollymp/learn/server_scorer.h"
+#include "dollymp/sched/scheduler.h"
+
+namespace dollymp {
+
+struct DollyMPConfig {
+  /// Maximum extra copies per task: 0 disables cloning (DollyMP^0), the
+  /// paper's default is 2 (DollyMP^2).  Clamped by SimConfig's hard cap.
+  int clone_budget = 2;
+  /// Sigma weighting r in e_j^k = theta + r*sigma (Section 6.1: r = 1.5).
+  double sigma_factor = 1.5;
+  /// Weight of the shortness term when breaking ties between equally
+  /// aligned placements (the delta = 0.3 of Section 6.1).
+  double delta = 0.3;
+  /// Prefer replica / rack-local servers when placing copies.
+  bool locality_aware = true;
+  /// Clone in priority (smallest-job-first) order per Section 4.1; false
+  /// reverses the order — the naive-cloning ablation of DESIGN.md.
+  bool smallest_first_clones = true;
+  /// Also refresh priorities when jobs complete (the paper refreshes only
+  /// on arrivals; enabling this is an ablation knob).
+  bool recompute_on_completion = false;
+  /// Online straggler-aware placement (the paper's Section 8 future work):
+  /// learn per-server slowdown from completed copies and weight placement
+  /// scores by the reciprocal estimate, steering copies and clones away
+  /// from currently slow machines.
+  bool straggler_aware = false;
+  /// Clone budgeting per Corollary 4.1: cap a task's copies at
+  /// r_j = min{ r : 2^l h(r) >= theta } for its job's priority class l, so
+  /// no task gets more clones than needed to finish inside its class
+  /// window.  Off by default (the paper's deployed system uses the flat
+  /// budget).
+  bool corollary_clone_counts = false;
+};
+
+class DollyMPScheduler final : public Scheduler {
+ public:
+  explicit DollyMPScheduler(DollyMPConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  void on_job_arrival(SchedulerContext& ctx) override;
+  void schedule(SchedulerContext& ctx) override;
+  void on_copy_finished(SchedulerContext& ctx, const JobRuntime& job,
+                        const PhaseRuntime& phase, const TaskRuntime& task,
+                        const CopyRuntime& copy) override;
+
+  /// Learned per-server slowdown estimates (only populated when
+  /// config().straggler_aware is set).
+  [[nodiscard]] const ServerScorer* scorer() const {
+    return scorer_ ? &*scorer_ : nullptr;
+  }
+
+  [[nodiscard]] const DollyMPConfig& config() const { return config_; }
+
+  /// Exposed for the overhead bench (Section 6.3.3): one full priority
+  /// recomputation over the current active set.
+  void recompute_priorities(SchedulerContext& ctx);
+
+ private:
+  struct JobOrder {
+    JobRuntime* job;
+    int priority;
+    double volume;
+  };
+
+  [[nodiscard]] std::vector<JobOrder> ordered_jobs(SchedulerContext& ctx) const;
+  int place_new_tasks(SchedulerContext& ctx, std::vector<JobOrder>& order);
+  int place_clones(SchedulerContext& ctx, std::vector<JobOrder>& order);
+  [[nodiscard]] ServerId pick_server(SchedulerContext& ctx, const TaskRuntime& task) const;
+
+  DollyMPConfig config_;
+  std::unordered_map<JobId, int> priority_;
+  std::unordered_map<JobId, double> volume_;
+  std::size_t known_jobs_ = 0;
+  std::optional<ServerScorer> scorer_;
+};
+
+}  // namespace dollymp

@@ -1,0 +1,20 @@
+// Dominant Resource Fairness (Ghodsi et al., NSDI'11) — baseline of
+// Section 6.1.
+//
+// Progressive filling: repeatedly offer resources to the active job whose
+// dominant share (max over dimensions of its allocated/total) is furthest
+// below the others', placing one runnable task per offer, until no job can
+// place anything.
+#pragma once
+
+#include "dollymp/sched/scheduler.h"
+
+namespace dollymp {
+
+class DrfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "drf"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace dollymp

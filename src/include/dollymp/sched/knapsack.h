@@ -1,0 +1,53 @@
+// Knapsack oracles for Algorithm 1, step 6:
+//
+//     max  sum_{j in B_l} x_j    s.t.  sum_{j in B_l} v_j x_j <= 2^l
+//
+// All profits are 1, so the greedy rule "take items by increasing weight
+// until the budget is exhausted" is exactly optimal (the paper notes the
+// oracle "can be solved efficiently by selecting items with the smallest
+// weights since the profits of all items are the same").  A dynamic-
+// programming 0/1 solver for general profits is included for validation
+// and for experimentation with weighted-job variants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dollymp {
+
+/// Result of a knapsack solve: chosen item indices (into the input arrays)
+/// and the total weight taken.
+struct KnapsackPick {
+  std::vector<std::size_t> chosen;
+  double total_weight = 0.0;
+  double total_profit = 0.0;
+};
+
+/// Unit-profit oracle: maximize the number of chosen items subject to the
+/// weight budget.  Optimal; O(n log n).  Negative weights are rejected.
+[[nodiscard]] KnapsackPick knapsack_unit_profit(const std::vector<double>& weights,
+                                                double budget);
+
+/// General 0/1 knapsack via DP over a discretized weight grid.
+/// `resolution` is the number of grid cells the budget is split into
+/// (weights are conservatively rounded up, so the budget is never
+/// violated; more cells = closer to optimal).  O(n * resolution).
+[[nodiscard]] KnapsackPick knapsack_dp(const std::vector<double>& weights,
+                                       const std::vector<double>& profits, double budget,
+                                       std::size_t resolution = 4096);
+
+/// Exhaustive solver for tests (n <= 24).
+[[nodiscard]] KnapsackPick knapsack_brute_force(const std::vector<double>& weights,
+                                                const std::vector<double>& profits,
+                                                double budget);
+
+/// Exact branch-and-bound 0/1 solver with the fractional (Dantzig) upper
+/// bound.  Exponential worst case but fast in practice for the moderate
+/// instance sizes of weighted-priority experiments; exact unlike the DP
+/// (which discretizes weights).  Used to validate both other solvers and
+/// to support weighted-job variants of the priority oracle.
+[[nodiscard]] KnapsackPick knapsack_branch_and_bound(const std::vector<double>& weights,
+                                                     const std::vector<double>& profits,
+                                                     double budget);
+
+}  // namespace dollymp

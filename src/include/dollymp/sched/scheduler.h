@@ -1,0 +1,112 @@
+// The scheduler interface and shared placement helpers.
+//
+// A Scheduler is a pure policy: at each decision point the simulator hands
+// it a SchedulerContext through which it observes the cluster and the
+// runtime state of active jobs and requests copy placements.  The simulator
+// (the only implementer of SchedulerContext) validates every request —
+// capacity (Eq. 5), precedence (Eq. 7), the per-task copy cap — so no
+// policy can cheat.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/rng.h"
+#include "dollymp/sim/runtime_state.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+  [[nodiscard]] virtual double slot_seconds() const = 0;
+  [[nodiscard]] virtual const Cluster& cluster() const = 0;
+  [[nodiscard]] virtual const SimConfig& config() const = 0;
+
+  /// Jobs that have arrived and not yet finished, in arrival order.
+  /// Pointers remain valid for the duration of the simulation run.
+  [[nodiscard]] virtual const std::vector<JobRuntime*>& active_jobs() = 0;
+
+  /// Launch a copy of `task` on `server`.  Returns false (placing nothing)
+  /// if the phase is not runnable, the task already finished, the per-task
+  /// copy cap is reached, or the server lacks free capacity.
+  virtual bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                          ServerId server) = 0;
+
+  /// Mark a placement as a speculative backup (for accounting); must be
+  /// called instead of place_copy by speculation policies.
+  virtual bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase,
+                                      TaskRuntime& task, ServerId server) = 0;
+
+  /// RNG stream reserved for scheduler-side randomness (never shared with
+  /// the workload/execution streams, so policies do not perturb the
+  /// environment's realization).
+  [[nodiscard]] virtual Rng& policy_rng() = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once when a simulation starts (clear any per-run state).
+  virtual void reset() {}
+
+  /// Called after one or more jobs arrive, before schedule() in that slot.
+  virtual void on_job_arrival(SchedulerContext& /*ctx*/) {}
+
+  /// Make placement decisions for the current slot.
+  virtual void schedule(SchedulerContext& ctx) = 0;
+
+  /// Called when a copy finishes naturally (not killed): the feedback
+  /// channel for online learning (learn/server_scorer.h).  Implementations
+  /// should only record observations here, not place copies.
+  virtual void on_copy_finished(SchedulerContext& /*ctx*/, const JobRuntime& /*job*/,
+                                const PhaseRuntime& /*phase*/,
+                                const TaskRuntime& /*task*/,
+                                const CopyRuntime& /*copy*/) {}
+
+  /// Return true to be invoked every slot even without arrivals or
+  /// completions (needed by time-triggered policies such as speculative
+  /// execution).  Event-driven policies leave this false, which lets the
+  /// simulator fast-forward between events.
+  [[nodiscard]] virtual bool wants_every_slot() const { return false; }
+};
+
+// ---- shared helpers used by several policies -------------------------------
+
+/// Server with the largest free-resource inner product with `demand` among
+/// those that can fit it; kInvalidServer when none fits.  This is the
+/// alignment placement of Tetris and the resource-fit tie break of
+/// Algorithm 2 step 12.
+[[nodiscard]] ServerId best_fit_server(const Cluster& cluster, const Resources& demand);
+
+/// First server (by index) that can fit `demand`; kInvalidServer when none.
+[[nodiscard]] ServerId first_fit_server(const Cluster& cluster, const Resources& demand);
+
+/// Prefer a server holding a replica of `task`'s input block, then a
+/// rack-local one, then best fit (the paper's locality-aware container
+/// placement).
+[[nodiscard]] ServerId locality_aware_server(const Cluster& cluster,
+                                             const LocalityModel& locality,
+                                             const TaskRuntime& task);
+
+/// Next task of `phase` that has no copy yet, using the phase's monotone
+/// cursor (O(1) amortized); nullptr when all tasks are scheduled.
+[[nodiscard]] TaskRuntime* next_unscheduled_task(PhaseRuntime& phase);
+
+/// Greedily place unscheduled runnable tasks of `job` (in phase order) on
+/// best-fit servers until nothing more fits; returns number placed.
+int place_job_greedy(SchedulerContext& ctx, JobRuntime& job);
+
+/// Total demand-weighted allocation of a job's currently active copies
+/// (the DRF "currently allocated" vector).
+[[nodiscard]] Resources job_active_allocation(const JobRuntime& job);
+
+}  // namespace dollymp

@@ -1,0 +1,35 @@
+// Classic priority-based baselines of Section 4.2: SRPT and SVF.
+//
+// SRPT orders jobs by remaining (effective) processing time; SVF by
+// remaining volume (processing time x dominant resource share).  Both place
+// greedily in that order with best-fit servers.  An optional clone budget
+// lets leftover resources be spent on clones in the same order, so the
+// cloning-policy ablation can separate the effect of the priority rule
+// from the effect of cloning.
+#pragma once
+
+#include "dollymp/sched/scheduler.h"
+
+namespace dollymp {
+
+enum class SimplePriorityRule { kSrpt, kSvf };
+
+struct SimplePriorityConfig {
+  SimplePriorityRule rule = SimplePriorityRule::kSrpt;
+  double sigma_factor = 1.5;
+  /// Extra copies per task spent on leftover resources (0 = pure baseline).
+  int clone_budget = 0;
+};
+
+class SimplePriorityScheduler final : public Scheduler {
+ public:
+  explicit SimplePriorityScheduler(SimplePriorityConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  void schedule(SchedulerContext& ctx) override;
+
+ private:
+  SimplePriorityConfig config_;
+};
+
+}  // namespace dollymp

@@ -1,0 +1,60 @@
+// 2D strip packing — the combinatorial core behind Theorem 1.
+//
+// The proof of Theorem 1 invokes the classical strip-packing result [40]
+// (Steinberg 1997): jobs selected by the knapsack oracle for window 2^l
+// (total volume <= 2^l, each length <= 2^l) can be scheduled to finish
+// within a constant factor of the window.  This module provides the
+// packing primitive: items are (width, height) = (resource share, running
+// time) rectangles packed into a strip of width 1 (the normalized cluster
+// capacity); the strip height is the schedule makespan.
+//
+// We implement NFDH (Next-Fit Decreasing Height), whose packed height H
+// satisfies the classical guarantee
+//
+//     H  <=  2 * AREA + h_max
+//
+// where AREA (total item area) and h_max (tallest item) are both lower
+// bounds on the optimal height — so H <= 3 * OPT, the 3R * 2^l step used
+// in the Theorem 1 argument (R enters through the stochastic speedup).
+// The test suite verifies both feasibility (no overlap, strip width
+// respected) and the bound on randomized instances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dollymp {
+
+/// One rectangle to pack: width in (0, 1], height > 0.
+struct StripItem {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+/// Placement of one item inside the strip (axis-aligned, no rotation).
+struct StripPlacement {
+  std::size_t item = 0;  ///< index into the input vector
+  double x = 0.0;        ///< left edge, in [0, 1 - width]
+  double y = 0.0;        ///< bottom edge (time the item starts)
+};
+
+struct StripPacking {
+  std::vector<StripPlacement> placements;
+  double height = 0.0;  ///< strip height used (schedule makespan)
+};
+
+/// Pack items into a strip of width 1 with NFDH.  Throws
+/// std::invalid_argument if any item has width outside (0, 1] or
+/// non-positive height.
+[[nodiscard]] StripPacking nfdh_pack(const std::vector<StripItem>& items);
+
+/// Lower bounds on the optimal strip height: total area and tallest item.
+[[nodiscard]] double strip_area_lower_bound(const std::vector<StripItem>& items);
+[[nodiscard]] double strip_height_lower_bound(const std::vector<StripItem>& items);
+
+/// Feasibility check used by tests: every placement within the strip, no
+/// two rectangles overlapping.
+[[nodiscard]] bool strip_packing_is_feasible(const std::vector<StripItem>& items,
+                                             const StripPacking& packing);
+
+}  // namespace dollymp

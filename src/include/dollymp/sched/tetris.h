@@ -1,0 +1,37 @@
+// Tetris (Grandl et al., SIGCOMM'14) — multi-resource packing baseline.
+//
+// For every free server, Tetris scores each pending task as
+//     score = alignment + delta * shortness
+// where alignment is the inner product of the task's demand vector with the
+// server's free-resource vector (packing efficiency) and shortness is an
+// SRPT-flavoured term favouring jobs with the least remaining work; the
+// highest-scoring task is placed and the process repeats until nothing
+// fits.  This is the "a + eps * p" combination the paper's Fig. 2
+// walkthrough describes, with delta as the published default weight.
+#pragma once
+
+#include "dollymp/sched/scheduler.h"
+
+namespace dollymp {
+
+struct TetrisConfig {
+  /// Weight of the SRPT term against alignment.  Tetris deliberately keeps
+  /// this small so that packing dominates and the SRPT preference "barely
+  /// affects packing" (Grandl et al.); the ICPP paper's Fig. 2 walkthrough
+  /// relies on exactly that (the full-server job has the highest combined
+  /// score and is scheduled first).
+  double delta = 0.1;
+};
+
+class TetrisScheduler final : public Scheduler {
+ public:
+  explicit TetrisScheduler(TetrisConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "tetris"; }
+  void schedule(SchedulerContext& ctx) override;
+
+ private:
+  TetrisConfig config_;
+};
+
+}  // namespace dollymp

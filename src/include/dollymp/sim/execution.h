@@ -1,0 +1,43 @@
+// Execution models: realized copy durations (stochastic) and the
+// mean-field work accrual of Eqs. (1), (4), (6) (work-based).
+#pragma once
+
+#include "dollymp/cluster/server.h"
+#include "dollymp/common/rng.h"
+#include "dollymp/sim/runtime_state.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+/// Base duration of a copy (seconds on a speed-1 server) under the
+/// stochastic model.  The first copy of task i uses the pre-sampled pool
+/// entry i; every additional copy draws a fresh entry uniformly from the
+/// same phase's pool — exactly the paper's Section 6.3 clone rule.
+[[nodiscard]] double sample_copy_base_seconds(const PhaseRuntime& phase, int task_index,
+                                              bool is_first_copy, Rng& rng);
+
+/// Apply the environment to a base duration: server base speed (server
+/// heterogeneity), data-locality fetch penalty and the background-load
+/// slowdown at launch time.
+[[nodiscard]] double scale_copy_seconds(double base_seconds, const Server& server,
+                                        double locality_penalty, double background_slowdown);
+
+/// Seconds -> whole slots, at least 1 (a copy occupies its resources for at
+/// least one slot).
+[[nodiscard]] SimTime seconds_to_slots(double seconds, double slot_seconds);
+
+// ---- work-based model -------------------------------------------------------
+
+/// Roll task work forward to `now`: work += h(r) * slot_seconds per elapsed
+/// slot while r copies were active (Eq. 4).  Call before any change to the
+/// copy set and before completion checks.
+void accrue_work(TaskRuntime& task, const PhaseRuntime& phase, SimTime now,
+                 double slot_seconds);
+
+/// Predicted completion slot given the current copy count stays fixed:
+/// smallest t > now with work(t) >= theta (Eq. 6); kNever when no copies
+/// are active.
+[[nodiscard]] SimTime predict_work_finish(const TaskRuntime& task, const PhaseRuntime& phase,
+                                          SimTime now, double slot_seconds);
+
+}  // namespace dollymp

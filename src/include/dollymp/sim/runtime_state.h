@@ -1,0 +1,131 @@
+// Mutable runtime state of jobs, phases, tasks and copies during a
+// simulation.  Schedulers receive references to these objects through the
+// SchedulerContext; the simulator is the only mutator (schedulers observe
+// and request placements).
+//
+// Non-clairvoyance: CopyRuntime::finish is the simulator's private
+// realization of the copy's random duration.  Scheduler implementations
+// must not read it (they only know theta/sigma, as the paper's AM does);
+// this is enforced by convention and checked in code review, not the type
+// system, to keep the state inspectable by tests and metrics.
+#pragma once
+
+#include <vector>
+
+#include "dollymp/cluster/locality.h"
+#include "dollymp/common/distributions.h"
+#include "dollymp/job/effective.h"
+#include "dollymp/job/job.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+/// One running (or finished/killed) copy of a task.
+struct CopyRuntime {
+  ServerId server = kInvalidServer;
+  SimTime start = kNever;
+  SimTime finish = kNever;      ///< predicted completion slot (see header note)
+  LocalityLevel locality = LocalityLevel::kNode;
+  bool active = false;          ///< currently occupying resources
+  bool killed = false;          ///< terminated because a sibling finished first
+  double base_seconds = 0.0;    ///< sampled duration before slot rounding
+};
+
+class TaskRuntime {
+ public:
+  TaskRef ref;
+  Resources demand;
+  std::vector<CopyRuntime> copies;
+  BlockPlacement block;         ///< input block replica placement
+
+  bool finished = false;
+  bool ever_cloned = false;  ///< ever had a redundant sibling (accounting)
+  SimTime finish_slot = kNever;
+  SimTime first_start = kNever;
+
+  // Work-based model bookkeeping (Eq. 6): accrued work in theta-units of
+  // seconds, last slot at which it was accrued, and a generation counter
+  // that invalidates stale completion events when the copy set changes.
+  double work_done_seconds = 0.0;
+  SimTime work_updated_at = 0;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] int active_copies() const;
+  [[nodiscard]] bool running() const { return active_copies() > 0; }
+  [[nodiscard]] bool scheduled() const { return !copies.empty(); }
+  [[nodiscard]] int total_copies() const { return static_cast<int>(copies.size()); }
+  /// True when the task must (still or again) be placed: unfinished with no
+  /// running copy.  Normally equivalent to "never scheduled", but a server
+  /// failure can kill every copy of a task, putting it back in this state.
+  [[nodiscard]] bool needs_placement() const { return !finished && active_copies() == 0; }
+};
+
+class PhaseRuntime {
+ public:
+  PhaseIndex index = 0;
+  const PhaseSpec* spec = nullptr;
+
+  std::vector<TaskRuntime> tasks;
+  int remaining_tasks = 0;     ///< n_j^k(t) of Eq. (16)
+  int unfinished_parents = 0;  ///< runnable when 0 (Eq. 7)
+  bool has_children = false;   ///< some phase consumes this one's output
+  // Scheduler fast-path counters, maintained by the simulator so policies
+  // can skip exhausted phases in O(1) instead of scanning task arrays.
+  int unscheduled_tasks = 0;        ///< tasks with no copy yet
+  int first_unscheduled_hint = 0;   ///< monotone cursor into `tasks`
+  int active_copies = 0;            ///< currently running copies in this phase
+  bool finished = false;
+  SimTime finish_slot = kNever;  ///< lambda_j^k of Eq. (6)
+
+  /// Pre-sampled base durations (seconds), one per task; clones re-draw
+  /// uniformly from this pool (Section 6.3's clone rule).
+  std::vector<double> duration_pool;
+  /// Speedup function h_j^k fitted from (theta, sigma) (Eq. 3).
+  SpeedupFunction speedup{2.0};
+
+  [[nodiscard]] bool runnable() const { return unfinished_parents == 0 && !finished; }
+};
+
+class JobRuntime {
+ public:
+  const JobSpec* spec = nullptr;
+  JobId id = -1;
+
+  SimTime arrival = 0;
+  bool arrived = false;
+  bool finished = false;
+  SimTime finish_slot = kNever;
+  SimTime first_start = kNever;
+
+  std::vector<PhaseRuntime> phases;
+  int remaining_phases = 0;
+
+  // Aggregate accounting for the metrics module.
+  int clones_launched = 0;        ///< copies beyond the first per task
+  int speculative_launched = 0;   ///< backups from the speculation module
+  double resource_seconds = 0.0;  ///< sum over copies: normalized demand x runtime
+  int tasks_with_clones = 0;
+
+  /// Snapshot for the Eq. (16)/(17) recomputation.
+  [[nodiscard]] JobProgress progress() const;
+
+  /// Remaining effective volume v_j(t) (Eq. 16).
+  [[nodiscard]] double remaining_volume(const Resources& cluster_total,
+                                        double sigma_factor) const;
+  /// Remaining effective length e_j(t) (Eq. 17).
+  [[nodiscard]] double remaining_length(double sigma_factor) const;
+  /// Max over remaining phases of the phase dominant share (the d_j used by
+  /// Algorithm 1's capacity margin).
+  [[nodiscard]] double max_dominant_share(const Resources& cluster_total) const;
+
+  [[nodiscard]] int total_tasks() const { return spec->total_tasks(); }
+  [[nodiscard]] bool has_runnable_work() const;
+};
+
+/// Build the runtime skeleton for a job: samples the per-phase duration
+/// pools (Pareto fitted to theta/sigma; degenerate to constant when sigma
+/// is 0) and the input-block replica placements.
+[[nodiscard]] JobRuntime materialize_job(const JobSpec& spec, double slot_seconds,
+                                         const LocalityModel& locality, Rng& rng);
+
+}  // namespace dollymp

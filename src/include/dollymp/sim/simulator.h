@@ -1,0 +1,57 @@
+// The time-slotted cluster simulator.
+//
+// Drives the model of Section 3: jobs arrive at a_j (Eq. none — arbitrary
+// sequence), the scheduler is consulted at slot boundaries, copies occupy
+// server resources subject to the capacity constraint (Eq. 5), tasks start
+// only after their parent phases finish (Eq. 7), a task completes with its
+// earliest copy (stochastic model) or when its accrued work reaches theta
+// (work-based model, Eq. 6), and the job finishes with its last phase
+// (Eq. 8).  The event loop fast-forwards across empty slots unless the
+// scheduler asks to be invoked every slot (speculation needs that).
+//
+// Every run is deterministic given SimConfig::seed.  The environment
+// realization (duration pools, block placements, background load) is fixed
+// before the scheduler acts, so different policies on the same seed face
+// the same stragglers — the paired-comparison setup behind Figs. 8-11.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/metrics/records.h"
+#include "dollymp/sched/scheduler.h"
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+class Simulator {
+ public:
+  /// The cluster is taken by value: each run owns and resets its copy, so
+  /// one prototype cluster can serve many concurrent simulations.
+  Simulator(Cluster cluster, SimConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Run the workload to completion under `scheduler`.  Throws
+  /// std::invalid_argument when a job can never be placed (some phase's
+  /// demand exceeds every server) and std::runtime_error when the scheduler
+  /// stalls (pending work, free resources, nothing placed, no future
+  /// events) or the max_slots safety valve trips.
+  [[nodiscard]] SimResult run(const std::vector<JobSpec>& jobs, Scheduler& scheduler);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  class Impl;
+  Cluster prototype_;
+  SimConfig config_;
+};
+
+/// Convenience: one-shot run.
+[[nodiscard]] SimResult simulate(const Cluster& cluster, const SimConfig& config,
+                                 const std::vector<JobSpec>& jobs, Scheduler& scheduler);
+
+}  // namespace dollymp

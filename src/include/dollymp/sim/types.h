@@ -1,0 +1,101 @@
+// Core simulator vocabulary: slotted time, task references, configuration.
+//
+// Section 3 models a time-slotted system; Section 6.3 picks a slot length of
+// 5 seconds ("comparable to the duration of small tasks in traces") and has
+// the scheduler act at the start of each slot.  SimTime counts slots;
+// SimConfig::slot_seconds converts to wall-clock seconds.
+#pragma once
+
+#include <cstdint>
+
+#include "dollymp/cluster/background_load.h"
+#include "dollymp/cluster/locality.h"
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+using SimTime = std::int64_t;
+inline constexpr SimTime kNever = -1;
+
+/// Identifies one task: (job, phase, task index within phase) — the
+/// (j, k, l) triple of Section 3.
+struct TaskRef {
+  JobId job = -1;
+  PhaseIndex phase = -1;
+  int task = -1;
+
+  friend constexpr bool operator==(const TaskRef&, const TaskRef&) = default;
+};
+
+/// How copy runtimes are produced.
+enum class ExecutionModel : std::uint8_t {
+  /// Each launched copy draws its base runtime from the phase's duration
+  /// pool (the paper's Section 6.3 rule: "the running time of each clone
+  /// [is] the same as that of a task randomly chosen from the same job
+  /// phase"), scaled by server speed, locality penalty and background load.
+  /// A task completes when its earliest copy does.
+  kStochastic,
+  /// Deterministic mean-field model of Eqs. (1), (4), (6): a task with r
+  /// active copies accrues h(r) units of work per slot and completes when
+  /// the accrued work reaches theta.  Used for validating the analytical
+  /// results (Section 4) where expectations, not samples, are analyzed.
+  kWorkBased,
+};
+
+/// What happens to outstanding copies when the first copy of a task
+/// finishes (Section 5's delay-assignment policy).
+enum class CloneKillPolicy : std::uint8_t {
+  /// Kill every other copy immediately (resources released at once).
+  kKillImmediately,
+  /// Keep the still-running copy with the best data locality (the paper's
+  /// AM keeps one for intermediate-data locality) and kill the rest; the
+  /// kept copy runs to completion and its resource usage is charged.
+  kKeepBestLocality,
+};
+
+[[nodiscard]] const char* to_string(ExecutionModel model);
+[[nodiscard]] const char* to_string(CloneKillPolicy policy);
+
+/// Machine failure injection: servers crash (killing every running copy on
+/// them and refusing placements) and come back after a repair delay.
+/// Exercises the cloning machinery's fault-tolerance story — HDFS keeps
+/// two replicas per block for exactly this case (Section 5).
+struct FailureConfig {
+  bool enabled = false;
+  double mean_time_to_failure_seconds = 3600.0;
+  double mean_repair_seconds = 300.0;
+};
+
+struct SimConfig {
+  double slot_seconds = 5.0;
+  std::uint64_t seed = 1;
+  ExecutionModel model = ExecutionModel::kStochastic;
+
+  /// Hard system cap on concurrent copies per task (original + clones).
+  /// Section 5: "the maximum number of clones for each running task is two
+  /// under DollyMP, namely, there are at most three concurrent copies".
+  int max_copies_per_task = 3;
+
+  CloneKillPolicy kill_policy = CloneKillPolicy::kKillImmediately;
+
+  /// The sigma weighting factor r in e_j^k = theta + r * sigma (default
+  /// from Section 6.1).
+  double sigma_factor = 1.5;
+
+  BackgroundLoadConfig background;
+  LocalityConfig locality;
+  FailureConfig failures;
+
+  /// Safety valve: abort if the clock passes this many slots.
+  SimTime max_slots = 4'000'000;
+
+  /// Record per-task records in the result (memory heavy for big runs).
+  bool record_tasks = false;
+  /// Record (slot, utilization) samples at scheduler invocations.
+  bool record_utilization = false;
+  /// Record the full event trace (every placement/completion/kill/failure)
+  /// in SimResult::events — debugging aid, memory heavy for big runs.
+  bool record_events = false;
+};
+
+}  // namespace dollymp

@@ -1,0 +1,46 @@
+// Workload analysis: the calibration arithmetic behind every experiment.
+//
+// Before running a scheduler comparison you need to know what load a
+// workload actually puts on a cluster — total core-/memory-seconds, the
+// offered-load ratio over the arrival window, the straggler profile.
+// These functions compute exactly that from JobSpecs, so experiments can
+// be placed deliberately in the light/moderate/heavy regimes the paper's
+// sections correspond to (every bench in this repository was calibrated
+// with them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+struct WorkloadStats {
+  std::size_t jobs = 0;
+  long long tasks = 0;
+  long long phases = 0;
+  double cpu_core_seconds = 0.0;   ///< sum of tasks x theta x cpu demand
+  double mem_gb_seconds = 0.0;     ///< sum of tasks x theta x memory demand
+  double arrival_window_seconds = 0.0;  ///< last arrival - first arrival
+  double mean_critical_path_seconds = 0.0;  ///< at sigma factor r = 0
+  /// Fraction of phases whose sigma/theta marks them straggler-prone
+  /// (cv > 0.5, the threshold separating the trace model's two classes).
+  double straggler_phase_fraction = 0.0;
+};
+
+[[nodiscard]] WorkloadStats analyze_workload(const std::vector<JobSpec>& jobs);
+
+/// Offered load of the workload on `cluster`: expected resource demand per
+/// second of the arrival window over cluster capacity, per dimension, max
+/// taken.  > 1 means the queue necessarily grows during arrivals.  Returns
+/// 0 for an empty workload or a zero-length window (batch arrivals).
+[[nodiscard]] double offered_load(const std::vector<JobSpec>& jobs,
+                                  const Cluster& cluster);
+
+/// Human-readable calibration report.
+[[nodiscard]] std::string render_workload_report(const std::vector<JobSpec>& jobs,
+                                                 const Cluster& cluster);
+
+}  // namespace dollymp

@@ -1,0 +1,41 @@
+// Arrival processes: assign a_j to a job suite.
+//
+// Section 3 allows "an arbitrary time sequence" of arrivals; the evaluation
+// uses fixed mean inter-arrival gaps (~200 s lightly loaded, ~20 s heavily
+// loaded).  "Around N seconds" is modelled as uniform jitter about the mean;
+// a Poisson process and batch (all-at-zero, the transient setting of
+// Section 4) are also provided.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+/// All jobs arrive at time zero (the transient case of Sections 4.1-4.2).
+void assign_batch_arrivals(std::vector<JobSpec>& jobs);
+
+/// Deterministic fixed gap: job i arrives at i * gap.
+void assign_fixed_arrivals(std::vector<JobSpec>& jobs, double gap_seconds);
+
+/// Mean gap with +/- jitter_fraction uniform jitter (the paper's "around
+/// 200 seconds" / "around 20 seconds").
+void assign_jittered_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                              double jitter_fraction, std::uint64_t seed);
+
+/// Poisson process with the given mean inter-arrival gap.
+void assign_poisson_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                             std::uint64_t seed);
+
+/// Diurnal (time-varying Poisson) arrivals: the instantaneous rate follows
+/// 1 + amplitude * sin(2*pi*t/period), so load peaks and troughs like a
+/// production cluster's day/night cycle.  amplitude in [0, 1); the mean
+/// gap over a full period equals mean_gap_seconds.  Implemented by
+/// thinning a homogeneous Poisson process.
+void assign_diurnal_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                             double amplitude, double period_seconds,
+                             std::uint64_t seed);
+
+}  // namespace dollymp

@@ -1,0 +1,24 @@
+// Trace file IO: serialize a job suite to CSV and back.
+//
+// One row per phase.  Columns:
+//   job_id,job_name,app,arrival_s,phase,phase_name,tasks,cpu,mem_gb,
+//   theta_s,sigma_s,parents
+// where `parents` is a ';'-separated list of phase indices (empty for
+// sources).  This is the drop-in point for replaying a real cluster trace:
+// convert it to this schema and feed it to any bench via load_trace().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dollymp/job/job.h"
+
+namespace dollymp {
+
+[[nodiscard]] std::string trace_to_csv(const std::vector<JobSpec>& jobs);
+[[nodiscard]] std::vector<JobSpec> trace_from_csv(const std::string& csv_text);
+
+void save_trace(const std::vector<JobSpec>& jobs, const std::string& path);
+[[nodiscard]] std::vector<JobSpec> load_trace(const std::string& path);
+
+}  // namespace dollymp

@@ -1,0 +1,95 @@
+#include "dollymp/job/dag.h"
+
+#include <algorithm>
+
+namespace dollymp {
+
+std::vector<std::vector<PhaseIndex>> phase_children(const JobSpec& job) {
+  std::vector<std::vector<PhaseIndex>> children(job.phases.size());
+  for (std::size_t k = 0; k < job.phases.size(); ++k) {
+    for (const auto parent : job.phases[k].parents) {
+      children[static_cast<std::size_t>(parent)].push_back(static_cast<PhaseIndex>(k));
+    }
+  }
+  return children;
+}
+
+std::vector<PhaseIndex> terminal_phases(const JobSpec& job) {
+  const auto children = phase_children(job);
+  std::vector<PhaseIndex> terminals;
+  for (std::size_t k = 0; k < children.size(); ++k) {
+    if (children[k].empty()) terminals.push_back(static_cast<PhaseIndex>(k));
+  }
+  return terminals;
+}
+
+std::vector<PhaseIndex> source_phases(const JobSpec& job) {
+  std::vector<PhaseIndex> sources;
+  for (std::size_t k = 0; k < job.phases.size(); ++k) {
+    if (job.phases[k].parents.empty()) sources.push_back(static_cast<PhaseIndex>(k));
+  }
+  return sources;
+}
+
+namespace {
+
+// Shared longest-path DP; `weight(k)` gives the contribution of phase k.
+template <typename WeightFn>
+std::vector<double> longest_path_dp(const JobSpec& job, WeightFn weight) {
+  std::vector<double> best(job.phases.size(), 0.0);
+  // Phases are stored in topological order (validated), so one pass works.
+  for (std::size_t k = 0; k < job.phases.size(); ++k) {
+    double upstream = 0.0;
+    for (const auto parent : job.phases[k].parents) {
+      upstream = std::max(upstream, best[static_cast<std::size_t>(parent)]);
+    }
+    best[k] = upstream + weight(k);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> longest_path_through(const JobSpec& job, double sigma_factor) {
+  return longest_path_dp(
+      job, [&](std::size_t k) { return job.phases[k].effective_length(sigma_factor); });
+}
+
+double critical_path_length(const JobSpec& job, double sigma_factor) {
+  const auto best = longest_path_through(job, sigma_factor);
+  return best.empty() ? 0.0 : *std::max_element(best.begin(), best.end());
+}
+
+double remaining_critical_path_length(const JobSpec& job, const std::vector<bool>& finished,
+                                      double sigma_factor) {
+  const auto best = longest_path_dp(job, [&](std::size_t k) {
+    const bool done = k < finished.size() && finished[k];
+    return done ? 0.0 : job.phases[k].effective_length(sigma_factor);
+  });
+  return best.empty() ? 0.0 : *std::max_element(best.begin(), best.end());
+}
+
+std::vector<PhaseIndex> critical_path(const JobSpec& job, double sigma_factor) {
+  const auto best = longest_path_through(job, sigma_factor);
+  if (best.empty()) return {};
+  // Walk back from the sink with the largest completion length.
+  auto current = static_cast<PhaseIndex>(
+      std::max_element(best.begin(), best.end()) - best.begin());
+  std::vector<PhaseIndex> path{current};
+  for (;;) {
+    const auto& parents = job.phases[static_cast<std::size_t>(current)].parents;
+    if (parents.empty()) break;
+    PhaseIndex pick = parents.front();
+    for (const auto parent : parents) {
+      if (best[static_cast<std::size_t>(parent)] > best[static_cast<std::size_t>(pick)]) {
+        pick = parent;
+      }
+    }
+    path.push_back(pick);
+    current = pick;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,53 @@
+#include "dollymp/job/effective.h"
+
+#include <stdexcept>
+
+#include "dollymp/job/dag.h"
+
+namespace dollymp {
+
+double phase_dominant_share(const PhaseSpec& phase, const Resources& cluster_total) {
+  return phase.demand.dominant_share(cluster_total);
+}
+
+double job_effective_volume(const JobSpec& job, const Resources& cluster_total,
+                            double sigma_factor) {
+  double volume = 0.0;
+  for (const auto& phase : job.phases) {
+    volume += static_cast<double>(phase.task_count) * phase.effective_length(sigma_factor) *
+              phase_dominant_share(phase, cluster_total);
+  }
+  return volume;
+}
+
+double job_effective_length(const JobSpec& job, double sigma_factor) {
+  return critical_path_length(job, sigma_factor);
+}
+
+double job_effective_volume_remaining(const JobSpec& job, const JobProgress& progress,
+                                      const Resources& cluster_total, double sigma_factor) {
+  if (progress.remaining_tasks.size() != job.phases.size()) {
+    throw std::invalid_argument("JobProgress: remaining_tasks size mismatch");
+  }
+  double volume = 0.0;
+  for (std::size_t k = 0; k < job.phases.size(); ++k) {
+    const auto& phase = job.phases[k];
+    const int remaining = progress.remaining_tasks[k];
+    if (remaining < 0 || remaining > phase.task_count) {
+      throw std::invalid_argument("JobProgress: remaining task count out of range");
+    }
+    volume += static_cast<double>(remaining) * phase.effective_length(sigma_factor) *
+              phase_dominant_share(phase, cluster_total);
+  }
+  return volume;
+}
+
+double job_effective_length_remaining(const JobSpec& job, const JobProgress& progress,
+                                      double sigma_factor) {
+  if (progress.phase_finished.size() != job.phases.size()) {
+    throw std::invalid_argument("JobProgress: phase_finished size mismatch");
+  }
+  return remaining_critical_path_length(job, progress.phase_finished, sigma_factor);
+}
+
+}  // namespace dollymp

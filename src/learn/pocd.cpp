@@ -1,0 +1,107 @@
+#include "dollymp/learn/pocd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dollymp/job/dag.h"
+
+namespace dollymp {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+double task_pocd_cloning(double theta, double sigma, int copies,
+                         double deadline_seconds) {
+  require(theta > 0.0, "pocd: theta must be > 0");
+  require(sigma >= 0.0, "pocd: sigma must be >= 0");
+  require(copies >= 1, "pocd: copies must be >= 1");
+  if (deadline_seconds <= 0.0) return 0.0;
+  if (sigma == 0.0) {
+    return deadline_seconds >= theta ? 1.0 : 0.0;
+  }
+  const ParetoDist dist = ParetoDist::fit(theta, sigma / theta);
+  if (deadline_seconds <= dist.scale()) return 0.0;
+  // min of r i.i.d. Pareto(x_m, alpha) ~ Pareto(x_m, r*alpha).
+  return 1.0 - std::pow(dist.scale() / deadline_seconds,
+                        static_cast<double>(copies) * dist.shape());
+}
+
+double task_pocd_speculation(double theta, double sigma, double speculate_at_seconds,
+                             double deadline_seconds) {
+  require(theta > 0.0, "pocd: theta must be > 0");
+  require(sigma >= 0.0, "pocd: sigma must be >= 0");
+  require(speculate_at_seconds >= 0.0, "pocd: speculation time must be >= 0");
+  if (deadline_seconds <= 0.0) return 0.0;
+  if (sigma == 0.0) {
+    return deadline_seconds >= theta ? 1.0 : 0.0;
+  }
+  const ParetoDist dist = ParetoDist::fit(theta, sigma / theta);
+  const double xm = dist.scale();
+  const double alpha = dist.shape();
+  if (deadline_seconds <= xm) return 0.0;
+
+  const double p_original_late = std::pow(xm / deadline_seconds, alpha);
+  if (speculate_at_seconds >= deadline_seconds) {
+    // Backup cannot help inside the deadline.
+    return 1.0 - p_original_late;
+  }
+  const double backup_window = deadline_seconds - speculate_at_seconds;
+  // Miss the deadline iff the original misses it AND the backup (launched
+  // at s, running for deadline - s) misses it too.  When the window is
+  // shorter than x_m the backup cannot finish at all.
+  const double p_backup_late =
+      backup_window <= xm ? 1.0 : std::pow(xm / backup_window, alpha);
+  // The backup only exists if the original survived past s; for s >= x_m
+  // that probability is (x_m/s)^alpha, but conditioning on it also implies
+  // the original is late-ish.  Chronos's renewal approximation treats the
+  // two copies as independent once the backup launches:
+  return 1.0 - p_original_late * p_backup_late;
+}
+
+double phase_pocd_cloning(const PhaseSpec& phase, int copies, double deadline_seconds) {
+  const double per_task = task_pocd_cloning(phase.theta_seconds, phase.sigma_seconds,
+                                            copies, deadline_seconds);
+  return std::pow(per_task, static_cast<double>(phase.task_count));
+}
+
+double job_pocd_cloning(const JobSpec& job, int copies, double deadline_seconds) {
+  job.validate();
+  // Chain check: every phase after the first depends exactly on its
+  // predecessor.
+  for (std::size_t k = 0; k < job.phases.size(); ++k) {
+    const auto& parents = job.phases[k].parents;
+    const bool ok = (k == 0 && parents.empty()) ||
+                    (k > 0 && parents.size() == 1 &&
+                     parents[0] == static_cast<PhaseIndex>(k - 1));
+    if (!ok) {
+      throw std::invalid_argument("job_pocd_cloning: job DAG must be a chain");
+    }
+  }
+  double theta_total = 0.0;
+  for (const auto& p : job.phases) theta_total += p.theta_seconds;
+  if (theta_total <= 0.0) return 0.0;
+
+  double pocd = 1.0;
+  for (const auto& p : job.phases) {
+    const double share = p.theta_seconds / theta_total;
+    pocd *= phase_pocd_cloning(p, copies, deadline_seconds * share);
+  }
+  return pocd;
+}
+
+int copies_for_target_pocd(const PhaseSpec& phase, double target, double deadline_seconds,
+                           int max_copies) {
+  require(target > 0.0 && target <= 1.0, "pocd: target must be in (0, 1]");
+  require(max_copies >= 1, "pocd: max_copies must be >= 1");
+  for (int r = 1; r <= max_copies; ++r) {
+    if (phase_pocd_cloning(phase, r, deadline_seconds) >= target) return r;
+  }
+  return 0;
+}
+
+}  // namespace dollymp

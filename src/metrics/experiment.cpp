@@ -1,0 +1,72 @@
+#include "dollymp/metrics/experiment.h"
+
+#include <stdexcept>
+
+#include "dollymp/sim/simulator.h"
+
+namespace dollymp {
+
+namespace {
+
+SimResult one_run(const ComparisonSpec& spec, const ComparisonEntry& entry,
+                  std::uint64_t seed) {
+  SimConfig config = spec.config;
+  config.seed = seed;
+  auto scheduler = entry.factory();
+  if (!scheduler) throw std::invalid_argument("run_comparison: factory returned null");
+  SimResult result = simulate(spec.cluster, config, spec.jobs, *scheduler);
+  result.scheduler = entry.name;
+  return result;
+}
+
+}  // namespace
+
+std::vector<SimResult> run_comparison(const ComparisonSpec& spec,
+                                      const std::vector<ComparisonEntry>& entries,
+                                      ThreadPool* pool) {
+  if (pool == nullptr) {
+    std::vector<SimResult> results;
+    results.reserve(entries.size());
+    for (const auto& entry : entries) {
+      results.push_back(one_run(spec, entry, spec.config.seed));
+    }
+    return results;
+  }
+  return parallel_map(*pool, entries.size(), [&](std::size_t i) {
+    return one_run(spec, entries[i], spec.config.seed);
+  });
+}
+
+std::vector<ReplicatedStats> run_replicated(const ComparisonSpec& spec,
+                                            const std::vector<ComparisonEntry>& entries,
+                                            const std::vector<std::uint64_t>& seeds,
+                                            ThreadPool* pool) {
+  // Flatten (entry, seed) into one task list so the pool stays saturated.
+  const std::size_t total = entries.size() * seeds.size();
+  std::vector<SimResult> flat;
+  if (pool == nullptr) {
+    flat.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      flat.push_back(one_run(spec, entries[i / seeds.size()], seeds[i % seeds.size()]));
+    }
+  } else {
+    flat = parallel_map(*pool, total, [&](std::size_t i) {
+      return one_run(spec, entries[i / seeds.size()], seeds[i % seeds.size()]);
+    });
+  }
+
+  std::vector<ReplicatedStats> stats(entries.size());
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    stats[e].name = entries[e].name;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const SimResult& r = flat[e * seeds.size() + s];
+      stats[e].total_flowtime.add(r.total_flowtime());
+      stats[e].mean_flowtime.add(r.mean_flowtime());
+      stats[e].makespan.add(r.makespan_seconds);
+      stats[e].cloned_task_fraction.add(r.cloned_task_fraction());
+    }
+  }
+  return stats;
+}
+
+}  // namespace dollymp

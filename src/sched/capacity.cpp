@@ -1,0 +1,39 @@
+#include "dollymp/sched/capacity.h"
+
+namespace dollymp {
+
+CapacityScheduler::CapacityScheduler(CapacityConfig config) : config_(config) {}
+
+void CapacityScheduler::schedule(SchedulerContext& ctx) {
+  // FIFO over arrival order (the active list is maintained in arrival
+  // order by the simulator).  A single-queue YARN Capacity Scheduler
+  // reserves containers for the application at the head of the queue: when
+  // the head job still has runnable container requests that do not fit,
+  // later applications are not offered the leftover (no size-aware
+  // backfill).  This head-of-line behaviour is what makes its flowtime
+  // collapse under load in the paper's Figs. 6-7.
+  // Placement is first-fit: YARN grants containers on whichever NodeManager
+  // heartbeats with room, with no multi-resource packing (that is Tetris's
+  // whole point, Section 2).
+  for (JobRuntime* job : ctx.active_jobs()) {
+    for (auto& phase : job->phases) {
+      if (!phase.runnable()) continue;
+      while (TaskRuntime* task = next_unscheduled_task(phase)) {
+        const ServerId server = first_fit_server(ctx.cluster(), task->demand);
+        if (server == kInvalidServer) break;
+        if (!ctx.place_copy(*job, phase, *task, server)) break;
+      }
+    }
+    bool head_blocked = false;
+    for (auto& phase : job->phases) {
+      if (phase.runnable() && next_unscheduled_task(phase) != nullptr) {
+        head_blocked = true;
+        break;
+      }
+    }
+    if (head_blocked) break;
+  }
+  run_speculation_pass(ctx, config_.speculation);
+}
+
+}  // namespace dollymp

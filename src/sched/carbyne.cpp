@@ -1,0 +1,72 @@
+#include "dollymp/sched/carbyne.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dollymp {
+
+namespace {
+
+bool place_one(SchedulerContext& ctx, JobRuntime& job) {
+  for (auto& phase : job.phases) {
+    if (!phase.runnable()) continue;
+    TaskRuntime* task = next_unscheduled_task(phase);
+    if (task == nullptr) continue;
+    const ServerId server = best_fit_server(ctx.cluster(), task->demand);
+    if (server == kInvalidServer) continue;
+    if (ctx.place_copy(job, phase, *task, server)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CarbyneScheduler::schedule(SchedulerContext& ctx) {
+  const auto& jobs = ctx.active_jobs();
+  if (jobs.empty()) return;
+  const Resources total = ctx.cluster().total_capacity();
+  const double fair_share = 1.0 / static_cast<double>(jobs.size());
+
+  // Pass 1: the fairness guarantee.  DRF-style progressive filling (offer
+  // to the lowest dominant share), with every job capped at its fair share
+  // — the allocation Carbyne promises each job before altruism kicks in.
+  struct Entry {
+    JobRuntime* job;
+    double share;
+    bool blocked;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(jobs.size());
+  for (JobRuntime* job : jobs) {
+    entries.push_back({job, job_active_allocation(*job).dominant_share(total), false});
+  }
+  for (;;) {
+    Entry* pick = nullptr;
+    for (auto& e : entries) {
+      if (e.blocked || e.share >= fair_share) continue;
+      if (pick == nullptr || e.share < pick->share) pick = &e;
+    }
+    if (pick == nullptr) break;
+    if (place_one(ctx, *pick->job)) {
+      pick->share = job_active_allocation(*pick->job).dominant_share(total);
+    } else {
+      pick->blocked = true;
+    }
+  }
+
+  // Pass 2: altruistic leftover redistribution — smallest remaining volume
+  // first (Carbyne's leftover packer "adopts ideas from DRF and Tetris":
+  // demand-aware shortest-first), best-fit packing, no per-job cap.
+  std::vector<JobRuntime*> leftover_order(jobs.begin(), jobs.end());
+  std::stable_sort(leftover_order.begin(), leftover_order.end(),
+                   [&](const JobRuntime* a, const JobRuntime* b) {
+                     return a->remaining_volume(total, sigma_factor_) <
+                            b->remaining_volume(total, sigma_factor_);
+                   });
+  for (JobRuntime* job : leftover_order) {
+    while (place_one(ctx, *job)) {
+    }
+  }
+}
+
+}  // namespace dollymp

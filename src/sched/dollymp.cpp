@@ -1,0 +1,269 @@
+#include "dollymp/sched/dollymp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dollymp/sched/priority.h"
+
+namespace dollymp {
+
+DollyMPScheduler::DollyMPScheduler(DollyMPConfig config) : config_(config) {
+  if (config_.clone_budget < 0) {
+    throw std::invalid_argument("DollyMP: clone_budget must be >= 0");
+  }
+}
+
+std::string DollyMPScheduler::name() const {
+  return "dollymp^" + std::to_string(config_.clone_budget);
+}
+
+void DollyMPScheduler::reset() {
+  priority_.clear();
+  volume_.clear();
+  known_jobs_ = 0;
+  scorer_.reset();
+}
+
+void DollyMPScheduler::on_copy_finished(SchedulerContext& ctx, const JobRuntime& /*job*/,
+                                        const PhaseRuntime& phase,
+                                        const TaskRuntime& /*task*/,
+                                        const CopyRuntime& copy) {
+  if (!config_.straggler_aware) return;
+  if (!scorer_) scorer_.emplace(ctx.cluster().size());
+  const double actual_seconds =
+      static_cast<double>(ctx.now() - copy.start) * ctx.slot_seconds();
+  scorer_->observe(copy.server, phase.spec->theta_seconds, actual_seconds);
+}
+
+void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
+  const auto& jobs = ctx.active_jobs();
+  const Resources total = ctx.cluster().total_capacity();
+  const double slot = ctx.slot_seconds();
+
+  std::vector<PriorityJobInput> inputs;
+  inputs.reserve(jobs.size());
+  for (const JobRuntime* job : jobs) {
+    PriorityJobInput in;
+    in.volume = job->remaining_volume(total, config_.sigma_factor) / slot;
+    in.length = job->remaining_length(config_.sigma_factor) / slot;
+    in.dominant = job->max_dominant_share(total);
+    if (config_.corollary_clone_counts && config_.clone_budget > 0) {
+      // Corollary 4.1: with up to (1 + budget) concurrent copies a job's
+      // tasks finish h(1+budget) times faster in expectation, so the job
+      // qualifies for the earlier class l with e_j / h <= 2^l; the clone
+      // pass then launches exactly the copies needed to meet that window.
+      double min_speedup = std::numeric_limits<double>::infinity();
+      for (const auto& phase : job->phases) {
+        if (phase.finished) continue;
+        min_speedup =
+            std::min(min_speedup, phase.speedup(1.0 + config_.clone_budget));
+      }
+      if (std::isfinite(min_speedup) && min_speedup > 1.0) {
+        in.length /= min_speedup;
+      }
+    }
+    inputs.push_back(in);
+  }
+  const PriorityResult result = compute_transient_priorities(inputs);
+
+  priority_.clear();
+  volume_.clear();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    priority_[jobs[i]->id] = result.priority[i];
+    volume_[jobs[i]->id] = inputs[i].volume;
+  }
+  known_jobs_ = jobs.size();
+}
+
+void DollyMPScheduler::on_job_arrival(SchedulerContext& ctx) { recompute_priorities(ctx); }
+
+std::vector<DollyMPScheduler::JobOrder> DollyMPScheduler::ordered_jobs(
+    SchedulerContext& ctx) const {
+  std::vector<JobOrder> order;
+  order.reserve(ctx.active_jobs().size());
+  for (JobRuntime* job : ctx.active_jobs()) {
+    const auto pit = priority_.find(job->id);
+    const auto vit = volume_.find(job->id);
+    JobOrder jo;
+    jo.job = job;
+    jo.priority = pit == priority_.end() ? 1 << 20 : pit->second;
+    jo.volume = vit == volume_.end() ? 0.0 : vit->second;
+    order.push_back(jo);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const JobOrder& a, const JobOrder& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.volume != b.volume) return a.volume < b.volume;
+    return a.job->id < b.job->id;
+  });
+  return order;
+}
+
+ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime& task) const {
+  if (config_.straggler_aware && scorer_ && scorer_->size() == ctx.cluster().size()) {
+    // Straggler-aware placement: best resource fit, discounted by the
+    // learned slowdown estimate, with a bonus for input-replica locality.
+    ServerId best = kInvalidServer;
+    double best_score = -1.0;
+    for (const auto& server : ctx.cluster().servers()) {
+      if (!server.can_fit(task.demand)) continue;
+      double score = task.demand.dot(server.free()) * scorer_->placement_weight(server.id());
+      if (config_.locality_aware) {
+        for (const auto replica : task.block.replicas) {
+          if (replica == server.id()) {
+            score *= 1.25;
+            break;
+          }
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = server.id();
+      }
+    }
+    return best;
+  }
+  if (config_.locality_aware) {
+    // The context does not expose the locality model directly; replicate
+    // its preference order with the cluster's rack layout.
+    for (const auto replica : task.block.replicas) {
+      const auto& server = ctx.cluster().server(static_cast<std::size_t>(replica));
+      if (server.can_fit(task.demand)) return replica;
+    }
+  }
+  return best_fit_server(ctx.cluster(), task.demand);
+}
+
+int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx, std::vector<JobOrder>& order) {
+  // Walk priority classes in order; inside a class jobs are already sorted
+  // by remaining volume (the knapsack oracle treats members of a class
+  // equally, so smallest-volume-first is the natural ordering), and every
+  // copy individually lands on its best-fit server (the inner-product tie
+  // break of Algorithm 2, step 12).  A full per-placement re-scan of the
+  // class for the single globally best-fitting task would be quadratic in
+  // cluster size; per-task best-fit keeps the same packing signal at
+  // O(placements x servers).
+  int placed_total = 0;
+  for (auto& jo : order) {
+    JobRuntime& job = *jo.job;
+    if (job.finished) continue;
+    for (auto& phase : job.phases) {
+      if (!phase.runnable()) continue;
+      while (TaskRuntime* task = next_unscheduled_task(phase)) {
+        const ServerId server = pick_server(ctx, *task);
+        if (server == kInvalidServer) break;  // identical siblings will not fit either
+        if (!ctx.place_copy(job, phase, *task, server)) break;
+        ++placed_total;
+      }
+    }
+  }
+  return placed_total;
+}
+
+int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>& order) {
+  if (config_.clone_budget == 0) return 0;
+  const int copy_cap =
+      std::min(1 + config_.clone_budget, ctx.config().max_copies_per_task);
+
+  // Section 4.1's rule: clone small jobs "when the total amount of consumed
+  // resources under cloning is less than the resource demand of other
+  // jobs".  When no job is waiting for resources, leftover capacity is
+  // free and every running task may be cloned; when jobs are queued, every
+  // clone-second is stolen from a waiting task, so only overdue copies —
+  // where the heavy-tail conditional gain is large — justify the cost.
+  bool anyone_waiting = false;
+  for (const JobOrder& jo : order) {
+    for (const auto& phase : jo.job->phases) {
+      if (phase.runnable() && phase.unscheduled_tasks > 0) {
+        anyone_waiting = true;
+        break;
+      }
+    }
+    if (anyone_waiting) break;
+  }
+
+  int placed = 0;
+  std::vector<TaskRuntime*> candidates;
+  auto clone_pass = [&](JobOrder& jo) {
+    JobRuntime& job = *jo.job;
+    if (job.finished) return;
+    for (auto& phase : job.phases) {
+      if (!phase.runnable() || phase.active_copies == 0) continue;
+      // Clone only once every task of the phase has been scheduled — in the
+      // YARN implementation an AM launches clones "when RM allocates more
+      // containers than the number of pending tasks" (Section 5.2), which
+      // naturally targets the phase's final wave: the stragglers holding
+      // the phase barrier.  Cloning earlier waves would only halve the
+      // phase's throughput.
+      if (phase.unscheduled_tasks > 0) continue;
+      // Within a phase, clone the longest-running copies first: under the
+      // heavy-tailed duration model a task's conditional remaining time
+      // grows with its elapsed time, so the oldest running tasks are the
+      // likeliest stragglers and the min-of-copies gain is largest there.
+      // Corollary 4.1's clone budget: within priority class l (window
+      // 2^l slots), a task needs exactly r_j = min{r : 2^l h(r) >= theta}
+      // concurrent copies to meet the window — more cannot help it, fewer
+      // may miss it.  The restriction only matters when resources are
+      // contested; with an idle queue the flat budget applies (Section
+      // 4.1's free-cloning rule).
+      int phase_cap = copy_cap;
+      if (config_.corollary_clone_counts && anyone_waiting) {
+        const auto pit = priority_.find(job.id);
+        if (pit != priority_.end()) {
+          const double window_seconds =
+              std::ldexp(1.0, pit->second) * ctx.slot_seconds();
+          const int needed =
+              phase.speedup.min_copies_for(phase.spec->theta_seconds, window_seconds);
+          if (needed > 0) phase_cap = std::min(copy_cap, std::max(1, needed));
+        }
+      }
+      candidates.clear();
+      for (auto& task : phase.tasks) {
+        if (task.finished || !task.running()) continue;
+        if (task.total_copies() >= phase_cap) continue;
+        if (anyone_waiting) {
+          // Launch-time clones (same slot as the original — the Section 3
+          // model where "all clones of a task are launched at the same
+          // time") and overdue-straggler clones carry the payoff; mid-life
+          // clones of healthy tasks only burn contested resources.
+          const double elapsed =
+              static_cast<double>(ctx.now() - task.first_start) * ctx.slot_seconds();
+          const bool launch_time = task.first_start == ctx.now();
+          if (!launch_time && elapsed < phase.spec->theta_seconds) continue;
+        }
+        candidates.push_back(&task);
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const TaskRuntime* a, const TaskRuntime* b) {
+                         return a->first_start < b->first_start;
+                       });
+      for (TaskRuntime* task : candidates) {
+        const ServerId server = pick_server(ctx, *task);
+        if (server == kInvalidServer) continue;
+        if (ctx.place_copy(job, phase, *task, server)) ++placed;
+      }
+    }
+  };
+
+  if (config_.smallest_first_clones) {
+    for (auto& jo : order) clone_pass(jo);
+  } else {
+    for (auto it = order.rbegin(); it != order.rend(); ++it) clone_pass(*it);
+  }
+  return placed;
+}
+
+void DollyMPScheduler::schedule(SchedulerContext& ctx) {
+  if (config_.recompute_on_completion && ctx.active_jobs().size() != known_jobs_) {
+    recompute_priorities(ctx);
+  }
+  auto order = ordered_jobs(ctx);
+  place_new_tasks(ctx, order);
+  // "Repeat Step 9 twice if there are available resources" — each extra
+  // pass may add one more clone per task up to the budget.
+  for (int pass = 0; pass < config_.clone_budget; ++pass) {
+    if (place_clones(ctx, order) == 0) break;
+  }
+}
+
+}  // namespace dollymp

@@ -1,0 +1,62 @@
+#include "dollymp/sched/drf.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dollymp {
+
+namespace {
+
+struct Entry {
+  JobRuntime* job;
+  double dominant_share;
+  bool blocked;  ///< no placeable task this round
+};
+
+/// Place one runnable, unscheduled task of `job`.  First-fit placement:
+/// DRF reasons about fairness, not packing (Section 6.1 contrasts it with
+/// Tetris on exactly this point).
+bool place_one(SchedulerContext& ctx, JobRuntime& job) {
+  for (auto& phase : job.phases) {
+    if (!phase.runnable()) continue;
+    TaskRuntime* task = next_unscheduled_task(phase);
+    if (task == nullptr) continue;
+    const ServerId server = first_fit_server(ctx.cluster(), task->demand);
+    if (server == kInvalidServer) continue;
+    if (ctx.place_copy(job, phase, *task, server)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void DrfScheduler::schedule(SchedulerContext& ctx) {
+  const Resources total = ctx.cluster().total_capacity();
+  std::vector<Entry> entries;
+  entries.reserve(ctx.active_jobs().size());
+  for (JobRuntime* job : ctx.active_jobs()) {
+    entries.push_back({job, job_active_allocation(*job).dominant_share(total), false});
+  }
+
+  // Progressive filling: keep offering to the lowest dominant share.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    Entry* pick = nullptr;
+    for (auto& e : entries) {
+      if (e.blocked) continue;
+      if (pick == nullptr || e.dominant_share < pick->dominant_share) pick = &e;
+    }
+    if (pick == nullptr) break;
+    if (place_one(ctx, *pick->job)) {
+      pick->dominant_share = job_active_allocation(*pick->job).dominant_share(total);
+      progress = true;
+    } else {
+      pick->blocked = true;
+      progress = std::any_of(entries.begin(), entries.end(),
+                             [](const Entry& e) { return !e.blocked; });
+    }
+  }
+}
+
+}  // namespace dollymp

@@ -1,0 +1,214 @@
+#include "dollymp/sched/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dollymp {
+
+KnapsackPick knapsack_unit_profit(const std::vector<double>& weights, double budget) {
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("knapsack: negative weight");
+  }
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return weights[a] < weights[b]; });
+  KnapsackPick pick;
+  for (const auto i : order) {
+    if (pick.total_weight + weights[i] > budget + 1e-12) break;
+    pick.total_weight += weights[i];
+    pick.total_profit += 1.0;
+    pick.chosen.push_back(i);
+  }
+  std::sort(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+KnapsackPick knapsack_dp(const std::vector<double>& weights,
+                         const std::vector<double>& profits, double budget,
+                         std::size_t resolution) {
+  if (weights.size() != profits.size()) {
+    throw std::invalid_argument("knapsack_dp: weights/profits size mismatch");
+  }
+  if (resolution == 0) throw std::invalid_argument("knapsack_dp: resolution must be > 0");
+  KnapsackPick pick;
+  if (weights.empty() || budget <= 0.0) return pick;
+
+  const double cell = budget / static_cast<double>(resolution);
+  // Integer weights, rounded UP so the real budget is never exceeded.
+  std::vector<std::size_t> w(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("knapsack_dp: negative weight");
+    w[i] = static_cast<std::size_t>(std::ceil(weights[i] / cell - 1e-12));
+  }
+
+  constexpr double kNoValue = -1.0;
+  std::vector<double> best(resolution + 1, kNoValue);
+  best[0] = 0.0;
+  // choice[i][b] = whether item i is taken at budget b in the optimum.
+  std::vector<std::vector<bool>> taken(weights.size(),
+                                       std::vector<bool>(resolution + 1, false));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (w[i] > resolution) continue;
+    for (std::size_t b = resolution + 1; b-- > w[i];) {
+      const std::size_t prev = b - w[i];
+      if (best[prev] == kNoValue) continue;
+      if (best[prev] + profits[i] > best[b]) {
+        best[b] = best[prev] + profits[i];
+        taken[i][b] = true;
+      }
+    }
+  }
+
+  std::size_t best_b = 0;
+  for (std::size_t b = 0; b <= resolution; ++b) {
+    if (best[b] > best[best_b]) best_b = b;
+  }
+  // Reconstruct.
+  std::size_t b = best_b;
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (b >= w[i] && taken[i][b]) {
+      pick.chosen.push_back(i);
+      pick.total_weight += weights[i];
+      pick.total_profit += profits[i];
+      b -= w[i];
+    }
+  }
+  std::sort(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+KnapsackPick knapsack_brute_force(const std::vector<double>& weights,
+                                  const std::vector<double>& profits, double budget) {
+  if (weights.size() != profits.size()) {
+    throw std::invalid_argument("knapsack_brute_force: size mismatch");
+  }
+  if (weights.size() > 24) {
+    throw std::invalid_argument("knapsack_brute_force: too many items");
+  }
+  const std::size_t n = weights.size();
+  KnapsackPick best;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double weight = 0.0;
+    double profit = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        weight += weights[i];
+        profit += profits[i];
+      }
+    }
+    if (weight <= budget + 1e-12 && profit > best.total_profit) {
+      best.total_profit = profit;
+      best.total_weight = weight;
+      best.chosen.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct BnbState {
+  const std::vector<double>* weights;   // sorted by density, descending
+  const std::vector<double>* profits;
+  const std::vector<std::size_t>* original_index;
+  double budget;
+  double best_profit;
+  std::vector<bool> best_taken;
+  std::vector<bool> taken;
+};
+
+// Dantzig bound: profit of the fractional relaxation from item `depth` on.
+double fractional_bound(const BnbState& s, std::size_t depth, double weight,
+                        double profit) {
+  double remaining = s.budget - weight;
+  double bound = profit;
+  for (std::size_t i = depth; i < s.weights->size() && remaining > 0.0; ++i) {
+    const double w = (*s.weights)[i];
+    if (w <= remaining) {
+      remaining -= w;
+      bound += (*s.profits)[i];
+    } else {
+      bound += (*s.profits)[i] * remaining / w;
+      remaining = 0.0;
+    }
+  }
+  return bound;
+}
+
+void bnb(BnbState& s, std::size_t depth, double weight, double profit) {
+  if (profit > s.best_profit) {
+    s.best_profit = profit;
+    s.best_taken = s.taken;
+  }
+  if (depth == s.weights->size()) return;
+  if (fractional_bound(s, depth, weight, profit) <= s.best_profit + 1e-12) return;
+  // Branch: take item `depth` first (density order makes this greedy-ish).
+  if (weight + (*s.weights)[depth] <= s.budget + 1e-12) {
+    s.taken[depth] = true;
+    bnb(s, depth + 1, weight + (*s.weights)[depth], profit + (*s.profits)[depth]);
+    s.taken[depth] = false;
+  }
+  bnb(s, depth + 1, weight, profit);
+}
+
+}  // namespace
+
+KnapsackPick knapsack_branch_and_bound(const std::vector<double>& weights,
+                                       const std::vector<double>& profits,
+                                       double budget) {
+  if (weights.size() != profits.size()) {
+    throw std::invalid_argument("knapsack_branch_and_bound: size mismatch");
+  }
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("knapsack_branch_and_bound: negative weight");
+  }
+  KnapsackPick pick;
+  if (weights.empty() || budget < 0.0) return pick;
+
+  // Sort by profit density, descending (zero-weight items first).
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = weights[a] > 0.0 ? profits[a] / weights[a]
+                                       : std::numeric_limits<double>::infinity();
+    const double db = weights[b] > 0.0 ? profits[b] / weights[b]
+                                       : std::numeric_limits<double>::infinity();
+    return da > db;
+  });
+  std::vector<double> sorted_w(weights.size());
+  std::vector<double> sorted_p(weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted_w[i] = weights[order[i]];
+    sorted_p[i] = profits[order[i]];
+  }
+
+  BnbState state;
+  state.weights = &sorted_w;
+  state.profits = &sorted_p;
+  state.original_index = &order;
+  state.budget = budget;
+  state.best_profit = -1.0;
+  state.taken.assign(weights.size(), false);
+  state.best_taken.assign(weights.size(), false);
+  bnb(state, 0, 0.0, 0.0);
+
+  for (std::size_t i = 0; i < state.best_taken.size(); ++i) {
+    if (state.best_taken[i]) {
+      pick.chosen.push_back(order[i]);
+      pick.total_weight += weights[order[i]];
+      pick.total_profit += profits[order[i]];
+    }
+  }
+  std::sort(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+}  // namespace dollymp

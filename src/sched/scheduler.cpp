@@ -1,0 +1,86 @@
+#include "dollymp/sched/scheduler.h"
+
+#include <algorithm>
+
+namespace dollymp {
+
+ServerId best_fit_server(const Cluster& cluster, const Resources& demand) {
+  ServerId best = kInvalidServer;
+  double best_score = -1.0;
+  for (const auto& server : cluster.servers()) {
+    if (!server.can_fit(demand)) continue;
+    const double score = demand.dot(server.free());
+    if (score > best_score) {
+      best_score = score;
+      best = server.id();
+    }
+  }
+  return best;
+}
+
+ServerId first_fit_server(const Cluster& cluster, const Resources& demand) {
+  for (const auto& server : cluster.servers()) {
+    if (server.can_fit(demand)) return server.id();
+  }
+  return kInvalidServer;
+}
+
+ServerId locality_aware_server(const Cluster& cluster, const LocalityModel& locality,
+                               const TaskRuntime& task) {
+  // Node-local replica first.
+  for (const auto replica : task.block.replicas) {
+    const auto& server = cluster.server(static_cast<std::size_t>(replica));
+    if (server.can_fit(task.demand)) return replica;
+  }
+  // Then any rack-local server, preferring the tightest alignment.
+  ServerId best_rack = kInvalidServer;
+  double best_rack_score = -1.0;
+  for (const auto& server : cluster.servers()) {
+    if (!server.can_fit(task.demand)) continue;
+    if (locality.classify(task.block, server.id()) != LocalityLevel::kRack) continue;
+    const double score = task.demand.dot(server.free());
+    if (score > best_rack_score) {
+      best_rack_score = score;
+      best_rack = server.id();
+    }
+  }
+  if (best_rack != kInvalidServer) return best_rack;
+  return best_fit_server(cluster, task.demand);
+}
+
+TaskRuntime* next_unscheduled_task(PhaseRuntime& phase) {
+  if (phase.unscheduled_tasks == 0) return nullptr;
+  auto& hint = phase.first_unscheduled_hint;
+  const int n = static_cast<int>(phase.tasks.size());
+  while (hint < n && !phase.tasks[static_cast<std::size_t>(hint)].needs_placement()) {
+    ++hint;
+  }
+  return hint < n ? &phase.tasks[static_cast<std::size_t>(hint)] : nullptr;
+}
+
+int place_job_greedy(SchedulerContext& ctx, JobRuntime& job) {
+  int placed = 0;
+  for (auto& phase : job.phases) {
+    if (!phase.runnable()) continue;
+    while (TaskRuntime* task = next_unscheduled_task(phase)) {
+      const ServerId server = best_fit_server(ctx.cluster(), task->demand);
+      if (server == kInvalidServer) break;  // identical siblings will not fit either
+      if (!ctx.place_copy(job, phase, *task, server)) break;
+      ++placed;
+    }
+  }
+  return placed;
+}
+
+Resources job_active_allocation(const JobRuntime& job) {
+  Resources total;
+  for (const auto& phase : job.phases) {
+    for (const auto& task : phase.tasks) {
+      const int active = task.active_copies();
+      if (active > 0) total += task.demand * static_cast<double>(active);
+    }
+  }
+  return total;
+}
+
+}  // namespace dollymp

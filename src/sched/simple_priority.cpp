@@ -1,0 +1,59 @@
+#include "dollymp/sched/simple_priority.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dollymp {
+
+SimplePriorityScheduler::SimplePriorityScheduler(SimplePriorityConfig config)
+    : config_(config) {
+  if (config_.clone_budget < 0) {
+    throw std::invalid_argument("SimplePriority: clone_budget must be >= 0");
+  }
+}
+
+std::string SimplePriorityScheduler::name() const {
+  std::string base = config_.rule == SimplePriorityRule::kSrpt ? "srpt" : "svf";
+  if (config_.clone_budget > 0) base += "^" + std::to_string(config_.clone_budget);
+  return base;
+}
+
+void SimplePriorityScheduler::schedule(SchedulerContext& ctx) {
+  const Resources total = ctx.cluster().total_capacity();
+  std::vector<std::pair<double, JobRuntime*>> order;
+  order.reserve(ctx.active_jobs().size());
+  for (JobRuntime* job : ctx.active_jobs()) {
+    const double key = config_.rule == SimplePriorityRule::kSrpt
+                           ? job->remaining_length(config_.sigma_factor)
+                           : job->remaining_volume(total, config_.sigma_factor);
+    order.emplace_back(key, job);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (auto& [key, job] : order) {
+    place_job_greedy(ctx, *job);
+  }
+
+  if (config_.clone_budget == 0) return;
+  const int copy_cap = std::min(1 + config_.clone_budget, ctx.config().max_copies_per_task);
+  for (int pass = 0; pass < config_.clone_budget; ++pass) {
+    int placed = 0;
+    for (auto& [key, job] : order) {
+      for (auto& phase : job->phases) {
+        if (!phase.runnable() || phase.active_copies == 0) continue;
+        for (auto& task : phase.tasks) {
+          if (task.finished || !task.running()) continue;
+          if (task.total_copies() >= copy_cap) continue;
+          const ServerId server = best_fit_server(ctx.cluster(), task.demand);
+          if (server == kInvalidServer) continue;
+          if (ctx.place_copy(*job, phase, task, server)) ++placed;
+        }
+      }
+    }
+    if (placed == 0) break;
+  }
+}
+
+}  // namespace dollymp

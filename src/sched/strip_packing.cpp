@@ -1,0 +1,89 @@
+#include "dollymp/sched/strip_packing.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dollymp {
+
+StripPacking nfdh_pack(const std::vector<StripItem>& items) {
+  for (const auto& item : items) {
+    if (!(item.width > 0.0) || item.width > 1.0 + 1e-12) {
+      throw std::invalid_argument("nfdh_pack: item width must be in (0, 1]");
+    }
+    if (!(item.height > 0.0)) {
+      throw std::invalid_argument("nfdh_pack: item height must be > 0");
+    }
+  }
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].height > items[b].height;
+  });
+
+  StripPacking packing;
+  packing.placements.reserve(items.size());
+
+  // Shelves: each shelf's height is the height of its first (tallest)
+  // item; items go left to right; a new shelf opens when the next item
+  // does not fit.
+  double shelf_bottom = 0.0;
+  double shelf_height = 0.0;
+  double cursor_x = 0.0;
+  for (const auto index : order) {
+    const StripItem& item = items[index];
+    if (cursor_x + item.width > 1.0 + 1e-12 || shelf_height == 0.0) {
+      // open a new shelf
+      shelf_bottom += shelf_height;
+      shelf_height = item.height;
+      cursor_x = 0.0;
+    }
+    packing.placements.push_back({index, cursor_x, shelf_bottom});
+    cursor_x += item.width;
+    packing.height = std::max(packing.height, shelf_bottom + item.height);
+  }
+  return packing;
+}
+
+double strip_area_lower_bound(const std::vector<StripItem>& items) {
+  double area = 0.0;
+  for (const auto& item : items) area += item.width * item.height;
+  return area;
+}
+
+double strip_height_lower_bound(const std::vector<StripItem>& items) {
+  double tallest = 0.0;
+  for (const auto& item : items) tallest = std::max(tallest, item.height);
+  return tallest;
+}
+
+bool strip_packing_is_feasible(const std::vector<StripItem>& items,
+                               const StripPacking& packing) {
+  if (packing.placements.size() != items.size()) return false;
+  std::vector<bool> seen(items.size(), false);
+  for (const auto& p : packing.placements) {
+    if (p.item >= items.size() || seen[p.item]) return false;
+    seen[p.item] = true;
+    const StripItem& item = items[p.item];
+    if (p.x < -1e-12 || p.x + item.width > 1.0 + 1e-9) return false;
+    if (p.y < -1e-12 || p.y + item.height > packing.height + 1e-9) return false;
+  }
+  // Pairwise overlap check (tests use modest n).
+  for (std::size_t i = 0; i < packing.placements.size(); ++i) {
+    for (std::size_t k = i + 1; k < packing.placements.size(); ++k) {
+      const auto& a = packing.placements[i];
+      const auto& b = packing.placements[k];
+      const auto& ia = items[a.item];
+      const auto& ib = items[b.item];
+      const bool separated_x =
+          a.x + ia.width <= b.x + 1e-9 || b.x + ib.width <= a.x + 1e-9;
+      const bool separated_y =
+          a.y + ia.height <= b.y + 1e-9 || b.y + ib.height <= a.y + 1e-9;
+      if (!separated_x && !separated_y) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dollymp

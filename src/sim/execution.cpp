@@ -1,0 +1,54 @@
+#include "dollymp/sim/execution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dollymp {
+
+double sample_copy_base_seconds(const PhaseRuntime& phase, int task_index,
+                                bool is_first_copy, Rng& rng) {
+  const auto& pool = phase.duration_pool;
+  if (pool.empty()) throw std::logic_error("execution: empty duration pool");
+  if (is_first_copy) {
+    return pool.at(static_cast<std::size_t>(task_index));
+  }
+  return pool[rng.below(pool.size())];
+}
+
+double scale_copy_seconds(double base_seconds, const Server& server,
+                          double locality_penalty, double background_slowdown) {
+  const double speed = server.spec().base_speed;
+  if (speed <= 0.0) throw std::logic_error("execution: server speed must be > 0");
+  return base_seconds * locality_penalty * background_slowdown / speed;
+}
+
+SimTime seconds_to_slots(double seconds, double slot_seconds) {
+  if (slot_seconds <= 0.0) throw std::invalid_argument("execution: slot_seconds > 0");
+  const double slots = std::ceil(seconds / slot_seconds - 1e-9);
+  return slots < 1.0 ? 1 : static_cast<SimTime>(slots);
+}
+
+void accrue_work(TaskRuntime& task, const PhaseRuntime& phase, SimTime now,
+                 double slot_seconds) {
+  if (now <= task.work_updated_at) return;
+  const int r = task.active_copies();
+  if (r > 0) {
+    const double rate = phase.speedup(static_cast<double>(r));
+    task.work_done_seconds +=
+        rate * slot_seconds * static_cast<double>(now - task.work_updated_at);
+  }
+  task.work_updated_at = now;
+}
+
+SimTime predict_work_finish(const TaskRuntime& task, const PhaseRuntime& phase, SimTime now,
+                            double slot_seconds) {
+  const int r = task.active_copies();
+  if (r <= 0) return kNever;
+  const double remaining = phase.spec->theta_seconds - task.work_done_seconds;
+  if (remaining <= 0.0) return now;
+  const double rate = phase.speedup(static_cast<double>(r)) * slot_seconds;
+  const double slots = std::ceil(remaining / rate - 1e-9);
+  return now + (slots < 1.0 ? 1 : static_cast<SimTime>(slots));
+}
+
+}  // namespace dollymp

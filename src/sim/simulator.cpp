@@ -1,0 +1,601 @@
+#include "dollymp/sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "dollymp/cluster/background_load.h"
+#include "dollymp/common/distributions.h"
+#include "dollymp/common/logging.h"
+#include "dollymp/sim/execution.h"
+
+namespace dollymp {
+
+namespace {
+
+/// A scheduled completion.  Stochastic model: one event per copy; the event
+/// is stale when the copy was killed.  Work-based model: one event per task
+/// prediction; the event is stale when the task's generation moved on.
+struct Event {
+  SimTime slot;
+  std::int32_t job_index;
+  PhaseIndex phase;
+  std::int32_t task;
+  std::int32_t copy;        // -1 for work-based task events
+  std::uint32_t generation; // work-based staleness check
+
+  // Min-heap by slot with a fully deterministic tie order.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.slot != b.slot) return a.slot > b.slot;
+    if (a.job_index != b.job_index) return a.job_index > b.job_index;
+    if (a.phase != b.phase) return a.phase > b.phase;
+    if (a.task != b.task) return a.task > b.task;
+    return a.copy > b.copy;
+  }
+};
+
+/// A pending machine failure or repair.
+struct FailureEvent {
+  SimTime slot;
+  ServerId server;
+  bool is_repair;
+
+  friend bool operator>(const FailureEvent& a, const FailureEvent& b) {
+    if (a.slot != b.slot) return a.slot > b.slot;
+    if (a.server != b.server) return a.server > b.server;
+    return a.is_repair < b.is_repair;  // repairs before failures on ties
+  }
+};
+
+}  // namespace
+
+class Simulator::Impl final : public SchedulerContext {
+ public:
+  Impl(Cluster cluster, const SimConfig& config)
+      : cluster_(std::move(cluster)),
+        config_(config),
+        locality_(config.locality, cluster_),
+        background_(config.background, cluster_.size(), splitmix_seed(config.seed, 0xB6)),
+        rng_root_(config.seed) {
+    rng_workload_ = rng_root_.split(1);
+    rng_exec_ = rng_root_.split(2);
+    rng_policy_ = rng_root_.split(3);
+    rng_failure_ = rng_root_.split(4);
+  }
+
+  SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
+
+  // ---- SchedulerContext ----------------------------------------------------
+  [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] double slot_seconds() const override { return config_.slot_seconds; }
+  [[nodiscard]] const Cluster& cluster() const override { return cluster_; }
+  [[nodiscard]] const SimConfig& config() const override { return config_; }
+  [[nodiscard]] const std::vector<JobRuntime*>& active_jobs() override { return active_; }
+  [[nodiscard]] Rng& policy_rng() override { return rng_policy_; }
+
+  bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                  ServerId server) override {
+    return place(job, phase, task, server, /*speculative=*/false);
+  }
+
+  bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                              ServerId server) override {
+    return place(job, phase, task, server, /*speculative=*/true);
+  }
+
+ private:
+  static std::uint64_t splitmix_seed(std::uint64_t seed, std::uint64_t tag) {
+    std::uint64_t s = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
+    return splitmix64(s);
+  }
+
+  bool place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task, ServerId server,
+             bool speculative);
+  void process_arrivals();
+  void process_completions();
+  void handle_copy_finish(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                          std::size_t copy_index);
+  void handle_work_event(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                         std::uint32_t generation);
+  void complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task);
+  void end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                CopyRuntime& copy, bool killed);
+  void complete_phase(JobRuntime& job, PhaseRuntime& phase);
+  void complete_job(JobRuntime& job);
+  void sample_utilization();
+  void record_event(SimEventKind kind, JobId job = -1, PhaseIndex phase = -1,
+                    int task = -1, std::int32_t server = -1) {
+    if (!config_.record_events) return;
+    result_.events.push_back(SimEventRecord{
+        static_cast<double>(now_) * config_.slot_seconds, kind, job, phase, task, server});
+  }
+  void validate_placeable(const JobSpec& spec) const;
+  void seed_failures();
+  void process_failures();
+  void fail_server(ServerId server_id);
+  [[nodiscard]] SimTime failure_delay_slots(double mean_seconds);
+  [[nodiscard]] bool any_copy_active() const { return active_copy_count_ > 0; }
+
+  Cluster cluster_;
+  SimConfig config_;
+  LocalityModel locality_;
+  BackgroundLoadProcess background_;
+  Rng rng_root_;
+  Rng rng_workload_;
+  Rng rng_exec_;
+  Rng rng_policy_;
+  Rng rng_failure_;
+
+  std::vector<JobRuntime> jobs_;
+  std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
+  std::size_t next_arrival_ = 0;
+  std::vector<JobRuntime*> active_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::priority_queue<FailureEvent, std::vector<FailureEvent>, std::greater<>>
+      failure_events_;
+
+  SimTime now_ = 0;
+  Scheduler* scheduler_ = nullptr;  ///< valid during run()
+  long long active_copy_count_ = 0;
+  bool placed_this_invocation_ = false;
+  bool arrivals_this_slot_ = false;
+  int jobs_remaining_ = 0;
+
+  SimResult result_;
+};
+
+void Simulator::Impl::validate_placeable(const JobSpec& spec) const {
+  for (const auto& phase : spec.phases) {
+    bool fits_somewhere = false;
+    for (const auto& server : cluster_.servers()) {
+      if (phase.demand.fits_within(server.capacity())) {
+        fits_somewhere = true;
+        break;
+      }
+    }
+    if (!fits_somewhere) {
+      throw std::invalid_argument("Simulator: job " + std::to_string(spec.id) + " phase '" +
+                                  phase.name + "' demand " + phase.demand.to_string() +
+                                  " exceeds every server capacity");
+    }
+  }
+}
+
+bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                            ServerId server_id, bool speculative) {
+  if (job.finished || !job.arrived) return false;
+  if (!phase.runnable() || task.finished) return false;
+  // The cap applies to *concurrent* copies: after a machine failure kills a
+  // task's copies it may be re-placed even though dead copies remain on
+  // record.
+  if (task.active_copies() >= config_.max_copies_per_task) return false;
+  if (server_id < 0 || static_cast<std::size_t>(server_id) >= cluster_.size()) return false;
+
+  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
+  if (!server.allocate(task.demand)) return false;
+  server.note_copy_started();
+
+  const bool first_copy = task.copies.empty();
+  // A task with no running copy is either brand new or a failure
+  // re-execution; either way this placement satisfies its needs-placement
+  // state (and is not redundancy, so it must not count as a clone).
+  const bool had_active_sibling = task.active_copies() > 0;
+  CopyRuntime copy;
+  copy.server = server_id;
+  copy.start = now_;
+  copy.active = true;
+  copy.locality = locality_.classify(task.block, server_id);
+
+  if (config_.model == ExecutionModel::kStochastic) {
+    const double base =
+        sample_copy_base_seconds(phase, task.ref.task, first_copy, rng_exec_);
+    const double seconds = scale_copy_seconds(
+        base, server, locality_.penalty(copy.locality),
+        background_.slowdown(static_cast<std::size_t>(server_id),
+                             static_cast<double>(now_) * config_.slot_seconds));
+    copy.base_seconds = seconds;
+    copy.finish = now_ + seconds_to_slots(seconds, config_.slot_seconds);
+    task.copies.push_back(copy);
+    events_.push(Event{copy.finish, static_cast<std::int32_t>(&job - jobs_.data()),
+                       phase.index, task.ref.task,
+                       static_cast<std::int32_t>(task.copies.size() - 1), 0});
+  } else {
+    // Work-based: roll accrued work to now, then re-predict with the larger
+    // copy set and invalidate the previous prediction.
+    accrue_work(task, phase, now_, config_.slot_seconds);
+    task.copies.push_back(copy);
+    ++task.generation;
+    const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
+    events_.push(Event{finish, static_cast<std::int32_t>(&job - jobs_.data()), phase.index,
+                       task.ref.task, -1, task.generation});
+  }
+
+  ++active_copy_count_;
+  ++phase.active_copies;
+  if (!had_active_sibling) --phase.unscheduled_tasks;
+  placed_this_invocation_ = true;
+
+  if (task.first_start == kNever) task.first_start = now_;
+  if (job.first_start == kNever) job.first_start = now_;
+  if (had_active_sibling) {
+    if (speculative) {
+      ++job.speculative_launched;
+    } else {
+      ++job.clones_launched;
+    }
+    if (!task.ever_cloned && !speculative) {
+      task.ever_cloned = true;
+      ++job.tasks_with_clones;
+    }
+  }
+  record_event(!had_active_sibling ? SimEventKind::kCopyPlaced
+               : speculative       ? SimEventKind::kSpeculativePlaced
+                                   : SimEventKind::kClonePlaced,
+               job.id, phase.index, task.ref.task, server_id);
+  ++result_.total_copies_launched;
+  return true;
+}
+
+void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
+                               CopyRuntime& copy, bool killed) {
+  if (!copy.active) return;
+  copy.active = false;
+  copy.killed = killed;
+  record_event(killed ? SimEventKind::kCopyKilled : SimEventKind::kCopyFinished,
+               job.id, phase.index, task.ref.task, copy.server);
+  Server& server = cluster_.server(static_cast<std::size_t>(copy.server));
+  server.release(task.demand);
+  server.note_copy_finished();
+  --active_copy_count_;
+  --phase.active_copies;
+  const double duration_seconds =
+      static_cast<double>(now_ - copy.start) * config_.slot_seconds;
+  job.resource_seconds +=
+      normalized_sum(task.demand, cluster_.total_capacity()) * duration_seconds;
+}
+
+void Simulator::Impl::complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task) {
+  task.finished = true;
+  task.finish_slot = now_;
+  ++result_.total_tasks_completed;
+  record_event(SimEventKind::kTaskCompleted, job.id, phase.index, task.ref.task);
+
+  // Delay-assignment clone handling (Section 5): optionally keep the
+  // best-locality sibling when a downstream phase will consume this task's
+  // output; kill the rest.
+  CopyRuntime* keep = nullptr;
+  if (config_.kill_policy == CloneKillPolicy::kKeepBestLocality && phase.has_children) {
+    for (auto& c : task.copies) {
+      if (!c.active) continue;
+      if (keep == nullptr ||
+          static_cast<int>(c.locality) < static_cast<int>(keep->locality) ||
+          (c.locality == keep->locality && c.start < keep->start)) {
+        keep = &c;
+      }
+    }
+  }
+  for (auto& c : task.copies) {
+    if (c.active && &c != keep) end_copy(job, phase, task, c, /*killed=*/true);
+  }
+
+  if (config_.record_tasks) {
+    TaskRecord record;
+    record.ref = task.ref;
+    record.first_start_seconds = static_cast<double>(task.first_start) * config_.slot_seconds;
+    record.finish_seconds = static_cast<double>(now_) * config_.slot_seconds;
+    record.copies = task.total_copies();
+    result_.tasks.push_back(record);
+  }
+
+  if (--phase.remaining_tasks == 0) complete_phase(job, phase);
+}
+
+void Simulator::Impl::complete_phase(JobRuntime& job, PhaseRuntime& phase) {
+  phase.finished = true;
+  phase.finish_slot = now_;
+  record_event(SimEventKind::kPhaseCompleted, job.id, phase.index);
+  // Unlock children (Eq. 7).
+  for (auto& other : job.phases) {
+    for (const auto parent : other.spec->parents) {
+      if (parent == phase.index) --other.unfinished_parents;
+    }
+  }
+  // Kept-for-locality copies of this phase are no longer useful once the
+  // phase completes; terminate them so resources free up.
+  for (auto& task : phase.tasks) {
+    for (auto& c : task.copies) {
+      if (c.active) end_copy(job, phase, task, c, /*killed=*/true);
+    }
+  }
+  if (--job.remaining_phases == 0) complete_job(job);
+}
+
+void Simulator::Impl::complete_job(JobRuntime& job) {
+  job.finished = true;
+  job.finish_slot = now_;
+  record_event(SimEventKind::kJobCompleted, job.id);
+  --jobs_remaining_;
+}
+
+void Simulator::Impl::handle_copy_finish(JobRuntime& job, PhaseRuntime& phase,
+                                         TaskRuntime& task, std::size_t copy_index) {
+  CopyRuntime& copy = task.copies[copy_index];
+  if (!copy.active || copy.finish != now_) return;  // stale (killed or rescheduled)
+  end_copy(job, phase, task, copy, /*killed=*/false);
+  // Feedback for online learning: only natural finishes are reported
+  // (killed copies are censored by their surviving sibling).
+  if (scheduler_ != nullptr && config_.model == ExecutionModel::kStochastic) {
+    scheduler_->on_copy_finished(*this, job, phase, task, copy);
+  }
+  if (!task.finished) complete_task(job, phase, task);
+  // else: a kept best-locality copy ran to completion; nothing more to do.
+}
+
+void Simulator::Impl::handle_work_event(JobRuntime& job, PhaseRuntime& phase,
+                                        TaskRuntime& task, std::uint32_t generation) {
+  if (task.finished || generation != task.generation) return;  // stale prediction
+  accrue_work(task, phase, now_, config_.slot_seconds);
+  if (task.work_done_seconds + 1e-9 < phase.spec->theta_seconds) {
+    // Copy set shrank since prediction (cannot happen today: copies only
+    // end at completion in the work model) — re-predict defensively.
+    const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
+    if (finish != kNever) {
+      events_.push(Event{finish, static_cast<std::int32_t>(&job - jobs_.data()), phase.index,
+                         task.ref.task, -1, task.generation});
+    }
+    return;
+  }
+  for (auto& c : task.copies) {
+    if (c.active) end_copy(job, phase, task, c, /*killed=*/false);
+  }
+  complete_task(job, phase, task);
+}
+
+SimTime Simulator::Impl::failure_delay_slots(double mean_seconds) {
+  const ExponentialDist dist(mean_seconds);
+  const double seconds = std::max(config_.slot_seconds, dist.sample(rng_failure_));
+  return seconds_to_slots(seconds, config_.slot_seconds);
+}
+
+void Simulator::Impl::seed_failures() {
+  failure_events_ = {};
+  if (!config_.failures.enabled) return;
+  for (const auto& server : cluster_.servers()) {
+    failure_events_.push(FailureEvent{
+        failure_delay_slots(config_.failures.mean_time_to_failure_seconds), server.id(),
+        /*is_repair=*/false});
+  }
+}
+
+void Simulator::Impl::fail_server(ServerId server_id) {
+  // Kill every running copy on the failed machine.  Tasks left with no
+  // running copy fall back into the needs-placement pool so schedulers
+  // re-place them (from the surviving input-block replica in the locality
+  // model's terms).
+  for (JobRuntime* job : active_) {
+    for (auto& phase : job->phases) {
+      if (phase.active_copies == 0) continue;
+      for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
+        TaskRuntime& task = phase.tasks[t];
+        bool killed_any = false;
+        for (auto& copy : task.copies) {
+          if (copy.active && copy.server == server_id) {
+            if (config_.model == ExecutionModel::kWorkBased) {
+              accrue_work(task, phase, now_, config_.slot_seconds);
+            }
+            end_copy(*job, phase, task, copy, /*killed=*/true);
+            killed_any = true;
+          }
+        }
+        if (!killed_any || task.finished) continue;
+        if (config_.model == ExecutionModel::kWorkBased) {
+          ++task.generation;
+          const SimTime finish =
+              predict_work_finish(task, phase, now_, config_.slot_seconds);
+          if (finish != kNever) {
+            events_.push(Event{finish, static_cast<std::int32_t>(job - jobs_.data()),
+                               phase.index, task.ref.task, -1, task.generation});
+          }
+        }
+        if (task.needs_placement()) {
+          ++phase.unscheduled_tasks;
+          phase.first_unscheduled_hint =
+              std::min(phase.first_unscheduled_hint, static_cast<int>(t));
+        }
+      }
+    }
+  }
+}
+
+void Simulator::Impl::process_failures() {
+  while (!failure_events_.empty() && failure_events_.top().slot <= now_) {
+    const FailureEvent e = failure_events_.top();
+    failure_events_.pop();
+    Server& server = cluster_.server(static_cast<std::size_t>(e.server));
+    if (e.is_repair) {
+      server.set_down(false);
+      record_event(SimEventKind::kServerRepaired, -1, -1, -1, e.server);
+      failure_events_.push(FailureEvent{
+          now_ + failure_delay_slots(config_.failures.mean_time_to_failure_seconds),
+          e.server, /*is_repair=*/false});
+    } else {
+      server.set_down(true);
+      record_event(SimEventKind::kServerFailed, -1, -1, -1, e.server);
+      fail_server(e.server);
+      failure_events_.push(FailureEvent{
+          now_ + failure_delay_slots(config_.failures.mean_repair_seconds), e.server,
+          /*is_repair=*/true});
+    }
+  }
+}
+
+void Simulator::Impl::process_arrivals() {
+  while (next_arrival_ < arrival_order_.size()) {
+    JobRuntime& job = jobs_[static_cast<std::size_t>(arrival_order_[next_arrival_])];
+    if (job.arrival > now_) break;
+    job.arrived = true;
+    active_.push_back(&job);
+    record_event(SimEventKind::kJobArrival, job.id);
+    ++next_arrival_;
+    arrivals_this_slot_ = true;
+  }
+}
+
+void Simulator::Impl::process_completions() {
+  while (!events_.empty() && events_.top().slot <= now_) {
+    const Event e = events_.top();
+    events_.pop();
+    JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
+    PhaseRuntime& phase = job.phases[static_cast<std::size_t>(e.phase)];
+    TaskRuntime& task = phase.tasks[static_cast<std::size_t>(e.task)];
+    if (e.copy >= 0) {
+      handle_copy_finish(job, phase, task, static_cast<std::size_t>(e.copy));
+    } else {
+      handle_work_event(job, phase, task, e.generation);
+    }
+  }
+}
+
+void Simulator::Impl::sample_utilization() {
+  if (!config_.record_utilization) return;
+  const Resources used = cluster_.total_used();
+  const Resources total = cluster_.total_capacity();
+  UtilizationSample sample;
+  sample.seconds = static_cast<double>(now_) * config_.slot_seconds;
+  sample.cpu = total.cpu > 0 ? used.cpu / total.cpu : 0.0;
+  sample.mem = total.mem > 0 ? used.mem / total.mem : 0.0;
+  result_.utilization.push_back(sample);
+}
+
+SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& scheduler) {
+  result_ = SimResult{};
+  result_.scheduler = scheduler.name();
+  result_.slot_seconds = config_.slot_seconds;
+
+  jobs_.clear();
+  jobs_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    validate_placeable(spec);
+    jobs_.push_back(materialize_job(spec, config_.slot_seconds, locality_, rng_workload_));
+  }
+  jobs_remaining_ = static_cast<int>(jobs_.size());
+
+  arrival_order_.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    arrival_order_[i] = static_cast<std::int32_t>(i);
+  }
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return jobs_[static_cast<std::size_t>(a)].arrival <
+                            jobs_[static_cast<std::size_t>(b)].arrival;
+                   });
+  next_arrival_ = 0;
+  active_.clear();
+  events_ = {};
+  now_ = 0;
+  active_copy_count_ = 0;
+
+  seed_failures();
+  scheduler_ = &scheduler;
+  scheduler.reset();
+
+  while (jobs_remaining_ > 0) {
+    if (now_ > config_.max_slots) {
+      throw std::runtime_error("Simulator: exceeded max_slots safety valve at slot " +
+                               std::to_string(now_));
+    }
+    arrivals_this_slot_ = false;
+    process_failures();
+    process_arrivals();
+    process_completions();
+    // Drop finished jobs from the active list (keep arrival order).
+    std::erase_if(active_, [](const JobRuntime* j) { return j->finished; });
+
+    placed_this_invocation_ = false;
+    if (!active_.empty()) {
+      if (arrivals_this_slot_) scheduler.on_job_arrival(*this);
+      scheduler.schedule(*this);
+      sample_utilization();
+    }
+
+    if (jobs_remaining_ == 0) break;
+
+    // Decide the next slot to visit.
+    SimTime next = config_.max_slots + 1;
+    if (next_arrival_ < arrival_order_.size()) {
+      next = std::min(next,
+                      jobs_[static_cast<std::size_t>(arrival_order_[next_arrival_])].arrival);
+    }
+    if (!events_.empty()) next = std::min(next, events_.top().slot);
+    if (!failure_events_.empty()) next = std::min(next, failure_events_.top().slot);
+    if (scheduler.wants_every_slot() && !active_.empty()) {
+      next = std::min(next, now_ + 1);
+    }
+
+    const bool failure_pending = !failure_events_.empty();
+    if (!any_copy_active() && next_arrival_ >= arrival_order_.size() && events_.empty() &&
+        !failure_pending) {
+      // Pending work, no running copies, no future arrivals: if the policy
+      // also placed nothing we are stuck.
+      if (!placed_this_invocation_) {
+        throw std::runtime_error(
+            "Simulator: scheduler '" + scheduler.name() + "' stalled at slot " +
+            std::to_string(now_) + " with " + std::to_string(jobs_remaining_) +
+            " unfinished job(s) and idle cluster");
+      }
+    }
+    if (next <= now_) {
+      throw std::logic_error("Simulator: time failed to advance");
+    }
+    now_ = next;
+  }
+
+  // Build records.
+  result_.jobs.reserve(jobs_.size());
+  double makespan = 0.0;
+  for (const auto& job : jobs_) {
+    JobRecord rec;
+    rec.id = job.id;
+    rec.name = job.spec->name;
+    rec.app = job.spec->app;
+    rec.arrival_seconds = static_cast<double>(job.arrival) * config_.slot_seconds;
+    rec.first_start_seconds = static_cast<double>(job.first_start) * config_.slot_seconds;
+    rec.finish_seconds = static_cast<double>(job.finish_slot) * config_.slot_seconds;
+    rec.total_tasks = job.total_tasks();
+    rec.clones_launched = job.clones_launched;
+    rec.speculative_launched = job.speculative_launched;
+    rec.tasks_with_clones = job.tasks_with_clones;
+    rec.resource_seconds = job.resource_seconds;
+    makespan = std::max(makespan, rec.finish_seconds);
+    result_.jobs.push_back(std::move(rec));
+  }
+  result_.makespan_seconds = makespan;
+  return std::move(result_);
+}
+
+Simulator::Simulator(Cluster cluster, SimConfig config)
+    : prototype_(std::move(cluster)), config_(config) {
+  if (config_.slot_seconds <= 0.0) {
+    throw std::invalid_argument("SimConfig: slot_seconds must be > 0");
+  }
+  if (config_.max_copies_per_task < 1) {
+    throw std::invalid_argument("SimConfig: max_copies_per_task must be >= 1");
+  }
+  if (prototype_.empty()) throw std::invalid_argument("Simulator: empty cluster");
+}
+
+Simulator::~Simulator() = default;
+
+SimResult Simulator::run(const std::vector<JobSpec>& jobs, Scheduler& scheduler) {
+  // A fresh Impl per run keeps runs independent and exception-safe.
+  Impl impl(prototype_, config_);
+  return impl.run(jobs, scheduler);
+}
+
+SimResult simulate(const Cluster& cluster, const SimConfig& config,
+                   const std::vector<JobSpec>& jobs, Scheduler& scheduler) {
+  Simulator sim(cluster, config);
+  return sim.run(jobs, scheduler);
+}
+
+}  // namespace dollymp

@@ -1,0 +1,72 @@
+#include "dollymp/sim/speculation.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dollymp {
+
+namespace {
+
+struct Candidate {
+  JobRuntime* job;
+  PhaseRuntime* phase;
+  TaskRuntime* task;
+  double overrun;  ///< elapsed / theta, larger = more overdue
+};
+
+}  // namespace
+
+int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config) {
+  if (!config.enabled) return 0;
+
+  // Resource budget for concurrently running backups.
+  const Resources total = ctx.cluster().total_capacity();
+  double backup_norm_in_use = 0.0;
+  std::vector<Candidate> candidates;
+
+  for (JobRuntime* job : ctx.active_jobs()) {
+    for (auto& phase : job->phases) {
+      if (!phase.runnable()) continue;
+      const int finished_tasks = phase.spec->task_count - phase.remaining_tasks;
+      const double finished_fraction =
+          static_cast<double>(finished_tasks) / static_cast<double>(phase.spec->task_count);
+      if (finished_fraction < config.min_finished_fraction) continue;
+
+      for (auto& task : phase.tasks) {
+        if (task.finished || !task.running()) continue;
+        if (task.first_start == kNever) continue;
+        const int copies = task.total_copies();
+        if (copies > config.max_backups_per_task) {
+          // already backed up: its extra copies count against the budget
+          backup_norm_in_use +=
+              normalized_sum(task.demand, total) * static_cast<double>(copies - 1);
+          continue;
+        }
+        const double elapsed =
+            static_cast<double>(ctx.now() - task.first_start) * ctx.slot_seconds();
+        const double overrun = elapsed / phase.spec->theta_seconds;
+        if (overrun >= config.slow_factor) {
+          candidates.push_back({job, &phase, &task, overrun});
+        }
+      }
+    }
+  }
+
+  // Most overdue first — LATE's "longest approximate time to end".
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.overrun > b.overrun; });
+
+  int launched = 0;
+  for (const auto& c : candidates) {
+    if (backup_norm_in_use >= config.capacity_fraction_cap * 2.0) break;  // 2 dims
+    const ServerId server = best_fit_server(ctx.cluster(), c.task->demand);
+    if (server == kInvalidServer) break;
+    if (ctx.place_speculative_copy(*c.job, *c.phase, *c.task, server)) {
+      backup_norm_in_use += normalized_sum(c.task->demand, total);
+      ++launched;
+    }
+  }
+  return launched;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,24 @@
+#include "dollymp/sim/types.h"
+
+namespace dollymp {
+
+// Currently header-only types; this TU anchors the module and provides
+// string helpers for diagnostics.
+
+const char* to_string(ExecutionModel model) {
+  switch (model) {
+    case ExecutionModel::kStochastic: return "stochastic";
+    case ExecutionModel::kWorkBased: return "work-based";
+  }
+  return "?";
+}
+
+const char* to_string(CloneKillPolicy policy) {
+  switch (policy) {
+    case CloneKillPolicy::kKillImmediately: return "kill-immediately";
+    case CloneKillPolicy::kKeepBestLocality: return "keep-best-locality";
+  }
+  return "?";
+}
+
+}  // namespace dollymp

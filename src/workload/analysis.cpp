@@ -1,0 +1,78 @@
+#include "dollymp/workload/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dollymp/job/dag.h"
+
+namespace dollymp {
+
+WorkloadStats analyze_workload(const std::vector<JobSpec>& jobs) {
+  WorkloadStats stats;
+  stats.jobs = jobs.size();
+  if (jobs.empty()) return stats;
+
+  double first_arrival = jobs.front().arrival_seconds;
+  double last_arrival = jobs.front().arrival_seconds;
+  long long straggly_phases = 0;
+  double critical_path_total = 0.0;
+  for (const auto& job : jobs) {
+    first_arrival = std::min(first_arrival, job.arrival_seconds);
+    last_arrival = std::max(last_arrival, job.arrival_seconds);
+    critical_path_total += critical_path_length(job, 0.0);
+    for (const auto& phase : job.phases) {
+      ++stats.phases;
+      stats.tasks += phase.task_count;
+      const double task_seconds =
+          static_cast<double>(phase.task_count) * phase.theta_seconds;
+      stats.cpu_core_seconds += task_seconds * phase.demand.cpu;
+      stats.mem_gb_seconds += task_seconds * phase.demand.mem;
+      if (phase.theta_seconds > 0.0 &&
+          phase.sigma_seconds / phase.theta_seconds > 0.5) {
+        ++straggly_phases;
+      }
+    }
+  }
+  stats.arrival_window_seconds = last_arrival - first_arrival;
+  stats.mean_critical_path_seconds =
+      critical_path_total / static_cast<double>(jobs.size());
+  stats.straggler_phase_fraction =
+      stats.phases == 0
+          ? 0.0
+          : static_cast<double>(straggly_phases) / static_cast<double>(stats.phases);
+  return stats;
+}
+
+double offered_load(const std::vector<JobSpec>& jobs, const Cluster& cluster) {
+  const WorkloadStats stats = analyze_workload(jobs);
+  if (stats.arrival_window_seconds <= 0.0 || cluster.empty()) return 0.0;
+  const Resources total = cluster.total_capacity();
+  double load = 0.0;
+  if (total.cpu > 0.0) {
+    load = std::max(load,
+                    stats.cpu_core_seconds / stats.arrival_window_seconds / total.cpu);
+  }
+  if (total.mem > 0.0) {
+    load = std::max(load,
+                    stats.mem_gb_seconds / stats.arrival_window_seconds / total.mem);
+  }
+  return load;
+}
+
+std::string render_workload_report(const std::vector<JobSpec>& jobs,
+                                   const Cluster& cluster) {
+  const WorkloadStats stats = analyze_workload(jobs);
+  std::ostringstream os;
+  os << "workload: " << stats.jobs << " jobs, " << stats.phases << " phases, "
+     << stats.tasks << " tasks\n"
+     << "  work:            " << stats.cpu_core_seconds << " core-s, "
+     << stats.mem_gb_seconds << " GB-s\n"
+     << "  arrival window:  " << stats.arrival_window_seconds << " s\n"
+     << "  mean crit. path: " << stats.mean_critical_path_seconds << " s\n"
+     << "  straggler-prone phases: " << stats.straggler_phase_fraction * 100.0 << " %\n"
+     << "  offered load on " << cluster.size()
+     << "-server cluster: " << offered_load(jobs, cluster) << "\n";
+  return os.str();
+}
+
+}  // namespace dollymp

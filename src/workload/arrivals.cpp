@@ -1,0 +1,78 @@
+#include "dollymp/workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dollymp/common/distributions.h"
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+
+void assign_batch_arrivals(std::vector<JobSpec>& jobs) {
+  for (auto& job : jobs) job.arrival_seconds = 0.0;
+}
+
+void assign_fixed_arrivals(std::vector<JobSpec>& jobs, double gap_seconds) {
+  if (gap_seconds < 0.0) throw std::invalid_argument("arrivals: gap must be >= 0");
+  double t = 0.0;
+  for (auto& job : jobs) {
+    job.arrival_seconds = t;
+    t += gap_seconds;
+  }
+}
+
+void assign_jittered_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                              double jitter_fraction, std::uint64_t seed) {
+  if (mean_gap_seconds <= 0.0) throw std::invalid_argument("arrivals: gap must be > 0");
+  jitter_fraction = std::clamp(jitter_fraction, 0.0, 1.0);
+  Rng rng(seed);
+  double t = 0.0;
+  for (auto& job : jobs) {
+    job.arrival_seconds = t;
+    const double jitter = rng.uniform(-jitter_fraction, jitter_fraction);
+    t += mean_gap_seconds * (1.0 + jitter);
+  }
+}
+
+void assign_poisson_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                             std::uint64_t seed) {
+  const ExponentialDist gap(mean_gap_seconds);
+  Rng rng(seed);
+  double t = 0.0;
+  for (auto& job : jobs) {
+    job.arrival_seconds = t;
+    t += gap.sample(rng);
+  }
+}
+
+void assign_diurnal_arrivals(std::vector<JobSpec>& jobs, double mean_gap_seconds,
+                             double amplitude, double period_seconds,
+                             std::uint64_t seed) {
+  if (mean_gap_seconds <= 0.0) throw std::invalid_argument("arrivals: gap must be > 0");
+  if (amplitude < 0.0 || amplitude >= 1.0) {
+    throw std::invalid_argument("arrivals: amplitude must be in [0, 1)");
+  }
+  if (period_seconds <= 0.0) {
+    throw std::invalid_argument("arrivals: period must be > 0");
+  }
+  // Thinning: candidate events from a homogeneous process at the peak rate
+  // lambda_max = (1 + amplitude)/gap are accepted with probability
+  // lambda(t)/lambda_max.
+  const double lambda_max = (1.0 + amplitude) / mean_gap_seconds;
+  const ExponentialDist candidate_gap(1.0 / lambda_max);
+  Rng rng(seed);
+  double t = 0.0;
+  constexpr double kTwoPi = 6.283185307179586;
+  for (auto& job : jobs) {
+    for (;;) {
+      t += candidate_gap.sample(rng);
+      const double rate =
+          (1.0 + amplitude * std::sin(kTwoPi * t / period_seconds)) / mean_gap_seconds;
+      if (rng.uniform() * lambda_max <= rate) break;
+    }
+    job.arrival_seconds = t;
+  }
+}
+
+}  // namespace dollymp

@@ -1,0 +1,101 @@
+#include "dollymp/workload/trace_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "dollymp/common/csv.h"
+
+namespace dollymp {
+
+namespace {
+
+std::string join_parents(const std::vector<PhaseIndex>& parents) {
+  std::string out;
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (i) out += ';';
+    out += std::to_string(parents[i]);
+  }
+  return out;
+}
+
+std::vector<PhaseIndex> split_parents(const std::string& text) {
+  std::vector<PhaseIndex> parents;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ';')) {
+    if (!token.empty()) parents.push_back(static_cast<PhaseIndex>(std::stoi(token)));
+  }
+  return parents;
+}
+
+const std::vector<std::string> kHeader = {
+    "job_id", "job_name", "app",     "arrival_s", "phase",   "phase_name",
+    "tasks",  "cpu",      "mem_gb",  "theta_s",   "sigma_s", "parents"};
+
+}  // namespace
+
+std::string trace_to_csv(const std::vector<JobSpec>& jobs) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_header(kHeader);
+  for (const auto& job : jobs) {
+    for (std::size_t k = 0; k < job.phases.size(); ++k) {
+      const auto& p = job.phases[k];
+      writer.write_row(static_cast<long long>(job.id), job.name, job.app,
+                       job.arrival_seconds, static_cast<long long>(k), p.name,
+                       static_cast<long long>(p.task_count), p.demand.cpu, p.demand.mem,
+                       p.theta_seconds, p.sigma_seconds, join_parents(p.parents));
+    }
+  }
+  return os.str();
+}
+
+std::vector<JobSpec> trace_from_csv(const std::string& csv_text) {
+  const CsvTable table = CsvTable::parse(csv_text);
+  // Jobs may be interleaved; group rows by job id preserving first-seen
+  // order, and phases by their explicit phase index.
+  std::vector<JobSpec> jobs;
+  std::map<long long, std::size_t> index_of;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const long long id = table.cell_int(r, "job_id");
+    auto [it, inserted] = index_of.try_emplace(id, jobs.size());
+    if (inserted) {
+      JobSpec job;
+      job.id = static_cast<JobId>(id);
+      job.name = table.cell(r, "job_name");
+      job.app = table.cell(r, "app");
+      job.arrival_seconds = table.cell_double(r, "arrival_s");
+      jobs.push_back(std::move(job));
+    }
+    JobSpec& job = jobs[it->second];
+    const auto phase_idx = static_cast<std::size_t>(table.cell_int(r, "phase"));
+    if (job.phases.size() <= phase_idx) job.phases.resize(phase_idx + 1);
+    PhaseSpec& phase = job.phases[phase_idx];
+    phase.name = table.cell(r, "phase_name");
+    phase.task_count = static_cast<int>(table.cell_int(r, "tasks"));
+    phase.demand = {table.cell_double(r, "cpu"), table.cell_double(r, "mem_gb")};
+    phase.theta_seconds = table.cell_double(r, "theta_s");
+    phase.sigma_seconds = table.cell_double(r, "sigma_s");
+    phase.parents = split_parents(table.cell(r, "parents"));
+  }
+  for (const auto& job : jobs) job.validate();
+  return jobs;
+}
+
+void save_trace(const std::vector<JobSpec>& jobs, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot write " + path);
+  out << trace_to_csv(jobs);
+}
+
+std::vector<JobSpec> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_csv(buf.str());
+}
+
+}  // namespace dollymp

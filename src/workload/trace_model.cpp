@@ -1,0 +1,83 @@
+#include "dollymp/workload/trace_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dollymp/common/distributions.h"
+
+namespace dollymp {
+
+TraceModel::TraceModel(TraceModelConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+int TraceModel::sample_task_count(bool small) {
+  const double median = small ? config_.small_tasks_median : config_.large_tasks_median;
+  const auto dist = LognormalDist::fit(median, config_.tasks_cv);
+  const double raw = dist.sample(rng_);
+  return std::clamp(static_cast<int>(std::lround(raw)), 1, config_.max_tasks_per_phase);
+}
+
+Resources TraceModel::sample_demand() {
+  const auto cpu_dist = LognormalDist::fit(config_.cpu_median, config_.cpu_cv);
+  // YARN-style integral cores, >= 1.
+  double cpu = std::clamp(std::round(cpu_dist.sample(rng_)), 1.0, config_.cpu_max);
+  const auto mem_dist =
+      LognormalDist::fit(config_.mem_per_cpu_median, config_.mem_per_cpu_cv);
+  double mem = std::clamp(cpu * mem_dist.sample(rng_), 0.5, config_.mem_max);
+  // Round memory to 0.5 GB granularity like container requests.
+  mem = std::round(mem * 2.0) / 2.0;
+  return {cpu, mem};
+}
+
+double TraceModel::sample_theta() {
+  const auto dist = LognormalDist::fit(config_.theta_median_seconds, config_.theta_cv);
+  return std::clamp(dist.sample(rng_), 5.0, config_.theta_max_seconds);
+}
+
+JobSpec TraceModel::sample_job(JobId id) {
+  JobSpec job;
+  job.id = id;
+  job.name = "trace-" + std::to_string(id);
+  const bool small = rng_.chance(config_.small_job_fraction);
+  job.app = small ? "trace-small" : "trace-large";
+
+  // Shape: 1 phase, 2 phases (map/reduce-like), or a chain DAG.
+  int phases = 1;
+  if (rng_.chance(config_.dag_fraction)) {
+    phases = static_cast<int>(rng_.range(3, config_.max_phases));
+  } else if (rng_.chance(config_.multi_phase_fraction)) {
+    phases = 2;
+  }
+
+  const Resources demand = sample_demand();
+  const int head_tasks = sample_task_count(small);
+  const double head_theta = sample_theta();
+
+  for (int k = 0; k < phases; ++k) {
+    PhaseSpec phase;
+    phase.name = "phase" + std::to_string(k);
+    // Downstream phases shrink (reduce-style) but keep the job's demand
+    // profile; tasks from the same phase share resource requirements
+    // (Section 5.2's estimation assumption).
+    phase.task_count = std::max(1, head_tasks >> std::min(k, 4));
+    phase.demand = demand;
+    phase.theta_seconds = k == 0 ? head_theta : sample_theta();
+    const bool straggly = rng_.chance(config_.straggler_phase_fraction);
+    phase.sigma_seconds =
+        (straggly ? config_.straggler_cv : config_.normal_cv) * phase.theta_seconds;
+    if (k > 0) phase.parents = {static_cast<PhaseIndex>(k - 1)};
+    job.phases.push_back(std::move(phase));
+  }
+
+  job.validate();
+  return job;
+}
+
+std::vector<JobSpec> TraceModel::sample_jobs(int count, JobId first_id) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) jobs.push_back(sample_job(first_id + i));
+  return jobs;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,118 @@
+#include "dollymp/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace dollymp {
+namespace {
+
+TEST(Server, AllocateRelease) {
+  Server s(0, ServerSpec{{8, 16}, 1.0, 0, "test"});
+  EXPECT_TRUE(s.allocate({4, 8}));
+  EXPECT_EQ(s.used(), Resources(4, 8));
+  EXPECT_EQ(s.free(), Resources(4, 8));
+  EXPECT_TRUE(s.allocate({4, 8}));
+  EXPECT_FALSE(s.allocate({0.1, 0.0}));  // full
+  s.release({4, 8});
+  EXPECT_EQ(s.free(), Resources(4, 8));
+}
+
+TEST(Server, RejectsNegativeDemand) {
+  Server s(0, ServerSpec{{8, 16}, 1.0, 0, ""});
+  EXPECT_THROW(s.allocate({-1, 0}), std::invalid_argument);
+  EXPECT_THROW(s.release({0, -1}), std::invalid_argument);
+}
+
+TEST(Server, AllocFailureLeavesStateUnchanged) {
+  Server s(0, ServerSpec{{4, 4}, 1.0, 0, ""});
+  EXPECT_TRUE(s.allocate({3, 3}));
+  EXPECT_FALSE(s.allocate({2, 0}));
+  EXPECT_EQ(s.used(), Resources(3, 3));
+}
+
+TEST(Server, ReleaseClampsFloatNoise) {
+  Server s(0, ServerSpec{{1, 1}, 1.0, 0, ""});
+  ASSERT_TRUE(s.allocate({0.3, 0.3}));
+  s.release({0.3, 0.3});
+  EXPECT_TRUE(s.free().fits_within({1, 1}));
+  EXPECT_TRUE(s.used().non_negative());
+}
+
+TEST(Server, CopyCounters) {
+  Server s(0, ServerSpec{{8, 8}, 1.0, 0, ""});
+  s.note_copy_started();
+  s.note_copy_started();
+  EXPECT_EQ(s.running_copies(), 2);
+  s.note_copy_finished();
+  EXPECT_EQ(s.running_copies(), 1);
+  s.reset();
+  EXPECT_EQ(s.running_copies(), 0);
+  EXPECT_TRUE(s.used().is_zero());
+}
+
+TEST(Cluster, TotalsFromGroups) {
+  const Cluster c({{ServerSpec{{8, 16}, 1.0, 0, "a"}, 2},
+                   {ServerSpec{{16, 32}, 1.5, 1, "b"}, 1}});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.total_capacity(), Resources(32, 64));
+  EXPECT_EQ(c.rack_count(), 2);
+}
+
+TEST(Cluster, FreeUsedUtilization) {
+  Cluster c = Cluster::uniform(2, {10, 10});
+  EXPECT_DOUBLE_EQ(c.utilization(), 0.0);
+  ASSERT_TRUE(c.server(0).allocate({5, 2}));
+  EXPECT_EQ(c.total_used(), Resources(5, 2));
+  EXPECT_EQ(c.total_free(), Resources(15, 18));
+  EXPECT_DOUBLE_EQ(c.utilization(), 0.25);  // cpu 5/20 dominates mem 2/20
+  c.reset_allocations();
+  EXPECT_DOUBLE_EQ(c.utilization(), 0.0);
+}
+
+TEST(Cluster, Paper30Inventory) {
+  const Cluster c = Cluster::paper30();
+  // Section 6.1: 30 heterogeneous nodes, 328 cores, two racks.
+  EXPECT_EQ(c.size(), 30u);
+  EXPECT_DOUBLE_EQ(c.total_capacity().cpu, 328.0);
+  EXPECT_EQ(c.rack_count(), 2);
+  // 2 powerful nodes with 24 cores / 48 GB.
+  int powerful = 0;
+  for (const auto& s : c.servers()) {
+    if (s.capacity().cpu == 24.0) {
+      ++powerful;
+      EXPECT_DOUBLE_EQ(s.capacity().mem, 48.0);
+      EXPECT_GT(s.spec().base_speed, 1.0);
+    }
+  }
+  EXPECT_EQ(powerful, 2);
+}
+
+TEST(Cluster, GoogleLikeInventory) {
+  const Cluster c = Cluster::google_like(100);
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_GT(c.rack_count(), 1);
+  // Heterogeneous: at least two distinct capacities.
+  bool saw_small = false;
+  bool saw_big = false;
+  for (const auto& s : c.servers()) {
+    saw_small |= s.capacity().cpu == 8.0;
+    saw_big |= s.capacity().cpu == 32.0;
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_big);
+}
+
+TEST(Cluster, SingleServer) {
+  const Cluster c = Cluster::single({1.0, 1.0});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.total_capacity(), Resources(1, 1));
+}
+
+TEST(Cluster, ServerIdsAreIndices) {
+  const Cluster c = Cluster::uniform(5, {1, 1});
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.server(i).id(), static_cast<ServerId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,126 @@
+// Parameterized property sweeps over the probability machinery — the
+// invariants every distribution and the speedup model must satisfy across
+// the whole parameter range the workloads use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dollymp/common/distributions.h"
+#include "dollymp/common/stats.h"
+
+namespace dollymp {
+namespace {
+
+// ---- Pareto across shapes ----------------------------------------------------
+
+class ParetoShapeSweep : public testing::TestWithParam<double> {};
+
+TEST_P(ParetoShapeSweep, QuantileIsMonotoneAndInvertsTail) {
+  const ParetoDist d(2.0, GetParam());
+  double prev = 0.0;
+  for (double u = 0.0; u < 1.0; u += 0.05) {
+    const double x = d.quantile(u);
+    ASSERT_GE(x, prev);
+    ASSERT_GE(x, d.scale());
+    ASSERT_NEAR(1.0 - d.tail(x), u, 1e-9);
+    prev = x;
+  }
+}
+
+TEST_P(ParetoShapeSweep, SamplesRespectSupportAndTailMass) {
+  const ParetoDist d(1.0, GetParam());
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 100));
+  int above_median = 0;
+  const int n = 20000;
+  const double median = d.quantile(0.5);
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 1.0);
+    above_median += x > median ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(above_median) / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParetoShapeSweep,
+                         testing::Values(1.1, 1.5, 2.0, 2.5, 3.5, 6.0));
+
+// ---- fit round trips across CV -----------------------------------------------
+
+class FitCvSweep : public testing::TestWithParam<double> {};
+
+TEST_P(FitCvSweep, ParetoFitRoundTrips) {
+  const double cv = GetParam();
+  const ParetoDist d = ParetoDist::fit(100.0, cv);
+  EXPECT_NEAR(d.mean(), 100.0, 1e-9);
+  EXPECT_NEAR(d.stddev() / d.mean(), cv, 1e-9);
+}
+
+TEST_P(FitCvSweep, SpeedupInvariantsAcrossCv) {
+  const double cv = GetParam();
+  const auto h = SpeedupFunction::from_stats(50.0, cv * 50.0);
+  ASSERT_FALSE(h.degenerate());
+  EXPECT_DOUBLE_EQ(h(1.0), 1.0);
+  double prev = 1.0;
+  double prev_gain = 1e9;
+  for (int x = 2; x <= 16; ++x) {
+    const double cur = h(static_cast<double>(x));
+    ASSERT_GT(cur, prev);
+    ASSERT_LT(cur - prev, prev_gain);
+    ASSERT_LT(cur, h.upper_bound());
+    prev_gain = cur - prev;
+    prev = cur;
+  }
+  // Heavier tails (larger cv -> smaller alpha) gain more from cloning.
+  if (cv > 0.3) {
+    const auto lighter = SpeedupFunction::from_stats(50.0, 0.25 * 50.0);
+    EXPECT_GT(h(2.0), lighter(2.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cvs, FitCvSweep, testing::Values(0.25, 0.5, 0.9, 1.3, 2.0));
+
+// ---- bounded Pareto honours its cap across configurations --------------------
+
+class BoundedParetoSweep : public testing::TestWithParam<double> {};
+
+TEST_P(BoundedParetoSweep, SupportAndMeanBounds) {
+  const double upper = GetParam();
+  const BoundedParetoDist d(1.0, 1.8, upper);
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, upper);
+    stats.add(x);
+  }
+  EXPECT_GT(stats.mean(), 1.0);
+  EXPECT_LT(stats.mean(), upper);
+  EXPECT_NEAR(stats.mean(), d.mean(), 0.05 * d.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Uppers, BoundedParetoSweep, testing::Values(2.0, 4.0, 8.0, 20.0));
+
+// ---- min-of-copies vs h(x) across copy counts ---------------------------------
+
+class MinOfCopiesSweep : public testing::TestWithParam<int> {};
+
+TEST_P(MinOfCopiesSweep, SampledSpeedupMatchesEq3) {
+  const int copies = GetParam();
+  const double alpha = 2.4;
+  const ParetoDist d(1.0, alpha);
+  const SpeedupFunction h(alpha);
+  Rng rng(static_cast<std::uint64_t>(copies));
+  RunningStats mins;
+  for (int i = 0; i < 150000; ++i) {
+    double best = d.sample(rng);
+    for (int c = 1; c < copies; ++c) best = std::min(best, d.sample(rng));
+    mins.add(best);
+  }
+  EXPECT_NEAR(d.mean() / mins.mean(), h(copies), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Copies, MinOfCopiesSweep, testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace dollymp

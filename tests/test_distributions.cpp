@@ -1,0 +1,215 @@
+#include "dollymp/common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dollymp/common/stats.h"
+
+namespace dollymp {
+namespace {
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(ParetoDist(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDist(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDist(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Pareto, AnalyticMoments) {
+  const ParetoDist d(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0 * 2.0 / 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0 * 3.0 / (4.0 * 1.0));
+}
+
+TEST(Pareto, MomentsRequireShape) {
+  EXPECT_THROW(ParetoDist(1.0, 1.0).mean(), std::domain_error);
+  EXPECT_THROW(ParetoDist(1.0, 2.0).variance(), std::domain_error);
+}
+
+TEST(Pareto, TailFunction) {
+  const ParetoDist d(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.tail(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.tail(10.0), 0.01);
+}
+
+TEST(Pareto, QuantileInvertsTail) {
+  const ParetoDist d(1.5, 2.5);
+  for (const double u : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const double x = d.quantile(u);
+    EXPECT_NEAR(1.0 - d.tail(x), u, 1e-9);
+  }
+}
+
+TEST(Pareto, SampleMeanMatches) {
+  const ParetoDist d(1.0, 3.0);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), d.mean(), 0.02);
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST(Pareto, FitRoundTripsMeanAndCv) {
+  const double mean = 40.0;
+  const double cv = 0.8;
+  const ParetoDist d = ParetoDist::fit(mean, cv);
+  EXPECT_NEAR(d.mean(), mean, 1e-9);
+  EXPECT_NEAR(d.stddev() / d.mean(), cv, 1e-9);
+  EXPECT_GT(d.shape(), 2.0);  // fit always yields finite variance
+}
+
+TEST(Pareto, FitRejectsBadInput) {
+  EXPECT_THROW(ParetoDist::fit(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDist::fit(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BoundedPareto, StaysInBounds) {
+  const BoundedParetoDist d(1.0, 1.5, 20.0);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 20.0);
+  }
+}
+
+TEST(BoundedPareto, MeanMatchesSamples) {
+  const BoundedParetoDist d(1.0, 1.8, 8.0);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), d.mean(), 0.01 * d.mean());
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW(BoundedParetoDist(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoDist(0.0, 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Lognormal, FitMatchesMeanAndCv) {
+  const auto d = LognormalDist::fit(50.0, 1.2);
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), 50.0, 1.0);
+  EXPECT_NEAR(stats.cv(), 1.2, 0.05);
+}
+
+TEST(Lognormal, ZeroCvIsDegenerate) {
+  const auto d = LognormalDist::fit(10.0, 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(d.sample(rng), 10.0, 1e-9);
+  }
+}
+
+TEST(Exponential, MeanMatches) {
+  const ExponentialDist d(7.0);
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), 7.0, 0.1);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Normal, StandardMoments) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(sample_standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+// ---- speedup function (Eq. 3) ----------------------------------------------
+
+TEST(Speedup, IdentityAtOne) {
+  const SpeedupFunction h(2.5);
+  EXPECT_DOUBLE_EQ(h(1.0), 1.0);
+}
+
+TEST(Speedup, MatchesEq3) {
+  const double alpha = 3.0;
+  const SpeedupFunction h(alpha);
+  for (const double x : {1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_NEAR(h(x), (alpha - 1.0 / x) / (alpha - 1.0), 1e-12);
+  }
+}
+
+TEST(Speedup, StrictlyIncreasingAndConcave) {
+  const SpeedupFunction h(2.2);
+  double prev = h(1.0);
+  double prev_gain = 1e9;
+  for (int x = 2; x <= 64; ++x) {
+    const double cur = h(static_cast<double>(x));
+    const double gain = cur - prev;
+    ASSERT_GT(cur, prev) << "h must be strictly increasing at x=" << x;
+    ASSERT_LT(gain, prev_gain) << "h must be concave at x=" << x;
+    prev = cur;
+    prev_gain = gain;
+  }
+}
+
+TEST(Speedup, BoundedByR) {
+  const SpeedupFunction h(2.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(), 2.0);
+  EXPECT_LT(h(1000.0), h.upper_bound());
+}
+
+TEST(Speedup, MatchesMinOfParetoCopies) {
+  // E[min of r iid Pareto(alpha)] has shape r*alpha, so the expected
+  // speedup theta / E[min] equals Eq. (3) exactly.  Verify by sampling.
+  const double alpha = 2.5;
+  const ParetoDist d(1.0, alpha);
+  const SpeedupFunction h(alpha);
+  Rng rng(8);
+  const int copies = 3;
+  RunningStats mins;
+  for (int i = 0; i < 300000; ++i) {
+    double best = d.sample(rng);
+    for (int c = 1; c < copies; ++c) best = std::min(best, d.sample(rng));
+    mins.add(best);
+  }
+  const double measured_speedup = d.mean() / mins.mean();
+  EXPECT_NEAR(measured_speedup, h(copies), 0.02);
+}
+
+TEST(Speedup, FromStatsDegenerate) {
+  const auto h = SpeedupFunction::from_stats(10.0, 0.0);
+  EXPECT_TRUE(h.degenerate());
+  EXPECT_DOUBLE_EQ(h(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(), 1.0);
+}
+
+TEST(Speedup, RejectsBadAlphaAndX) {
+  EXPECT_THROW(SpeedupFunction(1.0), std::invalid_argument);
+  EXPECT_THROW(SpeedupFunction(0.5), std::invalid_argument);
+  EXPECT_THROW(SpeedupFunction(2.0)(0.5), std::invalid_argument);
+}
+
+TEST(Speedup, MinCopiesFor) {
+  const SpeedupFunction h(2.0);  // h(x) = 2 - 1/x, sup = 2
+  // Budget covers theta outright: one copy suffices.
+  EXPECT_EQ(h.min_copies_for(5.0, 5.0), 1);
+  EXPECT_EQ(h.min_copies_for(5.0, 10.0), 1);
+  // theta/budget = 1.5 -> need h(r) >= 1.5 -> 2 - 1/r >= 1.5 -> r >= 2.
+  EXPECT_EQ(h.min_copies_for(7.5, 5.0), 2);
+  // theta/budget = 2 is the supremum: unreachable.
+  EXPECT_EQ(h.min_copies_for(10.0, 5.0), 0);
+  // Verify minimality: h(r-1) < theta/budget <= h(r).
+  const int r = h.min_copies_for(9.0, 5.0);
+  ASSERT_GT(r, 1);
+  EXPECT_GE(h(r) * 5.0, 9.0 - 1e-9);
+  EXPECT_LT(h(r - 1) * 5.0, 9.0);
+}
+
+TEST(Speedup, MinCopiesZeroBudget) {
+  const SpeedupFunction h(2.0);
+  EXPECT_EQ(h.min_copies_for(1.0, 0.0), 0);
+  EXPECT_EQ(SpeedupFunction::from_stats(5.0, 0.0).min_copies_for(10.0, 5.0), 0);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,175 @@
+// Focused tests for DollyMP's configuration surface: clone ordering,
+// locality awareness, Corollary 4.1 budgets, priority-class behaviour.
+#include <gtest/gtest.h>
+
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+
+namespace dollymp {
+namespace {
+
+SimConfig clean_config(std::uint64_t seed = 1, double slot = 1.0) {
+  SimConfig config;
+  config.slot_seconds = slot;
+  config.seed = seed;
+  config.background.enabled = false;
+  config.locality.enabled = false;
+  return config;
+}
+
+TEST(DollyMPFeatures, CloneBudgetThreeNeedsRaisedSystemCap) {
+  const Cluster cluster = Cluster::uniform(8, {8, 16});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 4, {1, 2}, 40.0, 30.0)};
+
+  SimConfig capped = clean_config(3);
+  capped.record_tasks = true;  // default hard cap = 3 copies
+  DollyMPScheduler d3a{DollyMPConfig{3}};
+  const SimResult with_cap = simulate(cluster, capped, jobs, d3a);
+  for (const auto& t : with_cap.tasks) {
+    EXPECT_LE(t.copies, 3);
+  }
+
+  SimConfig raised = clean_config(3);
+  raised.record_tasks = true;
+  raised.max_copies_per_task = 4;
+  DollyMPScheduler d3b{DollyMPConfig{3}};
+  const SimResult without_cap = simulate(cluster, raised, jobs, d3b);
+  int max_copies = 0;
+  for (const auto& t : without_cap.tasks) max_copies = std::max(max_copies, t.copies);
+  EXPECT_EQ(max_copies, 4) << "idle cluster must allow the full 3-clone budget";
+}
+
+TEST(DollyMPFeatures, NaiveCloneOrderingStillCompletes) {
+  const Cluster cluster = Cluster::paper30();
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 6, {1, 2}, 30.0, 20.0, i * 10.0));
+  }
+  DollyMPConfig dc;
+  dc.smallest_first_clones = false;
+  DollyMPScheduler scheduler(dc);
+  const SimResult result = simulate(cluster, clean_config(5, 5.0), jobs, scheduler);
+  EXPECT_EQ(result.jobs.size(), 10u);
+}
+
+TEST(DollyMPFeatures, LocalityAwarePrefersReplicaServers) {
+  // With locality on, first copies land on a replica server when it fits.
+  Cluster cluster = Cluster::uniform(10, {8, 16});
+  SimConfig config = clean_config(7);
+  config.locality.enabled = true;
+  config.record_tasks = true;
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 5, {1, 2}, 20.0, 0.0)};
+  DollyMPScheduler scheduler;
+  // Run and verify resource accounting stayed sane (placement detail is
+  // internal, but the run must use replica-aware paths without error).
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  EXPECT_EQ(result.total_tasks_completed, 5);
+}
+
+TEST(DollyMPFeatures, CorollaryBudgetsLimitClonesUnderContention) {
+  // Saturated cluster: with Corollary 4.1 budgets on, clone counts are
+  // bounded by the class window requirement, so total clones launched can
+  // not exceed the flat-budget run.
+  const Cluster cluster = Cluster::uniform(3, {4, 8});
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 4, {1, 2}, 30.0, 25.0, i * 5.0));
+  }
+  DollyMPConfig flat;
+  flat.clone_budget = 2;
+  DollyMPConfig corollary = flat;
+  corollary.corollary_clone_counts = true;
+
+  DollyMPScheduler flat_sched(flat);
+  DollyMPScheduler corollary_sched(corollary);
+  const SimResult flat_result = simulate(cluster, clean_config(9), jobs, flat_sched);
+  const SimResult corollary_result =
+      simulate(cluster, clean_config(9), jobs, corollary_sched);
+
+  long long flat_clones = 0;
+  long long corollary_clones = 0;
+  for (const auto& j : flat_result.jobs) flat_clones += j.clones_launched;
+  for (const auto& j : corollary_result.jobs) corollary_clones += j.clones_launched;
+  EXPECT_LE(corollary_clones, flat_clones);
+  EXPECT_EQ(corollary_result.jobs.size(), jobs.size());
+}
+
+TEST(DollyMPFeatures, PriorityOrderRespectedOnSingleServer) {
+  // Three batch jobs with distinct sizes on a unit server: starts must be
+  // ordered by the knapsack priority (short/small first).
+  const Cluster cluster = Cluster::single({1, 1});
+  const std::vector<JobSpec> jobs{
+      JobSpec::single_task(0, {1.0, 1.0}, 32.0),
+      JobSpec::single_task(1, {1.0, 1.0}, 2.0),
+      JobSpec::single_task(2, {1.0, 1.0}, 8.0),
+  };
+  SimConfig config = clean_config(11);
+  config.record_tasks = true;
+  DollyMPScheduler scheduler{DollyMPConfig{0}};
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  EXPECT_LT(result.job(1).first_start_seconds, result.job(2).first_start_seconds);
+  EXPECT_LT(result.job(2).first_start_seconds, result.job(0).first_start_seconds);
+}
+
+TEST(DollyMPFeatures, OverdueGateBlocksMidLifeClonesUnderLoad) {
+  // A saturated cluster with deterministic durations: no task ever becomes
+  // overdue (elapsed < theta always at the decision points), tasks launch
+  // in waves, so the only permitted clones are launch-time ones — which
+  // never fit because the cluster is full.  Expect zero clones.
+  const Cluster cluster = Cluster::single({2, 2});
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 2, {1, 1}, 10.0, 0.0));
+  }
+  DollyMPScheduler scheduler;  // budget 2
+  const SimResult result = simulate(cluster, clean_config(13), jobs, scheduler);
+  for (const auto& j : result.jobs) {
+    EXPECT_EQ(j.clones_launched, 0) << "job " << j.id;
+  }
+}
+
+TEST(DollyMPFeatures, IdleClusterClonesAtLaunch) {
+  // One job, plenty of room: every task gets its full clone complement at
+  // launch time (the Section 3 simultaneous-clone model).
+  const Cluster cluster = Cluster::uniform(6, {8, 16});
+  SimConfig config = clean_config(15);
+  config.record_tasks = true;
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 4, {1, 2}, 30.0, 20.0)};
+  DollyMPScheduler scheduler;  // budget 2
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  for (const auto& t : result.tasks) {
+    EXPECT_EQ(t.copies, 3) << "task should run original + 2 clones";
+  }
+}
+
+TEST(DollyMPFeatures, RecomputeOnCompletionKnob) {
+  const Cluster cluster = Cluster::paper30();
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 5, {1, 2}, 30.0, 15.0, i * 20.0));
+  }
+  DollyMPConfig dc;
+  dc.recompute_on_completion = true;
+  DollyMPScheduler scheduler(dc);
+  const SimResult result = simulate(cluster, clean_config(17, 5.0), jobs, scheduler);
+  EXPECT_EQ(result.jobs.size(), 8u);
+}
+
+TEST(DollyMPFeatures, StragglerAwareWorksWithLocality) {
+  Cluster cluster = Cluster::uniform(8, {8, 16});
+  SimConfig config = clean_config(19, 5.0);
+  config.locality.enabled = true;
+  DollyMPConfig dc;
+  dc.straggler_aware = true;
+  DollyMPScheduler scheduler(dc);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 6, {1, 2}, 30.0, 20.0, i * 15.0));
+  }
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  EXPECT_EQ(result.jobs.size(), 10u);
+  EXPECT_NE(scheduler.scorer(), nullptr);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,130 @@
+// The optional simulator event trace (SimConfig::record_events).
+#include <gtest/gtest.h>
+
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+
+namespace dollymp {
+namespace {
+
+SimConfig traced_config(std::uint64_t seed = 1) {
+  SimConfig config;
+  config.slot_seconds = 1.0;
+  config.seed = seed;
+  config.background.enabled = false;
+  config.locality.enabled = false;
+  config.record_events = true;
+  return config;
+}
+
+long long count(const SimResult& r, SimEventKind kind) {
+  long long n = 0;
+  for (const auto& e : r.events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(EventTrace, DisabledByDefault) {
+  const Cluster cluster = Cluster::single({4, 4});
+  SimConfig config = traced_config();
+  config.record_events = false;
+  DollyMPScheduler scheduler;
+  const SimResult result =
+      simulate(cluster, config, {JobSpec::single_task(0, {1, 1}, 5.0)}, scheduler);
+  EXPECT_TRUE(result.events.empty());
+}
+
+TEST(EventTrace, CountsMatchAggregates) {
+  const Cluster cluster = Cluster::uniform(6, {8, 16});
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 4, {1, 2}, 20.0, 15.0, i * 10.0));
+  }
+  DollyMPScheduler scheduler;
+  const SimResult result = simulate(cluster, traced_config(3), jobs, scheduler);
+
+  EXPECT_EQ(count(result, SimEventKind::kJobArrival), 5);
+  EXPECT_EQ(count(result, SimEventKind::kJobCompleted), 5);
+  EXPECT_EQ(count(result, SimEventKind::kPhaseCompleted), 5);
+  EXPECT_EQ(count(result, SimEventKind::kTaskCompleted), result.total_tasks_completed);
+  // Every launched copy appears exactly once as a placement event...
+  const long long placements = count(result, SimEventKind::kCopyPlaced) +
+                               count(result, SimEventKind::kClonePlaced) +
+                               count(result, SimEventKind::kSpeculativePlaced);
+  EXPECT_EQ(placements, result.total_copies_launched);
+  // ...and exactly once as finished or killed.
+  const long long endings = count(result, SimEventKind::kCopyFinished) +
+                            count(result, SimEventKind::kCopyKilled);
+  EXPECT_EQ(endings, result.total_copies_launched);
+}
+
+TEST(EventTrace, TimeOrdered) {
+  const Cluster cluster = Cluster::paper30();
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 5, {1, 2}, 25.0, 20.0, i * 7.0));
+  }
+  DollyMPScheduler scheduler;
+  SimConfig config = traced_config(5);
+  config.slot_seconds = 5.0;
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  ASSERT_FALSE(result.events.empty());
+  for (std::size_t i = 1; i < result.events.size(); ++i) {
+    ASSERT_GE(result.events[i].seconds, result.events[i - 1].seconds);
+  }
+}
+
+TEST(EventTrace, CausalOrderPerTask) {
+  const Cluster cluster = Cluster::single({2, 2});
+  DollyMPScheduler scheduler;
+  const SimResult result = simulate(cluster, traced_config(7),
+                                    {JobSpec::single_task(0, {1, 1}, 8.0)}, scheduler);
+  double placed = -1.0;
+  double finished = -1.0;
+  double completed = -1.0;
+  for (const auto& e : result.events) {
+    if (e.kind == SimEventKind::kCopyPlaced) placed = e.seconds;
+    if (e.kind == SimEventKind::kCopyFinished) finished = e.seconds;
+    if (e.kind == SimEventKind::kTaskCompleted) completed = e.seconds;
+  }
+  ASSERT_GE(placed, 0.0);
+  EXPECT_GT(finished, placed);
+  EXPECT_DOUBLE_EQ(completed, finished);
+}
+
+TEST(EventTrace, ClonesAppearAsCloneEvents) {
+  const Cluster cluster = Cluster::uniform(4, {4, 4});
+  DollyMPScheduler scheduler;  // budget 2, idle cluster -> launch-time clones
+  const SimResult result = simulate(cluster, traced_config(9),
+                                    {JobSpec::single_task(0, {1, 1}, 20.0, 15.0)},
+                                    scheduler);
+  EXPECT_EQ(count(result, SimEventKind::kClonePlaced), 2);
+  EXPECT_EQ(count(result, SimEventKind::kCopyKilled), 2)
+      << "both clones are killed when the first copy finishes";
+}
+
+TEST(EventTrace, FailureEventsRecorded) {
+  const Cluster cluster = Cluster::uniform(4, {8, 16});
+  SimConfig config = traced_config(11);
+  config.slot_seconds = 5.0;
+  config.failures.enabled = true;
+  config.failures.mean_time_to_failure_seconds = 120.0;
+  config.failures.mean_repair_seconds = 60.0;
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 4, {1, 2}, 40.0, 10.0, i * 30.0));
+  }
+  DollyMPScheduler scheduler;
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  EXPECT_GT(count(result, SimEventKind::kServerFailed), 0);
+  EXPECT_GT(count(result, SimEventKind::kServerRepaired), 0);
+}
+
+TEST(EventTrace, KindNames) {
+  EXPECT_STREQ(to_string(SimEventKind::kJobArrival), "job-arrival");
+  EXPECT_STREQ(to_string(SimEventKind::kClonePlaced), "clone-placed");
+  EXPECT_STREQ(to_string(SimEventKind::kServerFailed), "server-failed");
+  EXPECT_STREQ(to_string(SimEventKind::kJobCompleted), "job-completed");
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,174 @@
+// End-to-end integration: full workloads through the whole stack, plus the
+// metrics/report layer.
+#include <gtest/gtest.h>
+
+#include "dollymp/metrics/report.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/tetris.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/apps.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace dollymp {
+namespace {
+
+std::vector<JobSpec> small_mixed_suite(int count, double gap, std::uint64_t seed) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < count; ++i) {
+    if (i % 2 == 0) {
+      jobs.push_back(make_wordcount(i, 1.0 + (i % 3)));
+    } else {
+      jobs.push_back(make_pagerank(i, 0.5 + 0.25 * (i % 4), 2));
+    }
+  }
+  assign_jittered_arrivals(jobs, gap, 0.2, seed);
+  return jobs;
+}
+
+SimConfig standard_config(std::uint64_t seed) {
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Integration, HeavyLoadDollyMPBeatsCapacityOnFlowtime) {
+  // The paper's headline: under heavy load DollyMP cuts total flowtime
+  // dramatically versus the Capacity scheduler (Fig. 7 reports ~50%).
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(40, 10.0, 7);
+
+  CapacityScheduler capacity;
+  DollyMPScheduler dollymp{DollyMPConfig{2}};
+  const SimResult cap = simulate(cluster, standard_config(7), jobs, capacity);
+  const SimResult dmp = simulate(cluster, standard_config(7), jobs, dollymp);
+  EXPECT_LT(dmp.total_flowtime(), cap.total_flowtime())
+      << "DollyMP must beat FIFO-style Capacity under load";
+}
+
+TEST(Integration, LightLoadAllSchedulersClose) {
+  // With ~idle cluster (huge gaps) scheduling policy barely matters; the
+  // flowtime difference between policies should be small.
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(8, 600.0, 9);
+  CapacityScheduler capacity;
+  DollyMPScheduler d0{DollyMPConfig{0}};
+  const SimResult cap = simulate(cluster, standard_config(9), jobs, capacity);
+  const SimResult dmp = simulate(cluster, standard_config(9), jobs, d0);
+  EXPECT_NEAR(dmp.total_flowtime() / cap.total_flowtime(), 1.0, 0.35);
+}
+
+TEST(Integration, SummaryFieldsConsistent) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(12, 30.0, 3);
+  DollyMPScheduler dollymp;
+  const SimResult result = simulate(cluster, standard_config(3), jobs, dollymp);
+  const RunSummary s = summarize(result);
+  EXPECT_EQ(s.scheduler, "dollymp^2");
+  EXPECT_EQ(s.jobs, jobs.size());
+  EXPECT_NEAR(s.total_flowtime, result.total_flowtime(), 1e-9);
+  EXPECT_NEAR(s.mean_flowtime * static_cast<double>(s.jobs), s.total_flowtime, 1e-6);
+  EXPECT_GE(s.p95_flowtime, s.mean_flowtime * 0.1);
+  EXPECT_GT(s.makespan, 0.0);
+}
+
+TEST(Integration, CdfHelpers) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(10, 30.0, 5);
+  TetrisScheduler tetris;
+  const SimResult result = simulate(cluster, standard_config(5), jobs, tetris);
+  const Cdf flow = flowtime_cdf(result);
+  const Cdf run = running_time_cdf(result);
+  EXPECT_EQ(flow.count(), jobs.size());
+  EXPECT_EQ(run.count(), jobs.size());
+  // Flowtime dominates running time distributionally.
+  EXPECT_GE(flow.mean(), run.mean());
+  EXPECT_GE(flow.quantile(0.9), run.quantile(0.9));
+}
+
+TEST(Integration, CumulativeFlowtimeSeriesIsMonotone) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(15, 20.0, 11);
+  DollyMPScheduler dollymp;
+  const SimResult result = simulate(cluster, standard_config(11), jobs, dollymp);
+  const auto series = cumulative_flowtime_series(result);
+  ASSERT_EQ(series.size(), jobs.size());
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+    EXPECT_GE(series[i].first, series[i - 1].first);
+  }
+  EXPECT_NEAR(series.back().second, result.total_flowtime(), 1e-6);
+}
+
+TEST(Integration, PairedRatiosMatchManualComputation) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(10, 15.0, 13);
+  DollyMPScheduler d2{DollyMPConfig{2}};
+  DollyMPScheduler d0{DollyMPConfig{0}};
+  const SimResult a = simulate(cluster, standard_config(13), jobs, d2);
+  const SimResult b = simulate(cluster, standard_config(13), jobs, d0);
+  const PairedRatios ratios = paired_ratios(a, b);
+  EXPECT_EQ(ratios.flowtime_ratio.count(), jobs.size());
+  // Manual check for one job.
+  const double expected = a.job(0).flowtime() / b.job(0).flowtime();
+  EXPECT_GT(ratios.flowtime_ratio.fraction_at_most(expected), 0.0);
+  // Reduction fraction is a proper CDF read-out.
+  const double frac = ratios.fraction_flowtime_reduced_by(0.0);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(Integration, PairedRatiosRejectDifferentJobSets) {
+  const Cluster cluster = Cluster::paper30();
+  auto jobs_a = small_mixed_suite(4, 30.0, 1);
+  auto jobs_b = small_mixed_suite(4, 30.0, 1);
+  jobs_b[2].id = 999;
+  DollyMPScheduler d;
+  const SimResult a = simulate(cluster, standard_config(1), jobs_a, d);
+  const SimResult b = simulate(cluster, standard_config(1), jobs_b, d);
+  EXPECT_THROW((void)paired_ratios(a, b), std::invalid_argument);
+}
+
+TEST(Integration, RenderHelpersProduceText) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = small_mixed_suite(6, 60.0, 17);
+  DollyMPScheduler d;
+  const SimResult result = simulate(cluster, standard_config(17), jobs, d);
+  const std::string table = render_summaries({summarize(result)});
+  EXPECT_NE(table.find("dollymp^2"), std::string::npos);
+  EXPECT_NE(table.find("total_flow_s"), std::string::npos);
+  const std::string rows = render_cdf_rows("flow", flowtime_cdf(result));
+  EXPECT_NE(rows.find("p50"), std::string::npos);
+  EXPECT_NE(rows.find("p100"), std::string::npos);
+}
+
+TEST(Integration, MeanFlowtimeReduction) {
+  SimResult a;
+  a.jobs.push_back({0, "", "", 0.0, 0.0, 50.0, 1, 0, 0, 0, 0.0});
+  SimResult b;
+  b.jobs.push_back({0, "", "", 0.0, 0.0, 100.0, 1, 0, 0, 0, 0.0});
+  EXPECT_DOUBLE_EQ(mean_flowtime_reduction(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(mean_flowtime_reduction(b, b), 0.0);
+}
+
+TEST(Integration, TraceModelWorkloadRunsEndToEnd) {
+  TraceModelConfig tm;
+  tm.max_tasks_per_phase = 40;
+  tm.cpu_max = 8.0;
+  tm.mem_max = 16.0;
+  TraceModel model(tm, 31);
+  auto jobs = model.sample_jobs(30);
+  assign_poisson_arrivals(jobs, 25.0, 32);
+
+  const Cluster cluster = Cluster::google_like(40);
+  DollyMPScheduler dollymp;
+  const SimResult result = simulate(cluster, standard_config(31), jobs, dollymp);
+  EXPECT_EQ(result.jobs.size(), 30u);
+  EXPECT_GT(result.cloned_task_fraction(), 0.0)
+      << "an underloaded cluster must leave room for clones";
+}
+
+}  // namespace
+}  // namespace dollymp

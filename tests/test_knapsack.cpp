@@ -1,0 +1,168 @@
+#include "dollymp/sched/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+namespace {
+
+TEST(KnapsackUnit, EmptyInput) {
+  const auto pick = knapsack_unit_profit({}, 10.0);
+  EXPECT_TRUE(pick.chosen.empty());
+  EXPECT_DOUBLE_EQ(pick.total_profit, 0.0);
+}
+
+TEST(KnapsackUnit, TakesSmallestWeightsFirst) {
+  const auto pick = knapsack_unit_profit({5.0, 1.0, 3.0, 2.0}, 6.0);
+  // Sorted weights 1,2,3 fit (sum 6); 5 does not.
+  EXPECT_EQ(pick.chosen, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(pick.total_weight, 6.0);
+  EXPECT_DOUBLE_EQ(pick.total_profit, 3.0);
+}
+
+TEST(KnapsackUnit, ZeroBudget) {
+  const auto pick = knapsack_unit_profit({1.0, 2.0}, 0.0);
+  EXPECT_TRUE(pick.chosen.empty());
+}
+
+TEST(KnapsackUnit, ZeroWeightItemsAlwaysFit) {
+  const auto pick = knapsack_unit_profit({0.0, 0.0, 5.0}, 1.0);
+  EXPECT_EQ(pick.total_profit, 2.0);
+}
+
+TEST(KnapsackUnit, RejectsNegativeWeights) {
+  EXPECT_THROW(knapsack_unit_profit({-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(KnapsackUnit, MatchesBruteForceCount) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.range(1, 12));
+    std::vector<double> weights(n);
+    std::vector<double> unit(n, 1.0);
+    for (auto& w : weights) w = rng.uniform(0.0, 10.0);
+    const double budget = rng.uniform(0.0, 30.0);
+    const auto greedy = knapsack_unit_profit(weights, budget);
+    const auto exact = knapsack_brute_force(weights, unit, budget);
+    ASSERT_DOUBLE_EQ(greedy.total_profit, exact.total_profit)
+        << "greedy must be optimal for unit profits (trial " << trial << ")";
+    ASSERT_LE(greedy.total_weight, budget + 1e-9);
+  }
+}
+
+TEST(KnapsackDp, MatchesBruteForceGeneralProfits) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.range(1, 10));
+    std::vector<double> weights(n);
+    std::vector<double> profits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = rng.uniform(0.5, 8.0);
+      profits[i] = rng.uniform(0.1, 5.0);
+    }
+    const double budget = rng.uniform(1.0, 20.0);
+    const auto dp = knapsack_dp(weights, profits, budget, 8192);
+    const auto exact = knapsack_brute_force(weights, profits, budget);
+    // DP rounds weights up, so it may be slightly conservative but must be
+    // feasible and near optimal.
+    ASSERT_LE(dp.total_weight, budget + 1e-9);
+    ASSERT_GE(dp.total_profit, exact.total_profit * 0.95 - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(KnapsackDp, ExactOnIntegerWeights) {
+  // Optimum is items {1, 2}: weight 4 + 5 = 9 fits the budget exactly with
+  // profit 5 + 6 = 11.
+  const std::vector<double> w{3.0, 4.0, 5.0};
+  const std::vector<double> p{4.0, 5.0, 6.0};
+  const auto dp = knapsack_dp(w, p, 9.0, 9);
+  EXPECT_DOUBLE_EQ(dp.total_profit, 11.0);
+}
+
+TEST(KnapsackDp, InputValidation) {
+  EXPECT_THROW(knapsack_dp({1.0}, {1.0, 2.0}, 5.0), std::invalid_argument);
+  EXPECT_THROW(knapsack_dp({1.0}, {1.0}, 5.0, 0), std::invalid_argument);
+  EXPECT_THROW(knapsack_dp({-1.0}, {1.0}, 5.0), std::invalid_argument);
+  const auto empty = knapsack_dp({}, {}, 5.0);
+  EXPECT_TRUE(empty.chosen.empty());
+}
+
+TEST(KnapsackBrute, Basics) {
+  const auto pick = knapsack_brute_force({2.0, 3.0}, {3.0, 4.0}, 4.0);
+  EXPECT_DOUBLE_EQ(pick.total_profit, 4.0);
+  EXPECT_EQ(pick.chosen, (std::vector<std::size_t>{1}));
+  EXPECT_THROW(knapsack_brute_force(std::vector<double>(25, 1.0),
+                                    std::vector<double>(25, 1.0), 5.0),
+               std::invalid_argument);
+}
+
+TEST(KnapsackBnb, MatchesBruteForceExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.range(1, 14));
+    std::vector<double> weights(n);
+    std::vector<double> profits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = rng.uniform(0.2, 6.0);
+      profits[i] = rng.uniform(0.1, 9.0);
+    }
+    const double budget = rng.uniform(0.5, 18.0);
+    const auto bnb = knapsack_branch_and_bound(weights, profits, budget);
+    const auto exact = knapsack_brute_force(weights, profits, budget);
+    ASSERT_NEAR(bnb.total_profit, exact.total_profit, 1e-9) << "trial " << trial;
+    ASSERT_LE(bnb.total_weight, budget + 1e-9);
+  }
+}
+
+TEST(KnapsackBnb, HandlesZeroWeightItems) {
+  const auto pick = knapsack_branch_and_bound({0.0, 2.0, 3.0}, {1.0, 5.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(pick.total_profit, 6.0);  // zero-weight item + item 1
+}
+
+TEST(KnapsackBnb, EdgeCases) {
+  EXPECT_TRUE(knapsack_branch_and_bound({}, {}, 5.0).chosen.empty());
+  EXPECT_TRUE(knapsack_branch_and_bound({1.0}, {1.0}, -1.0).chosen.empty());
+  EXPECT_THROW(knapsack_branch_and_bound({1.0}, {1.0, 2.0}, 5.0), std::invalid_argument);
+  EXPECT_THROW(knapsack_branch_and_bound({-1.0}, {1.0}, 5.0), std::invalid_argument);
+}
+
+TEST(KnapsackBnb, ScalesBeyondBruteForce) {
+  // 60 items is far beyond 2^24 enumeration; the bound must prune well.
+  Rng rng(13);
+  std::vector<double> weights(60);
+  std::vector<double> profits(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    weights[i] = rng.uniform(0.5, 5.0);
+    profits[i] = rng.uniform(0.5, 5.0);
+  }
+  const auto pick = knapsack_branch_and_bound(weights, profits, 30.0);
+  EXPECT_GT(pick.total_profit, 0.0);
+  EXPECT_LE(pick.total_weight, 30.0 + 1e-9);
+  // It can never do worse than the DP approximation.
+  const auto dp = knapsack_dp(weights, profits, 30.0, 4096);
+  EXPECT_GE(pick.total_profit, dp.total_profit - 1e-9);
+}
+
+// Property sweep: greedy unit-profit solution is never beaten and always
+// feasible across budgets.
+class KnapsackBudgetSweep : public testing::TestWithParam<double> {};
+
+TEST_P(KnapsackBudgetSweep, GreedyOptimalAndFeasible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000.0) + 3);
+  std::vector<double> weights(14);
+  for (auto& w : weights) w = rng.uniform(0.1, 4.0);
+  const std::vector<double> unit(weights.size(), 1.0);
+  const double budget = GetParam();
+  const auto greedy = knapsack_unit_profit(weights, budget);
+  const auto exact = knapsack_brute_force(weights, unit, budget);
+  EXPECT_DOUBLE_EQ(greedy.total_profit, exact.total_profit);
+  EXPECT_LE(greedy.total_weight, budget + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KnapsackBudgetSweep,
+                         testing::Values(0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0));
+
+}  // namespace
+}  // namespace dollymp

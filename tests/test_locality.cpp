@@ -1,0 +1,97 @@
+#include "dollymp/cluster/locality.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dollymp {
+namespace {
+
+TEST(Locality, PlacesDistinctReplicas) {
+  Cluster c = Cluster::uniform(10, {8, 16});
+  const LocalityModel model(LocalityConfig{}, c);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto block = model.place_block(rng);
+    ASSERT_EQ(block.replicas.size(), 2u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+  }
+}
+
+TEST(Locality, ReplicasSpanRacks) {
+  // uniform() puts 40 servers per rack; 80 servers = 2 racks.
+  Cluster c = Cluster::uniform(80, {8, 16});
+  const LocalityModel model(LocalityConfig{}, c);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto block = model.place_block(rng);
+    ASSERT_EQ(block.replicas.size(), 2u);
+    const int rack0 = c.server(static_cast<std::size_t>(block.replicas[0])).rack();
+    const int rack1 = c.server(static_cast<std::size_t>(block.replicas[1])).rack();
+    EXPECT_NE(rack0, rack1) << "HDFS-style placement crosses racks";
+  }
+}
+
+TEST(Locality, SingleRackFallsBackToDistinctServers) {
+  Cluster c = Cluster::uniform(5, {8, 16});  // all rack 0
+  const LocalityModel model(LocalityConfig{}, c);
+  Rng rng(3);
+  const auto block = model.place_block(rng);
+  ASSERT_EQ(block.replicas.size(), 2u);
+  EXPECT_NE(block.replicas[0], block.replicas[1]);
+}
+
+TEST(Locality, ReplicaCountClampedToClusterSize) {
+  Cluster c = Cluster::uniform(1, {8, 16});
+  LocalityConfig config;
+  config.replicas = 3;
+  const LocalityModel model(config, c);
+  Rng rng(4);
+  const auto block = model.place_block(rng);
+  EXPECT_EQ(block.replicas.size(), 1u);
+}
+
+TEST(Locality, ClassifyLevels) {
+  Cluster c = Cluster::uniform(80, {8, 16});
+  const LocalityModel model(LocalityConfig{}, c);
+  Rng rng(5);
+  const auto block = model.place_block(rng);
+  EXPECT_EQ(model.classify(block, block.replicas[0]), LocalityLevel::kNode);
+  // A non-replica server on the same rack as replica 0.
+  const int rack0 = c.server(static_cast<std::size_t>(block.replicas[0])).rack();
+  for (const auto& s : c.servers()) {
+    if (s.rack() == rack0 && s.id() != block.replicas[0] && s.id() != block.replicas[1]) {
+      EXPECT_EQ(model.classify(block, s.id()), LocalityLevel::kRack);
+      break;
+    }
+  }
+}
+
+TEST(Locality, PenaltiesOrdered) {
+  Cluster c = Cluster::uniform(4, {8, 16});
+  const LocalityModel model(LocalityConfig{}, c);
+  EXPECT_DOUBLE_EQ(model.penalty(LocalityLevel::kNode), 1.0);
+  EXPECT_GT(model.penalty(LocalityLevel::kRack), 1.0);
+  EXPECT_GT(model.penalty(LocalityLevel::kOffRack), model.penalty(LocalityLevel::kRack));
+}
+
+TEST(Locality, DisabledIsTransparent) {
+  Cluster c = Cluster::uniform(4, {8, 16});
+  LocalityConfig config;
+  config.enabled = false;
+  const LocalityModel model(config, c);
+  Rng rng(6);
+  const auto block = model.place_block(rng);
+  EXPECT_TRUE(block.replicas.empty());
+  EXPECT_EQ(model.classify(block, 0), LocalityLevel::kNode);
+  EXPECT_DOUBLE_EQ(model.penalty(LocalityLevel::kOffRack), 1.0);
+}
+
+TEST(Locality, ToStringNames) {
+  EXPECT_STREQ(to_string(LocalityLevel::kNode), "NODE");
+  EXPECT_STREQ(to_string(LocalityLevel::kRack), "RACK");
+  EXPECT_STREQ(to_string(LocalityLevel::kOffRack), "OFF_RACK");
+}
+
+}  // namespace
+}  // namespace dollymp

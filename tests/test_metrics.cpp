@@ -1,0 +1,143 @@
+// Metrics layer: records, summaries, CSV export, paired ratios.
+#include <gtest/gtest.h>
+
+#include "dollymp/common/csv.h"
+#include "dollymp/metrics/report.h"
+
+namespace dollymp {
+namespace {
+
+JobRecord job_record(JobId id, double arrival, double start, double finish,
+                     double resources = 1.0, int clones = 0) {
+  JobRecord j;
+  j.id = id;
+  j.name = "job-" + std::to_string(id);
+  j.app = "test";
+  j.arrival_seconds = arrival;
+  j.first_start_seconds = start;
+  j.finish_seconds = finish;
+  j.total_tasks = 2;
+  j.clones_launched = clones;
+  j.resource_seconds = resources;
+  return j;
+}
+
+SimResult small_result() {
+  SimResult r;
+  r.scheduler = "test-sched";
+  r.slot_seconds = 1.0;
+  r.jobs.push_back(job_record(0, 0.0, 0.0, 10.0, 2.0, 1));
+  r.jobs.push_back(job_record(1, 5.0, 8.0, 25.0, 4.0, 0));
+  r.jobs.push_back(job_record(2, 10.0, 12.0, 18.0, 1.0, 2));
+  r.makespan_seconds = 25.0;
+  return r;
+}
+
+TEST(Records, DerivedQuantities) {
+  const JobRecord j = job_record(0, 5.0, 8.0, 25.0);
+  EXPECT_DOUBLE_EQ(j.flowtime(), 20.0);
+  EXPECT_DOUBLE_EQ(j.running_time(), 17.0);
+  EXPECT_DOUBLE_EQ(j.wait_time(), 3.0);
+}
+
+TEST(Records, Aggregates) {
+  const SimResult r = small_result();
+  EXPECT_DOUBLE_EQ(r.total_flowtime(), 10.0 + 20.0 + 8.0);
+  EXPECT_DOUBLE_EQ(r.mean_flowtime(), 38.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.total_resource_seconds(), 7.0);
+  // tasks_with_clones defaults to 0 in these records -> fraction 0.
+  EXPECT_DOUBLE_EQ(r.cloned_task_fraction(), 0.0);
+}
+
+TEST(Records, EmptyResultAggregates) {
+  const SimResult r;
+  EXPECT_DOUBLE_EQ(r.total_flowtime(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_flowtime(), 0.0);
+  EXPECT_DOUBLE_EQ(r.cloned_task_fraction(), 0.0);
+}
+
+TEST(Summary, MatchesRecords) {
+  const SimResult r = small_result();
+  const RunSummary s = summarize(r);
+  EXPECT_EQ(s.scheduler, "test-sched");
+  EXPECT_EQ(s.jobs, 3u);
+  EXPECT_DOUBLE_EQ(s.total_flowtime, r.total_flowtime());
+  EXPECT_DOUBLE_EQ(s.makespan, 25.0);
+  EXPECT_EQ(s.clones_launched, 3);
+  EXPECT_DOUBLE_EQ(s.p95_flowtime, 20.0);
+}
+
+TEST(Cdfs, FlowAndRunning) {
+  const SimResult r = small_result();
+  EXPECT_DOUBLE_EQ(flowtime_cdf(r).median(), 10.0);
+  EXPECT_DOUBLE_EQ(running_time_cdf(r).median(), 10.0);
+  EXPECT_DOUBLE_EQ(flowtime_cdf(r).max(), 20.0);
+}
+
+TEST(CumulativeSeries, OrderedByArrival) {
+  SimResult r = small_result();
+  // Shuffle record order; the series must re-sort by arrival.
+  std::swap(r.jobs[0], r.jobs[2]);
+  const auto series = cumulative_flowtime_series(r);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(series[2].second, 38.0);
+}
+
+TEST(PairedRatios, ComputesPerJobRatios) {
+  const SimResult a = small_result();
+  SimResult b = small_result();
+  for (auto& j : b.jobs) j.finish_seconds *= 2.0;  // b twice as slow
+  const PairedRatios ratios = paired_ratios(a, b);
+  ASSERT_EQ(ratios.flowtime_ratio.count(), 3u);
+  EXPECT_LT(ratios.flowtime_ratio.max(), 1.0);
+  EXPECT_DOUBLE_EQ(ratios.resource_ratio.median(), 1.0);
+}
+
+TEST(PairedRatios, ReductionFraction) {
+  const SimResult a = small_result();
+  SimResult b = small_result();
+  for (auto& j : b.jobs) j.finish_seconds = j.arrival_seconds + j.flowtime() * 10.0;
+  const PairedRatios ratios = paired_ratios(a, b);
+  EXPECT_DOUBLE_EQ(ratios.fraction_flowtime_reduced_by(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ratios.fraction_flowtime_reduced_by(0.95), 0.0);
+}
+
+TEST(ResultsCsv, RoundTripThroughCsvTable) {
+  const SimResult r = small_result();
+  const std::string csv = results_to_csv(r);
+  const CsvTable table = CsvTable::parse(csv);
+  ASSERT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.cell_int(0, "job_id"), 0);
+  EXPECT_EQ(table.cell(1, "name"), "job-1");
+  EXPECT_DOUBLE_EQ(table.cell_double(1, "flowtime_s"), 20.0);
+  EXPECT_DOUBLE_EQ(table.cell_double(2, "running_s"), 6.0);
+  EXPECT_EQ(table.cell_int(0, "clones"), 1);
+  EXPECT_DOUBLE_EQ(table.cell_double(1, "resource_s"), 4.0);
+}
+
+TEST(ResultsCsv, SaveToFile) {
+  const std::string path = testing::TempDir() + "/dollymp_results_test.csv";
+  save_results(small_result(), path);
+  const CsvTable table = CsvTable::load(path);
+  EXPECT_EQ(table.rows(), 3u);
+  EXPECT_THROW(save_results(small_result(), "/nonexistent/dir/x.csv"),
+               std::runtime_error);
+}
+
+TEST(Render, SummariesAndCdfRows) {
+  const std::string table = render_summaries({summarize(small_result())});
+  EXPECT_NE(table.find("test-sched"), std::string::npos);
+  const std::string rows = render_cdf_rows("flow", flowtime_cdf(small_result()));
+  EXPECT_NE(rows.find("flow:"), std::string::npos);
+  EXPECT_NE(rows.find("p100"), std::string::npos);
+}
+
+TEST(MeanFlowtimeReduction, GuardsZeroBaseline) {
+  SimResult empty;
+  EXPECT_DOUBLE_EQ(mean_flowtime_reduction(small_result(), empty), 0.0);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,144 @@
+// PoCD analytics (learn/pocd.h): closed forms against Monte Carlo, edge
+// cases, and the cloning-vs-speculation comparison from the Chronos
+// discussion (paper Section 7).
+#include "dollymp/learn/pocd.h"
+
+#include <gtest/gtest.h>
+
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+namespace {
+
+constexpr double kTheta = 30.0;
+constexpr double kSigma = 25.0;
+
+TEST(Pocd, DeterministicTasksAreStepFunctions) {
+  EXPECT_DOUBLE_EQ(task_pocd_cloning(10.0, 0.0, 1, 9.9), 0.0);
+  EXPECT_DOUBLE_EQ(task_pocd_cloning(10.0, 0.0, 1, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(task_pocd_cloning(10.0, 0.0, 3, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(task_pocd_speculation(10.0, 0.0, 5.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(task_pocd_speculation(10.0, 0.0, 5.0, 9.0), 0.0);
+}
+
+TEST(Pocd, MonotoneInDeadlineAndCopies) {
+  double prev = -1.0;
+  for (double t = 10.0; t <= 200.0; t += 10.0) {
+    const double p = task_pocd_cloning(kTheta, kSigma, 1, t);
+    ASSERT_GE(p, prev);
+    prev = p;
+  }
+  for (int r = 1; r < 6; ++r) {
+    EXPECT_LT(task_pocd_cloning(kTheta, kSigma, r, 40.0),
+              task_pocd_cloning(kTheta, kSigma, r + 1, 40.0));
+  }
+}
+
+TEST(Pocd, CloningMatchesMonteCarlo) {
+  const ParetoDist dist = ParetoDist::fit(kTheta, kSigma / kTheta);
+  Rng rng(5);
+  const double deadline = 45.0;
+  const int copies = 2;
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    double best = dist.sample(rng);
+    for (int c = 1; c < copies; ++c) best = std::min(best, dist.sample(rng));
+    hits += best <= deadline ? 1 : 0;
+  }
+  const double simulated = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(task_pocd_cloning(kTheta, kSigma, copies, deadline), simulated, 0.01);
+}
+
+TEST(Pocd, SpeculationMatchesMonteCarlo) {
+  const ParetoDist dist = ParetoDist::fit(kTheta, kSigma / kTheta);
+  Rng rng(7);
+  const double s = 35.0;
+  const double deadline = 90.0;
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double original = dist.sample(rng);
+    // Draw the backup regardless to keep the stream aligned with the
+    // independence approximation the closed form uses.
+    const double backup = dist.sample(rng);
+    const bool meets = original <= deadline || (s + backup) <= deadline;
+    hits += meets ? 1 : 0;
+  }
+  const double simulated = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(task_pocd_speculation(kTheta, kSigma, s, deadline), simulated, 0.015);
+}
+
+TEST(Pocd, EarlyCloningBeatsLateSpeculationAtTightDeadlines) {
+  // The Chronos/Dolly argument: for small jobs and tight deadlines,
+  // launch-time clones dominate any speculation that waits to observe.
+  const double deadline = 50.0;
+  const double clone_p = task_pocd_cloning(kTheta, kSigma, 2, deadline);
+  for (const double s : {20.0, 30.0, 40.0}) {
+    EXPECT_GT(clone_p, task_pocd_speculation(kTheta, kSigma, s, deadline))
+        << "speculation at " << s;
+  }
+  // With a very loose deadline the gap closes.
+  const double loose = 100.0 * kTheta;
+  EXPECT_NEAR(task_pocd_cloning(kTheta, kSigma, 2, loose),
+              task_pocd_speculation(kTheta, kSigma, 30.0, loose), 5e-3);
+}
+
+TEST(Pocd, PhaseRequiresAllTasks) {
+  PhaseSpec phase{"p", 10, {1, 1}, kTheta, kSigma, {}};
+  const double single = task_pocd_cloning(kTheta, kSigma, 2, 60.0);
+  EXPECT_NEAR(phase_pocd_cloning(phase, 2, 60.0), std::pow(single, 10), 1e-12);
+  // More tasks -> lower phase PoCD.
+  PhaseSpec bigger = phase;
+  bigger.task_count = 40;
+  EXPECT_LT(phase_pocd_cloning(bigger, 2, 60.0), phase_pocd_cloning(phase, 2, 60.0));
+}
+
+TEST(Pocd, ChainJobSplitsDeadline) {
+  JobSpec job;
+  job.id = 0;
+  job.phases.push_back({"a", 2, {1, 1}, 20.0, 15.0, {}});
+  job.phases.push_back({"b", 1, {1, 1}, 40.0, 30.0, {0}});
+  const double pocd = job_pocd_cloning(job, 2, 180.0);
+  // Proportional split: 60 s for phase a, 120 s for phase b.
+  const double expected = phase_pocd_cloning(job.phases[0], 2, 60.0) *
+                          phase_pocd_cloning(job.phases[1], 2, 120.0);
+  EXPECT_NEAR(pocd, expected, 1e-12);
+  EXPECT_GT(pocd, 0.0);
+  EXPECT_LT(pocd, 1.0);
+}
+
+TEST(Pocd, NonChainDagRejected) {
+  JobSpec diamond;
+  diamond.id = 0;
+  diamond.phases.push_back({"a", 1, {1, 1}, 10.0, 1.0, {}});
+  diamond.phases.push_back({"b", 1, {1, 1}, 10.0, 1.0, {0}});
+  diamond.phases.push_back({"c", 1, {1, 1}, 10.0, 1.0, {0}});
+  EXPECT_THROW((void)job_pocd_cloning(diamond, 2, 100.0), std::invalid_argument);
+}
+
+TEST(Pocd, CopiesForTarget) {
+  PhaseSpec phase{"p", 5, {1, 1}, kTheta, kSigma, {}};
+  const int needed = copies_for_target_pocd(phase, 0.9, 90.0);
+  ASSERT_GT(needed, 0);
+  EXPECT_GE(phase_pocd_cloning(phase, needed, 90.0), 0.9);
+  if (needed > 1) {
+    EXPECT_LT(phase_pocd_cloning(phase, needed - 1, 90.0), 0.9);
+  }
+  // Impossible target within the cap.
+  EXPECT_EQ(copies_for_target_pocd(phase, 0.999999, 25.0, 2), 0);
+}
+
+TEST(Pocd, InputValidation) {
+  EXPECT_THROW((void)task_pocd_cloning(0.0, 1.0, 1, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)task_pocd_cloning(10.0, -1.0, 1, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)task_pocd_cloning(10.0, 1.0, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)task_pocd_speculation(10.0, 1.0, -1.0, 10.0), std::invalid_argument);
+  PhaseSpec phase{"p", 1, {1, 1}, 10.0, 5.0, {}};
+  EXPECT_THROW((void)copies_for_target_pocd(phase, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)copies_for_target_pocd(phase, 0.5, 10.0, 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(task_pocd_cloning(10.0, 5.0, 1, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,207 @@
+#include "dollymp/sched/priority.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+namespace {
+
+PriorityJobInput job(double volume, double length, double dominant = 0.1) {
+  return {volume, length, dominant};
+}
+
+TEST(Priority, EmptyInput) {
+  const auto result = compute_transient_priorities({});
+  EXPECT_TRUE(result.priority.empty());
+}
+
+TEST(Priority, EveryJobGetsAClass) {
+  Rng rng(3);
+  std::vector<PriorityJobInput> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back(job(rng.uniform(0.1, 50.0), rng.uniform(0.5, 200.0),
+                       rng.uniform(0.001, 0.9)));
+  }
+  const auto result = compute_transient_priorities(jobs);
+  ASSERT_EQ(result.priority.size(), jobs.size());
+  for (const int p : result.priority) {
+    EXPECT_GE(p, 1);
+  }
+}
+
+TEST(Priority, ShortSmallJobsComeFirst) {
+  // One tiny job and one huge job: the tiny one must get a strictly
+  // smaller class.
+  const auto result = compute_transient_priorities(
+      {job(100.0, 300.0), job(0.5, 1.0)});
+  ASSERT_EQ(result.priority.size(), 2u);
+  EXPECT_LT(result.priority[1], result.priority[0]);
+}
+
+TEST(Priority, EqualJobsFillAClassUpToItsBudget) {
+  // Three equal jobs (v = 2, e = 4).  Round 2 (budget 4) admits exactly two
+  // of them; the third spills into round 3 — the knapsack budget, not job
+  // identity, decides class membership.
+  const auto result = compute_transient_priorities(
+      {job(2.0, 4.0), job(2.0, 4.0), job(2.0, 4.0)});
+  EXPECT_EQ(result.priority[0], 2);
+  EXPECT_EQ(result.priority[1], 2);
+  EXPECT_EQ(result.priority[2], 3);
+}
+
+TEST(Priority, LongJobExcludedFromEarlyRounds) {
+  // length 100 keeps the job out of B_l until 2^l >= 100 (l = 7), even
+  // though its volume is tiny.
+  const auto result = compute_transient_priorities({job(0.1, 100.0), job(0.1, 1.0)});
+  EXPECT_EQ(result.priority[1], 1);
+  EXPECT_GE(result.priority[0], 7);
+}
+
+TEST(Priority, KnapsackLimitsClassCapacity) {
+  // Round l has volume budget 2^l.  Three jobs with volume 1.5 and length 1:
+  // round 1 (budget 2) fits only one; round 2 (budget 4) fits two; the
+  // third waits for round 3.
+  const auto result = compute_transient_priorities(
+      {job(1.5, 1.0), job(1.5, 1.0), job(1.5, 1.0)});
+  std::vector<int> classes = result.priority;
+  std::sort(classes.begin(), classes.end());
+  EXPECT_EQ(classes, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Priority, SmallestVolumeWinsWithinARound) {
+  // Budget 2 in round 1: volumes 1.9 and 0.3 both have length <= 2 but only
+  // sum 2.2 > 2; the knapsack takes the smaller one (count 1 either way,
+  // smallest weight first).
+  const auto result = compute_transient_priorities({job(1.9, 1.0), job(0.3, 1.0)});
+  EXPECT_EQ(result.priority[1], 1);
+  EXPECT_GT(result.priority[0], 1);
+}
+
+TEST(Priority, DominantShareExtendsHorizon) {
+  // Same volumes, but a near-1 dominant share shrinks the (1 - max d)
+  // margin, growing g; priorities must still be assigned.
+  const auto result = compute_transient_priorities(
+      {job(4.0, 8.0, 0.999999), job(1.0, 1.0, 0.5)});
+  for (const int p : result.priority) {
+    EXPECT_GE(p, 1);
+  }
+}
+
+TEST(Priority, RejectsNegativeInputs) {
+  EXPECT_THROW(compute_transient_priorities({job(-1.0, 1.0)}), std::invalid_argument);
+  EXPECT_THROW(compute_transient_priorities({job(1.0, -1.0)}), std::invalid_argument);
+}
+
+TEST(Priority, PriorityIsMonotoneInVolume) {
+  // With identical lengths, a strictly larger volume can never produce a
+  // strictly smaller class (the greedy oracle picks smaller volumes first).
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PriorityJobInput> jobs;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) jobs.push_back(job(rng.uniform(0.1, 10.0), 2.0));
+    const auto result = compute_transient_priorities(jobs);
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < n; ++k) {
+        if (jobs[i].volume < jobs[k].volume) {
+          ASSERT_LE(result.priority[i], result.priority[k])
+              << "volume " << jobs[i].volume << " vs " << jobs[k].volume;
+        }
+      }
+    }
+  }
+}
+
+// ---- weighted variant -------------------------------------------------------
+
+WeightedPriorityJobInput wjob(double volume, double length, double weight,
+                              double dominant = 0.1) {
+  return {volume, length, dominant, weight};
+}
+
+TEST(WeightedPriority, EqualWeightsMatchUnitOracleClassSizes) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 10;
+    std::vector<PriorityJobInput> unit;
+    std::vector<WeightedPriorityJobInput> weighted;
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.uniform(0.1, 8.0);
+      const double e = rng.uniform(0.5, 60.0);
+      unit.push_back({v, e, 0.1});
+      weighted.push_back(wjob(v, e, 1.0));
+    }
+    const auto a = compute_transient_priorities(unit);
+    const auto b = compute_weighted_transient_priorities(weighted);
+    // Multiple optimal sets may exist, so compare how many jobs land in
+    // each class, not the identity of the jobs.
+    std::map<int, int> count_a;
+    std::map<int, int> count_b;
+    for (const int p : a.priority) ++count_a[p];
+    for (const int p : b.priority) ++count_b[p];
+    ASSERT_EQ(count_a, count_b) << "trial " << trial;
+  }
+}
+
+TEST(WeightedPriority, HeavyWeightDisplacesLightOnes) {
+  // Round 1 budget = 2.  Two light jobs (v = 1 each, w = 1) fit together
+  // (total weight 2); one heavy-weight job (v = 2, w = 5) fills the budget
+  // alone with more weight — the weighted oracle must pick it first.
+  const auto result = compute_weighted_transient_priorities(
+      {wjob(1.0, 1.0, 1.0), wjob(1.0, 1.0, 1.0), wjob(2.0, 1.0, 5.0)});
+  EXPECT_EQ(result.priority[2], 1);
+  EXPECT_GT(result.priority[0], 1);
+  EXPECT_GT(result.priority[1], 1);
+}
+
+TEST(WeightedPriority, ValidatesWeights) {
+  EXPECT_THROW(compute_weighted_transient_priorities({wjob(1.0, 1.0, 0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_weighted_transient_priorities({wjob(1.0, 1.0, -2.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_weighted_transient_priorities({wjob(-1.0, 1.0, 1.0)}),
+               std::invalid_argument);
+}
+
+TEST(WeightedPriority, AllJobsAssigned) {
+  Rng rng(43);
+  std::vector<WeightedPriorityJobInput> jobs;
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back(wjob(rng.uniform(0.1, 20.0), rng.uniform(0.5, 300.0),
+                        rng.uniform(0.1, 10.0), rng.uniform(0.0, 0.5)));
+  }
+  const auto result = compute_weighted_transient_priorities(jobs);
+  for (const int p : result.priority) {
+    EXPECT_GE(p, 1);
+  }
+}
+
+// Parameterized sweep: the number of distinct classes grows with load but
+// assignment never fails across workload scales.
+class PriorityScaleSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PriorityScaleSweep, AssignsAllAtEveryScale) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<PriorityJobInput> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(job(rng.uniform(0.01, 20.0), rng.uniform(0.5, 500.0),
+                       rng.uniform(0.0, 0.5)));
+  }
+  const auto result = compute_transient_priorities(jobs);
+  ASSERT_EQ(result.priority.size(), static_cast<std::size_t>(n));
+  for (const int p : result.priority) {
+    ASSERT_GE(p, 1);
+    ASSERT_LE(p, 64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PriorityScaleSweep,
+                         testing::Values(1, 2, 5, 10, 50, 200, 1000));
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,101 @@
+#include "dollymp/common/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dollymp {
+namespace {
+
+TEST(Resources, DefaultIsZero) {
+  const Resources r;
+  EXPECT_EQ(r.cpu, 0.0);
+  EXPECT_EQ(r.mem, 0.0);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Resources, Arithmetic) {
+  const Resources a{4, 8};
+  const Resources b{1, 2};
+  EXPECT_EQ(a + b, Resources(5, 10));
+  EXPECT_EQ(a - b, Resources(3, 6));
+  EXPECT_EQ(a * 2.0, Resources(8, 16));
+  EXPECT_EQ(2.0 * a, Resources(8, 16));
+  Resources c = a;
+  c += b;
+  EXPECT_EQ(c, Resources(5, 10));
+  c -= b;
+  EXPECT_EQ(c, a);
+  c *= 0.5;
+  EXPECT_EQ(c, Resources(2, 4));
+}
+
+TEST(Resources, FitsWithin) {
+  const Resources cap{8, 16};
+  EXPECT_TRUE(Resources(8, 16).fits_within(cap));
+  EXPECT_TRUE(Resources(0, 0).fits_within(cap));
+  EXPECT_FALSE(Resources(8.1, 16).fits_within(cap));
+  EXPECT_FALSE(Resources(8, 16.1).fits_within(cap));
+  EXPECT_FALSE(Resources(9, 1).fits_within(cap));
+}
+
+TEST(Resources, FitsWithinToleratesFloatNoise) {
+  // Repeated add/subtract cycles must not make an exact fill fail.
+  Resources used{0, 0};
+  const Resources demand{0.1, 0.3};
+  for (int i = 0; i < 10; ++i) used += demand;
+  EXPECT_TRUE(used.fits_within(Resources{1.0, 3.0}));
+}
+
+TEST(Resources, Dot) {
+  EXPECT_DOUBLE_EQ(Resources(2, 3).dot({4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(Resources(0, 0).dot({4, 5}), 0.0);
+}
+
+TEST(Resources, DominantShare) {
+  const Resources total{100, 200};
+  // CPU dominant.
+  EXPECT_DOUBLE_EQ(Resources(10, 10).dominant_share(total), 0.1);
+  // Memory dominant.
+  EXPECT_DOUBLE_EQ(Resources(1, 100).dominant_share(total), 0.5);
+  // Equal shares.
+  EXPECT_DOUBLE_EQ(Resources(50, 100).dominant_share(total), 0.5);
+}
+
+TEST(Resources, DominantShareZeroCapacityDimensionIgnored) {
+  EXPECT_DOUBLE_EQ(Resources(10, 0).dominant_share({100, 0}), 0.1);
+  EXPECT_DOUBLE_EQ(Resources(0, 0).dominant_share({0, 0}), 0.0);
+}
+
+TEST(Resources, MinMaxClamp) {
+  const Resources a{4, 1};
+  const Resources b{2, 3};
+  EXPECT_EQ(a.min(b), Resources(2, 1));
+  EXPECT_EQ(a.max(b), Resources(4, 3));
+  EXPECT_EQ(Resources(-1, 2).clamped(), Resources(0, 2));
+  EXPECT_EQ(Resources(1, -2).clamped(), Resources(1, 0));
+}
+
+TEST(Resources, NonNegative) {
+  EXPECT_TRUE(Resources(0, 0).non_negative());
+  EXPECT_TRUE(Resources(1, 2).non_negative());
+  EXPECT_FALSE(Resources(-0.001, 2).non_negative());
+}
+
+TEST(Resources, Streaming) {
+  std::ostringstream os;
+  os << Resources{4, 8};
+  EXPECT_EQ(os.str(), "(4 cores, 8 GB)");
+  EXPECT_EQ(Resources(4, 8).to_string(), "(4 cores, 8 GB)");
+}
+
+TEST(Resources, NormalizedSum) {
+  const Resources total{100, 200};
+  EXPECT_DOUBLE_EQ(normalized_sum({10, 20}, total), 0.1 + 0.1);
+  EXPECT_DOUBLE_EQ(normalized_sum({0, 0}, total), 0.0);
+  // Zero-capacity dimensions contribute nothing.
+  EXPECT_DOUBLE_EQ(normalized_sum({10, 20}, {100, 0}), 0.1);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,140 @@
+#include "dollymp/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dollymp {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(7);
+  const auto first = rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(13), 13u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(19);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.range(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+  Rng rng2(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.chance(0.0));
+  }
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  const Rng parent(31);
+  Rng child1 = parent.split(1);
+  Rng child1_again = parent.split(1);
+  Rng child2 = parent.split(2);
+  EXPECT_EQ(child1(), child1_again());
+  // Different tags give different streams.
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  (void)child2;
+}
+
+TEST(Rng, SplitmixIsPure) {
+  std::uint64_t s1 = 5;
+  std::uint64_t s2 = 5;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,98 @@
+// The shared placement helpers every policy builds on (sched/scheduler.h).
+#include <gtest/gtest.h>
+
+#include "dollymp/sched/scheduler.h"
+
+namespace dollymp {
+namespace {
+
+TEST(BestFit, PicksLargestAlignment) {
+  Cluster cluster;
+  cluster.add_server(ServerSpec{{8, 8}, 1.0, 0, "a"});   // free (8,8)
+  cluster.add_server(ServerSpec{{16, 16}, 1.0, 0, "b"}); // free (16,16): bigger dot
+  EXPECT_EQ(best_fit_server(cluster, {1, 1}), 1);
+  // Fill server b so a wins.
+  ASSERT_TRUE(cluster.server(1).allocate({15, 15}));
+  EXPECT_EQ(best_fit_server(cluster, {1, 1}), 0);
+}
+
+TEST(BestFit, ReturnsInvalidWhenNothingFits) {
+  Cluster cluster = Cluster::uniform(3, {2, 2});
+  EXPECT_EQ(best_fit_server(cluster, {4, 1}), kInvalidServer);
+  for (auto& s : cluster.servers()) ASSERT_TRUE(s.allocate({2, 2}));
+  EXPECT_EQ(best_fit_server(cluster, {1, 1}), kInvalidServer);
+}
+
+TEST(FirstFit, PicksLowestIndexThatFits) {
+  Cluster cluster = Cluster::uniform(4, {4, 4});
+  ASSERT_TRUE(cluster.server(0).allocate({4, 4}));
+  ASSERT_TRUE(cluster.server(1).allocate({3, 3}));
+  EXPECT_EQ(first_fit_server(cluster, {2, 2}), 2);
+  EXPECT_EQ(first_fit_server(cluster, {1, 1}), 1);
+  EXPECT_EQ(first_fit_server(cluster, {5, 5}), kInvalidServer);
+}
+
+TEST(LocalityAware, PrefersReplicaThenRackThenBestFit) {
+  // Two racks of two servers (uniform() groups 40 per rack, so build by
+  // hand).
+  Cluster cluster;
+  cluster.add_server(ServerSpec{{4, 4}, 1.0, 0, "r0a"});
+  cluster.add_server(ServerSpec{{4, 4}, 1.0, 0, "r0b"});
+  cluster.add_server(ServerSpec{{4, 4}, 1.0, 1, "r1a"});
+  cluster.add_server(ServerSpec{{8, 8}, 1.0, 1, "r1b"});
+  const LocalityModel locality({}, cluster);
+
+  TaskRuntime task;
+  task.demand = {2, 2};
+  task.block.replicas = {0, 2};
+
+  // Replica 0 fits: chosen.
+  EXPECT_EQ(locality_aware_server(cluster, locality, task), 0);
+  // Fill both replicas: rack-local server of one replica wins over the
+  // larger off-replica best fit... server 1 (rack 0) and 3 (rack 1) are
+  // both rack-local here, so the tightest-alignment rack-local is picked.
+  ASSERT_TRUE(cluster.server(0).allocate({3, 3}));
+  ASSERT_TRUE(cluster.server(2).allocate({3, 3}));
+  const ServerId rack_local = locality_aware_server(cluster, locality, task);
+  EXPECT_EQ(rack_local, 3);  // rack-local to replica 2, biggest free dot
+  // Fill every rack-local option: falls back to best fit (none left here
+  // but server 1).
+  ASSERT_TRUE(cluster.server(3).allocate({7, 7}));
+  EXPECT_EQ(locality_aware_server(cluster, locality, task), 1);
+}
+
+TEST(JobActiveAllocation, SumsActiveCopiesOnly) {
+  JobSpec spec = JobSpec::single_phase(0, 3, {2, 4}, 10.0);
+  Cluster cluster = Cluster::uniform(2, {8, 16});
+  const LocalityModel locality({}, cluster);
+  Rng rng(1);
+  JobRuntime job = materialize_job(spec, 1.0, locality, rng);
+  EXPECT_EQ(job_active_allocation(job), Resources(0, 0));
+  // Fake two active copies on task 0 and one inactive on task 1.
+  job.phases[0].tasks[0].copies.push_back({0, 0, 5, LocalityLevel::kNode, true, false, 0});
+  job.phases[0].tasks[0].copies.push_back({1, 0, 5, LocalityLevel::kNode, true, false, 0});
+  job.phases[0].tasks[1].copies.push_back({0, 0, 5, LocalityLevel::kNode, false, true, 0});
+  EXPECT_EQ(job_active_allocation(job), Resources(4, 8));
+}
+
+TEST(NextUnscheduledTask, WalksAndSticks) {
+  JobSpec spec = JobSpec::single_phase(0, 3, {1, 1}, 10.0);
+  Cluster cluster = Cluster::uniform(1, {8, 8});
+  const LocalityModel locality({}, cluster);
+  Rng rng(2);
+  JobRuntime job = materialize_job(spec, 1.0, locality, rng);
+  PhaseRuntime& phase = job.phases[0];
+  EXPECT_EQ(next_unscheduled_task(phase), &phase.tasks[0]);
+  // Simulate scheduling task 0.
+  phase.tasks[0].copies.push_back({0, 0, 10, LocalityLevel::kNode, true, false, 0});
+  --phase.unscheduled_tasks;
+  EXPECT_EQ(next_unscheduled_task(phase), &phase.tasks[1]);
+  phase.tasks[1].copies.push_back({0, 0, 10, LocalityLevel::kNode, true, false, 0});
+  --phase.unscheduled_tasks;
+  phase.tasks[2].copies.push_back({0, 0, 10, LocalityLevel::kNode, true, false, 0});
+  --phase.unscheduled_tasks;
+  EXPECT_EQ(next_unscheduled_task(phase), nullptr);
+}
+
+}  // namespace
+}  // namespace dollymp

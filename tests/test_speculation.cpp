@@ -1,0 +1,95 @@
+#include "dollymp/sim/speculation.h"
+
+#include <gtest/gtest.h>
+
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sim/simulator.h"
+
+namespace dollymp {
+namespace {
+
+SimConfig base_config(std::uint64_t seed = 1) {
+  SimConfig config;
+  config.slot_seconds = 1.0;
+  config.seed = seed;
+  config.background.enabled = false;
+  config.locality.enabled = false;
+  return config;
+}
+
+TEST(Speculation, BacksUpOverrunningTasks) {
+  // A phase with huge variance: some tasks straggle far past theta, and the
+  // Capacity scheduler's speculation pass must launch backups for them.
+  const Cluster cluster = Cluster::uniform(8, {4, 8});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 16, {1, 1}, 20.0, 30.0)};
+
+  CapacityConfig with;
+  with.speculation.enabled = true;
+  with.speculation.min_finished_fraction = 0.1;
+  with.speculation.slow_factor = 1.5;  // pin: the test exercises the mechanism
+  CapacityScheduler scheduler(with);
+  const SimResult result = simulate(cluster, base_config(), jobs, scheduler);
+  EXPECT_GT(result.jobs[0].speculative_launched, 0)
+      << "high-variance phase must trigger backups";
+  EXPECT_EQ(result.jobs[0].clones_launched, 0) << "speculation is not cloning";
+}
+
+TEST(Speculation, DisabledLaunchesNothing) {
+  const Cluster cluster = Cluster::uniform(8, {4, 8});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 16, {1, 1}, 20.0, 30.0)};
+  CapacityConfig off;
+  off.speculation.enabled = false;
+  CapacityScheduler scheduler(off);
+  const SimResult result = simulate(cluster, base_config(), jobs, scheduler);
+  EXPECT_EQ(result.jobs[0].speculative_launched, 0);
+}
+
+TEST(Speculation, NoBackupsForDeterministicTasks) {
+  // sigma = 0: every task finishes exactly at theta, nobody overruns the
+  // slow_factor threshold before completing.
+  const Cluster cluster = Cluster::uniform(8, {4, 8});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 16, {1, 1}, 20.0, 0.0)};
+  CapacityScheduler scheduler;
+  const SimResult result = simulate(cluster, base_config(), jobs, scheduler);
+  EXPECT_EQ(result.jobs[0].speculative_launched, 0);
+}
+
+TEST(Speculation, ReducesTailUnderStragglers) {
+  // Across seeds, speculation should lower the mean completion of a
+  // straggler-heavy phase versus no speculation.
+  const Cluster cluster = Cluster::uniform(16, {4, 8});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 24, {1, 1}, 20.0, 30.0)};
+  double with_total = 0.0;
+  double without_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CapacityConfig on;
+    on.speculation.min_finished_fraction = 0.1;
+    on.speculation.slow_factor = 1.5;
+    CapacityScheduler with(on);
+    CapacityConfig off;
+    off.speculation.enabled = false;
+    CapacityScheduler without(off);
+    with_total += simulate(cluster, base_config(seed), jobs, with).jobs[0].finish_seconds;
+    without_total +=
+        simulate(cluster, base_config(seed), jobs, without).jobs[0].finish_seconds;
+  }
+  EXPECT_LT(with_total, without_total);
+}
+
+TEST(Speculation, RespectsMaxBackupsPerTask) {
+  const Cluster cluster = Cluster::uniform(16, {4, 8});
+  const std::vector<JobSpec> jobs{JobSpec::single_phase(0, 8, {1, 1}, 20.0, 40.0)};
+  SimConfig config = base_config();
+  config.record_tasks = true;
+  CapacityConfig cc;
+  cc.speculation.min_finished_fraction = 0.0;
+  cc.speculation.max_backups_per_task = 1;
+  CapacityScheduler scheduler(cc);
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  for (const auto& t : result.tasks) {
+    EXPECT_LE(t.copies, 2) << "one backup max means at most 2 concurrent copies";
+  }
+}
+
+}  // namespace
+}  // namespace dollymp

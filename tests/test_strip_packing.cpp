@@ -1,0 +1,109 @@
+#include "dollymp/sched/strip_packing.h"
+
+#include <gtest/gtest.h>
+
+#include "dollymp/common/rng.h"
+
+namespace dollymp {
+namespace {
+
+TEST(StripPacking, EmptyInput) {
+  const auto packing = nfdh_pack({});
+  EXPECT_TRUE(packing.placements.empty());
+  EXPECT_DOUBLE_EQ(packing.height, 0.0);
+}
+
+TEST(StripPacking, SingleItem) {
+  const auto packing = nfdh_pack({{0.5, 3.0}});
+  ASSERT_EQ(packing.placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(packing.height, 3.0);
+  EXPECT_DOUBLE_EQ(packing.placements[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(packing.placements[0].y, 0.0);
+}
+
+TEST(StripPacking, RejectsBadItems) {
+  EXPECT_THROW(nfdh_pack({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(nfdh_pack({{1.5, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(nfdh_pack({{0.5, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(nfdh_pack({{0.5, -1.0}}), std::invalid_argument);
+}
+
+TEST(StripPacking, PerfectShelf) {
+  // Four quarter-width items of equal height share one shelf.
+  const std::vector<StripItem> items(4, {0.25, 2.0});
+  const auto packing = nfdh_pack(items);
+  EXPECT_DOUBLE_EQ(packing.height, 2.0);
+  EXPECT_TRUE(strip_packing_is_feasible(items, packing));
+}
+
+TEST(StripPacking, OpensNewShelfWhenFull) {
+  // Three items of width 0.4: two fit per shelf.
+  const std::vector<StripItem> items(3, {0.4, 1.0});
+  const auto packing = nfdh_pack(items);
+  EXPECT_DOUBLE_EQ(packing.height, 2.0);
+  EXPECT_TRUE(strip_packing_is_feasible(items, packing));
+}
+
+TEST(StripPacking, DecreasingHeightOrder) {
+  // The tallest item defines the first shelf regardless of input order.
+  const std::vector<StripItem> items{{0.3, 1.0}, {0.3, 5.0}, {0.3, 2.0}};
+  const auto packing = nfdh_pack(items);
+  // All three fit on one shelf of height 5.
+  EXPECT_DOUBLE_EQ(packing.height, 5.0);
+  EXPECT_TRUE(strip_packing_is_feasible(items, packing));
+}
+
+TEST(StripPacking, LowerBounds) {
+  const std::vector<StripItem> items{{0.5, 2.0}, {0.5, 4.0}};
+  EXPECT_DOUBLE_EQ(strip_area_lower_bound(items), 0.5 * 2.0 + 0.5 * 4.0);
+  EXPECT_DOUBLE_EQ(strip_height_lower_bound(items), 4.0);
+}
+
+TEST(StripPacking, FeasibilityCheckerCatchesOverlap) {
+  const std::vector<StripItem> items{{0.5, 1.0}, {0.5, 1.0}};
+  StripPacking bogus;
+  bogus.height = 1.0;
+  bogus.placements = {{0, 0.0, 0.0}, {1, 0.25, 0.0}};  // overlapping
+  EXPECT_FALSE(strip_packing_is_feasible(items, bogus));
+  StripPacking good;
+  good.height = 1.0;
+  good.placements = {{0, 0.0, 0.0}, {1, 0.5, 0.0}};
+  EXPECT_TRUE(strip_packing_is_feasible(items, good));
+}
+
+TEST(StripPacking, FeasibilityCheckerCatchesOutOfStrip) {
+  const std::vector<StripItem> items{{0.6, 1.0}};
+  StripPacking bogus;
+  bogus.height = 1.0;
+  bogus.placements = {{0, 0.5, 0.0}};  // right edge at 1.1
+  EXPECT_FALSE(strip_packing_is_feasible(items, bogus));
+}
+
+// The Theorem 1 ingredient: NFDH height <= 2*AREA + h_max <= 3*OPT on
+// randomized instances.
+class StripPackingRandomSweep : public testing::TestWithParam<int> {};
+
+TEST_P(StripPackingRandomSweep, GuaranteeHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.range(1, 40));
+    std::vector<StripItem> items;
+    items.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      items.push_back({rng.uniform(0.01, 1.0), rng.uniform(0.1, 10.0)});
+    }
+    const auto packing = nfdh_pack(items);
+    ASSERT_TRUE(strip_packing_is_feasible(items, packing));
+    const double area = strip_area_lower_bound(items);
+    const double tallest = strip_height_lower_bound(items);
+    ASSERT_LE(packing.height, 2.0 * area + tallest + 1e-9)
+        << "NFDH guarantee violated (n=" << n << ")";
+    // And hence <= 3 * OPT since OPT >= max(area, tallest).
+    ASSERT_LE(packing.height, 3.0 * std::max(area, tallest) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StripPackingRandomSweep, testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "dollymp/common/logging.h"
+#include "dollymp/common/table.h"
+
+namespace dollymp {
+namespace {
+
+TEST(ConsoleTable, RendersAlignedColumns) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"x"}), std::invalid_argument);
+  EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, ValueRows) {
+  ConsoleTable t({"x", "y"});
+  t.add_row_values({1.234, 5.678}, 1);
+  t.add_labeled_row("row", {9.0}, 0);
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("row"), std::string::npos);
+}
+
+TEST(ConsoleTable, FormatDouble) {
+  EXPECT_EQ(ConsoleTable::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(ConsoleTable::format_double(2.0, 0), "2");
+}
+
+TEST(ConsoleTable, CaptionedRender) {
+  ConsoleTable t({"a"});
+  t.add_row({"1"});
+  const std::string out = t.render("My caption");
+  EXPECT_NE(out.find("My caption"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  EXPECT_NE(banner("Fig 4").find("Fig 4"), std::string::npos);
+}
+
+TEST(Logging, LevelGating) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(old);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, MacroCompilesAndGates) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit; mostly a compile/UB check.
+  DOLLYMP_LOG(kInfo) << "invisible " << 42;
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,92 @@
+// Error handling and tolerance of the trace CSV reader — the drop-in
+// surface for real cluster traces, so malformed input must fail loudly
+// and understandably rather than produce corrupt workloads.
+#include <gtest/gtest.h>
+
+#include "dollymp/workload/trace_io.h"
+
+namespace dollymp {
+namespace {
+
+const char* kHeader =
+    "job_id,job_name,app,arrival_s,phase,phase_name,tasks,cpu,mem_gb,theta_s,sigma_s,"
+    "parents\n";
+
+std::string with_rows(const std::string& rows) { return std::string(kHeader) + rows; }
+
+TEST(TraceIoErrors, EmptyTraceIsEmptyWorkload) {
+  EXPECT_TRUE(trace_from_csv(kHeader).empty());
+  EXPECT_TRUE(trace_from_csv("").empty());
+}
+
+TEST(TraceIoErrors, MinimalValidRow) {
+  const auto jobs =
+      trace_from_csv(with_rows("0,j,app,0,0,map,4,1,2,30,10,\n"));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].phases[0].task_count, 4);
+  EXPECT_TRUE(jobs[0].phases[0].parents.empty());
+}
+
+TEST(TraceIoErrors, InterleavedJobsRegroup) {
+  const auto jobs = trace_from_csv(with_rows(
+      "0,a,app,0,0,map,2,1,2,30,0,\n"
+      "1,b,app,5,0,map,3,1,2,30,0,\n"
+      "0,a,app,0,1,reduce,1,1,2,30,0,0\n"));
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].phases.size(), 2u);
+  EXPECT_EQ(jobs[1].phases.size(), 1u);
+}
+
+TEST(TraceIoErrors, NonNumericCellThrows) {
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0,map,four,1,2,30,10,\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,zero,0,map,4,1,2,30,10,\n")),
+               std::runtime_error);
+}
+
+TEST(TraceIoErrors, InvalidJobRejectedByValidation) {
+  // Zero tasks.
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0,map,0,1,2,30,10,\n")),
+               std::invalid_argument);
+  // Zero theta.
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0,map,4,1,2,0,10,\n")),
+               std::invalid_argument);
+  // Forward parent reference (phase 0 cannot depend on phase 1).
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0,map,4,1,2,30,10,1\n"
+                                              "0,j,app,0,1,red,1,1,2,30,10,\n")),
+               std::invalid_argument);
+  // Zero demand.
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0,map,4,0,0,30,10,\n")),
+               std::invalid_argument);
+}
+
+TEST(TraceIoErrors, MissingColumnThrows) {
+  const std::string bad_header = "job_id,job_name,app\n0,j,app\n";
+  EXPECT_THROW((void)trace_from_csv(bad_header), std::out_of_range);
+}
+
+TEST(TraceIoErrors, RaggedRowThrows) {
+  EXPECT_THROW((void)trace_from_csv(with_rows("0,j,app,0,0\n")), std::runtime_error);
+}
+
+TEST(TraceIoErrors, MultiParentListParses) {
+  const auto jobs = trace_from_csv(with_rows(
+      "0,j,app,0,0,scanA,2,1,2,30,0,\n"
+      "0,j,app,0,1,scanB,2,1,2,30,0,\n"
+      "0,j,app,0,2,join,1,1,2,30,0,0;1\n"));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].phases[2].parents, (std::vector<PhaseIndex>{0, 1}));
+}
+
+TEST(TraceIoErrors, QuotedNamesSurvive) {
+  const auto jobs = trace_from_csv(with_rows(
+      "0,\"job, with comma\",app,0,0,map,1,1,2,30,0,\n"));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].name, "job, with comma");
+  // And they survive a round trip.
+  const auto again = trace_from_csv(trace_to_csv(jobs));
+  EXPECT_EQ(again[0].name, "job, with comma");
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dollymp/common/stats.h"
+#include "dollymp/workload/apps.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_io.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace dollymp {
+namespace {
+
+TEST(Apps, WordCountStructure) {
+  const JobSpec job = make_wordcount(5, 4.0, 123.0);
+  EXPECT_EQ(job.app, "wordcount");
+  EXPECT_DOUBLE_EQ(job.arrival_seconds, 123.0);
+  ASSERT_EQ(job.phases.size(), 2u);
+  EXPECT_EQ(job.phases[0].name, "map");
+  EXPECT_EQ(job.phases[1].name, "reduce");
+  // 4 GB / 0.25 GB blocks = 16 map tasks; reduces = 16 * 0.25 = 4.
+  EXPECT_EQ(job.phases[0].task_count, 16);
+  EXPECT_EQ(job.phases[1].task_count, 4);
+  EXPECT_EQ(job.phases[1].parents, (std::vector<PhaseIndex>{0}));
+  EXPECT_GT(job.phases[0].sigma_seconds, 0.0);
+}
+
+TEST(Apps, WordCountScalesWithInput) {
+  const JobSpec small = make_wordcount(1, 1.0);
+  const JobSpec big = make_wordcount(2, 10.0);
+  EXPECT_EQ(small.phases[0].task_count, 4);
+  EXPECT_EQ(big.phases[0].task_count, 40);
+  EXPECT_DOUBLE_EQ(small.phases[0].theta_seconds, big.phases[0].theta_seconds);
+}
+
+TEST(Apps, WordCountRejectsBadInput) {
+  EXPECT_THROW(make_wordcount(1, 0.0), std::invalid_argument);
+  AppConfig bad;
+  bad.block_gb = 0.0;
+  EXPECT_THROW(make_wordcount(1, 1.0, 0.0, bad), std::invalid_argument);
+}
+
+TEST(Apps, PageRankChainStructure) {
+  const JobSpec job = make_pagerank(9, 2.0, 3);
+  EXPECT_EQ(job.app, "pagerank");
+  // partition + 3 * (compute, aggregate) = 7 phases.
+  ASSERT_EQ(job.phases.size(), 7u);
+  // Each phase (after the first) depends on the previous one: a chain.
+  for (std::size_t k = 1; k < job.phases.size(); ++k) {
+    ASSERT_EQ(job.phases[k].parents.size(), 1u);
+    EXPECT_EQ(job.phases[k].parents[0], static_cast<PhaseIndex>(k - 1));
+  }
+  EXPECT_THROW(make_pagerank(1, 2.0, 0), std::invalid_argument);
+}
+
+TEST(TraceModel, Reproducible) {
+  TraceModel a({}, 42);
+  TraceModel b({}, 42);
+  const auto ja = a.sample_jobs(20);
+  const auto jb = b.sample_jobs(20);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].phases.size(), jb[i].phases.size());
+    EXPECT_EQ(ja[i].total_tasks(), jb[i].total_tasks());
+    EXPECT_DOUBLE_EQ(ja[i].phases[0].theta_seconds, jb[i].phases[0].theta_seconds);
+  }
+}
+
+TEST(TraceModel, JobsAreValidAndIdsSequential) {
+  TraceModel model({}, 7);
+  const auto jobs = model.sample_jobs(50, 100);
+  ASSERT_EQ(jobs.size(), 50u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<JobId>(100 + i));
+    EXPECT_NO_THROW(jobs[i].validate());
+  }
+}
+
+TEST(TraceModel, MostJobsAreSmall) {
+  TraceModelConfig config;
+  TraceModel model(config, 11);
+  const auto jobs = model.sample_jobs(400);
+  int small = 0;
+  for (const auto& j : jobs) small += j.app == "trace-small" ? 1 : 0;
+  // 95% nominal; allow sampling noise.
+  EXPECT_GT(small, 360);
+}
+
+TEST(TraceModel, StragglerPhaseFractionRoughlyMatches) {
+  TraceModelConfig config;
+  TraceModel model(config, 13);
+  const auto jobs = model.sample_jobs(300);
+  int straggly = 0;
+  int phases = 0;
+  for (const auto& j : jobs) {
+    for (const auto& p : j.phases) {
+      ++phases;
+      // Straggler-prone phases carry the high CV.
+      if (p.sigma_seconds > 0.5 * p.theta_seconds) ++straggly;
+    }
+  }
+  const double fraction = static_cast<double>(straggly) / phases;
+  EXPECT_NEAR(fraction, config.straggler_phase_fraction, 0.08);
+}
+
+TEST(TraceModel, DemandsWithinConfiguredBounds) {
+  TraceModelConfig config;
+  TraceModel model(config, 17);
+  const auto jobs = model.sample_jobs(200);
+  for (const auto& j : jobs) {
+    for (const auto& p : j.phases) {
+      EXPECT_GE(p.demand.cpu, 1.0);
+      EXPECT_LE(p.demand.cpu, config.cpu_max);
+      EXPECT_GE(p.demand.mem, 0.5);
+      EXPECT_LE(p.demand.mem, config.mem_max);
+      EXPECT_LE(p.task_count, config.max_tasks_per_phase);
+      EXPECT_GE(p.theta_seconds, 5.0);
+      EXPECT_LE(p.theta_seconds, config.theta_max_seconds);
+    }
+  }
+}
+
+TEST(Arrivals, Batch) {
+  auto jobs = TraceModel({}, 1).sample_jobs(5);
+  assign_batch_arrivals(jobs);
+  for (const auto& j : jobs) EXPECT_DOUBLE_EQ(j.arrival_seconds, 0.0);
+}
+
+TEST(Arrivals, Fixed) {
+  auto jobs = TraceModel({}, 1).sample_jobs(4);
+  assign_fixed_arrivals(jobs, 20.0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs[i].arrival_seconds, 20.0 * static_cast<double>(i));
+  }
+  EXPECT_THROW(assign_fixed_arrivals(jobs, -1.0), std::invalid_argument);
+}
+
+TEST(Arrivals, JitteredMeanGap) {
+  auto jobs = TraceModel({}, 2).sample_jobs(500);
+  assign_jittered_arrivals(jobs, 20.0, 0.3, 9);
+  // Non-decreasing and mean gap near 20.
+  double prev = -1.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.arrival_seconds, prev);
+    prev = j.arrival_seconds;
+  }
+  const double mean_gap = jobs.back().arrival_seconds / static_cast<double>(jobs.size() - 1);
+  EXPECT_NEAR(mean_gap, 20.0, 1.0);
+}
+
+TEST(Arrivals, PoissonMeanGap) {
+  auto jobs = TraceModel({}, 3).sample_jobs(2000);
+  assign_poisson_arrivals(jobs, 10.0, 21);
+  const double mean_gap = jobs.back().arrival_seconds / static_cast<double>(jobs.size() - 1);
+  EXPECT_NEAR(mean_gap, 10.0, 1.0);
+}
+
+TEST(Arrivals, DiurnalMeanGapMatches) {
+  auto jobs = TraceModel({}, 4).sample_jobs(4000);
+  assign_diurnal_arrivals(jobs, 10.0, 0.6, 3600.0, 31);
+  double prev = -1.0;
+  for (const auto& j : jobs) {
+    ASSERT_GE(j.arrival_seconds, prev);
+    prev = j.arrival_seconds;
+  }
+  const double mean_gap = jobs.back().arrival_seconds / static_cast<double>(jobs.size() - 1);
+  EXPECT_NEAR(mean_gap, 10.0, 1.0);
+}
+
+TEST(Arrivals, DiurnalRateActuallyOscillates) {
+  // Count arrivals in the peak half-period vs the trough half-period of
+  // the first cycle: the peak must receive clearly more.
+  auto jobs = TraceModel({}, 5).sample_jobs(5000);
+  const double period = 2000.0;
+  assign_diurnal_arrivals(jobs, 2.0, 0.8, period, 33);
+  int peak = 0;
+  int trough = 0;
+  for (const auto& j : jobs) {
+    const double phase = std::fmod(j.arrival_seconds, period) / period;
+    if (phase < 0.5) ++peak;      // sin > 0 half
+    else ++trough;                // sin < 0 half
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(Arrivals, DiurnalValidation) {
+  auto jobs = TraceModel({}, 6).sample_jobs(3);
+  EXPECT_THROW(assign_diurnal_arrivals(jobs, 0.0, 0.5, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(assign_diurnal_arrivals(jobs, 1.0, 1.0, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(assign_diurnal_arrivals(jobs, 1.0, -0.1, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(assign_diurnal_arrivals(jobs, 1.0, 0.5, 0.0, 1), std::invalid_argument);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  TraceModel model({}, 23);
+  auto jobs = model.sample_jobs(30);
+  assign_jittered_arrivals(jobs, 15.0, 0.2, 5);
+  jobs.push_back(make_pagerank(1000, 2.0, 2, 999.0));
+
+  const std::string csv = trace_to_csv(jobs);
+  const auto loaded = trace_from_csv(csv);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_EQ(loaded[i].name, jobs[i].name);
+    EXPECT_EQ(loaded[i].app, jobs[i].app);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival_seconds, jobs[i].arrival_seconds);
+    ASSERT_EQ(loaded[i].phases.size(), jobs[i].phases.size());
+    for (std::size_t k = 0; k < jobs[i].phases.size(); ++k) {
+      const auto& a = loaded[i].phases[k];
+      const auto& b = jobs[i].phases[k];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.task_count, b.task_count);
+      EXPECT_EQ(a.demand, b.demand);
+      EXPECT_DOUBLE_EQ(a.theta_seconds, b.theta_seconds);
+      EXPECT_DOUBLE_EQ(a.sigma_seconds, b.sigma_seconds);
+      EXPECT_EQ(a.parents, b.parents);
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  auto jobs = TraceModel({}, 29).sample_jobs(5);
+  const std::string path = testing::TempDir() + "/dollymp_trace_test.csv";
+  save_trace(jobs, path);
+  const auto loaded = load_trace(path);
+  EXPECT_EQ(loaded.size(), jobs.size());
+  EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dollymp

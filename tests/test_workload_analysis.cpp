@@ -1,0 +1,91 @@
+#include "dollymp/workload/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "dollymp/workload/apps.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace dollymp {
+namespace {
+
+TEST(WorkloadAnalysis, EmptyWorkload) {
+  const WorkloadStats stats = analyze_workload({});
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.tasks, 0);
+  EXPECT_DOUBLE_EQ(offered_load({}, Cluster::paper30()), 0.0);
+}
+
+TEST(WorkloadAnalysis, HandComputedTotals) {
+  std::vector<JobSpec> jobs;
+  // Job 0: 4 tasks x 10 s x (2, 4).
+  jobs.push_back(JobSpec::single_phase(0, 4, {2, 4}, 10.0, 0.0, 0.0));
+  // Job 1: two-phase chain, 2 x 5 s x (1, 1) + 1 x 20 s x (1, 2).
+  JobSpec two;
+  two.id = 1;
+  two.arrival_seconds = 100.0;
+  two.phases.push_back({"a", 2, {1, 1}, 5.0, 0.0, {}});
+  two.phases.push_back({"b", 1, {1, 2}, 20.0, 10.0, {0}});
+  jobs.push_back(two);
+
+  const WorkloadStats stats = analyze_workload(jobs);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.phases, 3);
+  EXPECT_EQ(stats.tasks, 7);
+  EXPECT_DOUBLE_EQ(stats.cpu_core_seconds, 4 * 10 * 2 + 2 * 5 * 1 + 1 * 20 * 1);
+  EXPECT_DOUBLE_EQ(stats.mem_gb_seconds, 4 * 10 * 4 + 2 * 5 * 1 + 1 * 20 * 2);
+  EXPECT_DOUBLE_EQ(stats.arrival_window_seconds, 100.0);
+  // Critical paths: 10 and 25 -> mean 17.5.
+  EXPECT_DOUBLE_EQ(stats.mean_critical_path_seconds, 17.5);
+  // One of three phases has cv = 0.5 (not > 0.5): none straggler-prone.
+  EXPECT_DOUBLE_EQ(stats.straggler_phase_fraction, 0.0);
+}
+
+TEST(WorkloadAnalysis, OfferedLoadDimensions) {
+  // Cluster 10 cores / 100 GB; work 500 core-s and 8000 GB-s over 100 s:
+  // cpu load 0.5, mem load 0.8 -> max 0.8.
+  Cluster cluster = Cluster::uniform(1, {10, 100});
+  std::vector<JobSpec> jobs;
+  jobs.push_back(JobSpec::single_phase(0, 10, {1, 16}, 50.0, 0.0, 0.0));
+  jobs.push_back(JobSpec::single_task(1, {1, 1}, 1.0, 0.0, 100.0));
+  EXPECT_NEAR(offered_load(jobs, cluster),
+              (10 * 50 * 16 + 1) / 100.0 / 100.0, 1e-9);
+}
+
+TEST(WorkloadAnalysis, BatchArrivalsHaveNoRate) {
+  auto jobs = TraceModel({}, 3).sample_jobs(10);
+  assign_batch_arrivals(jobs);
+  EXPECT_DOUBLE_EQ(offered_load(jobs, Cluster::paper30()), 0.0);
+  EXPECT_DOUBLE_EQ(analyze_workload(jobs).arrival_window_seconds, 0.0);
+}
+
+TEST(WorkloadAnalysis, LoadScalesWithGap) {
+  TraceModel model({}, 5);
+  auto fast = model.sample_jobs(200);
+  auto slow = fast;
+  assign_fixed_arrivals(fast, 5.0);
+  assign_fixed_arrivals(slow, 50.0);
+  const Cluster cluster = Cluster::google_like(50);
+  const double fast_load = offered_load(fast, cluster);
+  const double slow_load = offered_load(slow, cluster);
+  EXPECT_NEAR(fast_load / slow_load, 10.0, 0.1);
+}
+
+TEST(WorkloadAnalysis, StragglerFractionTracksTraceModel) {
+  TraceModelConfig config;
+  TraceModel model(config, 7);
+  const auto jobs = model.sample_jobs(400);
+  const WorkloadStats stats = analyze_workload(jobs);
+  EXPECT_NEAR(stats.straggler_phase_fraction, config.straggler_phase_fraction, 0.08);
+}
+
+TEST(WorkloadAnalysis, ReportMentionsKeyNumbers) {
+  auto jobs = std::vector<JobSpec>{make_wordcount(0, 4.0)};
+  const std::string report = render_workload_report(jobs, Cluster::paper30());
+  EXPECT_NE(report.find("1 jobs"), std::string::npos);
+  EXPECT_NE(report.find("offered load"), std::string::npos);
+  EXPECT_NE(report.find("30-server"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dollymp

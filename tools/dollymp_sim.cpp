@@ -1,0 +1,230 @@
+// dollymp_sim — command-line driver for the simulator.
+//
+// Run any scheduler against a synthetic or file-based workload and get a
+// summary on stdout plus (optionally) per-job records as CSV.
+//
+//   dollymp_sim [options]
+//     --cluster  paper30 | google:<N> | uniform:<N>:<cpu>:<mem>   (default paper30)
+//     --scheduler capacity|drf|tetris|carbyne|srpt|svf|dollymp<0-3> (default dollymp2)
+//     --jobs N           synthesize N trace-model jobs          (default 200)
+//     --gap SECONDS      mean Poisson inter-arrival gap         (default 20)
+//     --trace FILE       replay a trace CSV instead of synthesizing
+//     --seed S           environment seed                        (default 1)
+//     --slot SECONDS     slot length                             (default 5)
+//     --clones K         DollyMP clone budget override
+//     --straggler-aware  enable learned server scoring (DollyMP only)
+//     --failures MTBF:REPAIR  enable machine failures (seconds)
+//     --out FILE         write per-job records as CSV
+//     --compare          run ALL schedulers on the workload (paired) and
+//                        print a comparison table instead of one summary
+//     --quiet            summary line only
+//     --help
+//
+// Examples:
+//   dollymp_sim --scheduler tetris --jobs 500 --gap 10
+//   dollymp_sim --cluster google:300 --trace mytrace.csv --out results.csv
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/metrics/experiment.h"
+#include "dollymp/metrics/report.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/carbyne.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/drf.h"
+#include "dollymp/sched/simple_priority.h"
+#include "dollymp/sched/tetris.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_io.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace {
+
+using namespace dollymp;
+
+struct Options {
+  std::string cluster = "paper30";
+  std::string scheduler = "dollymp2";
+  int jobs = 200;
+  double gap = 20.0;
+  std::string trace;
+  std::uint64_t seed = 1;
+  double slot = 5.0;
+  int clones = -1;
+  bool straggler_aware = false;
+  double failure_mtbf = 0.0;
+  double failure_repair = 0.0;
+  std::string out;
+  bool quiet = false;
+  bool compare = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: dollymp_sim [--cluster paper30|google:N|uniform:N:CPU:MEM]\n"
+      "                   [--scheduler capacity|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
+      "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
+      "                   [--slot SECONDS] [--clones K] [--straggler-aware]\n"
+      "                   [--failures MTBF:REPAIR] [--out FILE] [--quiet]\n";
+  std::exit(code);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, sep)) parts.push_back(token);
+  return parts;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--cluster") opt.cluster = need_value(i);
+    else if (arg == "--scheduler") opt.scheduler = need_value(i);
+    else if (arg == "--jobs") opt.jobs = std::stoi(need_value(i));
+    else if (arg == "--gap") opt.gap = std::stod(need_value(i));
+    else if (arg == "--trace") opt.trace = need_value(i);
+    else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+    else if (arg == "--slot") opt.slot = std::stod(need_value(i));
+    else if (arg == "--clones") opt.clones = std::stoi(need_value(i));
+    else if (arg == "--straggler-aware") opt.straggler_aware = true;
+    else if (arg == "--failures") {
+      const auto parts = split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--failures wants MTBF:REPAIR seconds\n";
+        usage(2);
+      }
+      opt.failure_mtbf = std::stod(parts[0]);
+      opt.failure_repair = std::stod(parts[1]);
+    } else if (arg == "--out") opt.out = need_value(i);
+    else if (arg == "--compare") opt.compare = true;
+    else if (arg == "--quiet") opt.quiet = true;
+    else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+Cluster make_cluster(const std::string& spec) {
+  if (spec == "paper30") return Cluster::paper30();
+  const auto parts = split(spec, ':');
+  if (parts.size() == 2 && parts[0] == "google") {
+    return Cluster::google_like(static_cast<std::size_t>(std::stoul(parts[1])));
+  }
+  if (parts.size() == 4 && parts[0] == "uniform") {
+    return Cluster::uniform(static_cast<std::size_t>(std::stoul(parts[1])),
+                            {std::stod(parts[2]), std::stod(parts[3])});
+  }
+  std::cerr << "unknown cluster spec '" << spec << "'\n";
+  usage(2);
+}
+
+std::unique_ptr<Scheduler> make_policy(const Options& opt) {
+  const std::string& key = opt.scheduler;
+  if (key == "capacity") return std::make_unique<CapacityScheduler>();
+  if (key == "drf") return std::make_unique<DrfScheduler>();
+  if (key == "tetris") return std::make_unique<TetrisScheduler>();
+  if (key == "carbyne") return std::make_unique<CarbyneScheduler>();
+  if (key == "srpt") {
+    return std::make_unique<SimplePriorityScheduler>(
+        SimplePriorityConfig{SimplePriorityRule::kSrpt, 1.5, 0});
+  }
+  if (key == "svf") {
+    return std::make_unique<SimplePriorityScheduler>(
+        SimplePriorityConfig{SimplePriorityRule::kSvf, 1.5, 0});
+  }
+  if (key.rfind("dollymp", 0) == 0 && key.size() == 8) {
+    DollyMPConfig config;
+    config.clone_budget = key[7] - '0';
+    if (opt.clones >= 0) config.clone_budget = opt.clones;
+    config.straggler_aware = opt.straggler_aware;
+    return std::make_unique<DollyMPScheduler>(config);
+  }
+  std::cerr << "unknown scheduler '" << key << "'\n";
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  const Cluster cluster = make_cluster(opt.cluster);
+  std::vector<JobSpec> jobs;
+  if (!opt.trace.empty()) {
+    jobs = load_trace(opt.trace);
+  } else {
+    TraceModel model({}, opt.seed);
+    jobs = model.sample_jobs(opt.jobs);
+    assign_poisson_arrivals(jobs, opt.gap, opt.seed + 1);
+  }
+
+  SimConfig config;
+  config.slot_seconds = opt.slot;
+  config.seed = opt.seed;
+  if (opt.failure_mtbf > 0.0) {
+    config.failures.enabled = true;
+    config.failures.mean_time_to_failure_seconds = opt.failure_mtbf;
+    config.failures.mean_repair_seconds = opt.failure_repair;
+  }
+
+  if (opt.compare) {
+    ComparisonSpec spec;
+    spec.cluster = cluster;
+    spec.config = config;
+    spec.jobs = jobs;
+    std::vector<ComparisonEntry> entries;
+    for (const char* key :
+         {"capacity", "drf", "tetris", "carbyne", "srpt", "svf", "dollymp0", "dollymp2"}) {
+      entries.push_back({key, [key] {
+                           Options o;
+                           o.scheduler = key;
+                           return make_policy(o);
+                         }});
+    }
+    ThreadPool pool;
+    const auto results = run_comparison(spec, entries, &pool);
+    std::vector<RunSummary> summaries;
+    summaries.reserve(results.size());
+    for (const auto& r : results) summaries.push_back(summarize(r));
+    std::cout << render_summaries(summaries);
+    return 0;
+  }
+
+  auto scheduler = make_policy(opt);
+  const SimResult result = simulate(cluster, config, jobs, *scheduler);
+  const RunSummary summary = summarize(result);
+
+  if (opt.quiet) {
+    std::cout << result.scheduler << " jobs=" << summary.jobs
+              << " mean_flow_s=" << summary.mean_flowtime
+              << " makespan_s=" << summary.makespan << "\n";
+  } else {
+    std::cout << render_summaries({summary});
+    std::cout << render_cdf_rows("flowtime_s", flowtime_cdf(result));
+    std::cout << render_cdf_rows("running_s", running_time_cdf(result));
+  }
+  if (!opt.out.empty()) {
+    save_results(result, opt.out);
+    std::cout << "wrote per-job records to " << opt.out << "\n";
+  }
+  return 0;
+}
