@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dollymp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dollymp_bench_common.dir/bench_common.cpp.o.d"
+  "libdollymp_bench_common.a"
+  "libdollymp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dollymp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

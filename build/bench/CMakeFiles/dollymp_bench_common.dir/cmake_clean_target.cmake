@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdollymp_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_light_load.dir/fig04_light_load.cpp.o"
+  "CMakeFiles/fig04_light_load.dir/fig04_light_load.cpp.o.d"
+  "fig04_light_load"
+  "fig04_light_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_light_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_heavy_running_cdf.dir/fig05_heavy_running_cdf.cpp.o"
+  "CMakeFiles/fig05_heavy_running_cdf.dir/fig05_heavy_running_cdf.cpp.o.d"
+  "fig05_heavy_running_cdf"
+  "fig05_heavy_running_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_heavy_running_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_heavy_running_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cumulative_flowtime.dir/fig07_cumulative_flowtime.cpp.o"
+  "CMakeFiles/fig07_cumulative_flowtime.dir/fig07_cumulative_flowtime.cpp.o.d"
+  "fig07_cumulative_flowtime"
+  "fig07_cumulative_flowtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cumulative_flowtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

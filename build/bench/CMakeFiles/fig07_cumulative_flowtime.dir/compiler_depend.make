@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_cumulative_flowtime.
+# This may be replaced when dependencies are built.

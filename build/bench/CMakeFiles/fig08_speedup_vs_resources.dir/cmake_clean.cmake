@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speedup_vs_resources.dir/fig08_speedup_vs_resources.cpp.o"
+  "CMakeFiles/fig08_speedup_vs_resources.dir/fig08_speedup_vs_resources.cpp.o.d"
+  "fig08_speedup_vs_resources"
+  "fig08_speedup_vs_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup_vs_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_clone_count_ablation.dir/fig09_clone_count_ablation.cpp.o"
+  "CMakeFiles/fig09_clone_count_ablation.dir/fig09_clone_count_ablation.cpp.o.d"
+  "fig09_clone_count_ablation"
+  "fig09_clone_count_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_clone_count_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

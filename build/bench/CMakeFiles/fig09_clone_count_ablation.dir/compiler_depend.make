@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_clone_count_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vs_carbyne.dir/fig11_vs_carbyne.cpp.o"
+  "CMakeFiles/fig11_vs_carbyne.dir/fig11_vs_carbyne.cpp.o.d"
+  "fig11_vs_carbyne"
+  "fig11_vs_carbyne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vs_carbyne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

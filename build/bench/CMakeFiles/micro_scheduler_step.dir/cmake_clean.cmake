@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler_step.dir/micro_scheduler_step.cpp.o"
+  "CMakeFiles/micro_scheduler_step.dir/micro_scheduler_step.cpp.o.d"
+  "micro_scheduler_step"
+  "micro_scheduler_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

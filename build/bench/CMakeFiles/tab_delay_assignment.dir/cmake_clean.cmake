@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_delay_assignment.dir/tab_delay_assignment.cpp.o"
+  "CMakeFiles/tab_delay_assignment.dir/tab_delay_assignment.cpp.o.d"
+  "tab_delay_assignment"
+  "tab_delay_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_delay_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

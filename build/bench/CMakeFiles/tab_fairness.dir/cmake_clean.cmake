@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fairness.dir/tab_fairness.cpp.o"
+  "CMakeFiles/tab_fairness.dir/tab_fairness.cpp.o.d"
+  "tab_fairness"
+  "tab_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_learning.dir/tab_learning.cpp.o"
+  "CMakeFiles/tab_learning.dir/tab_learning.cpp.o.d"
+  "tab_learning"
+  "tab_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_theory.dir/tab_theory.cpp.o"
+  "CMakeFiles/tab_theory.dir/tab_theory.cpp.o.d"
+  "tab_theory"
+  "tab_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

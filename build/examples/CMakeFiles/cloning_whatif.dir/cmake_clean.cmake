@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloning_whatif.dir/cloning_whatif.cpp.o"
+  "CMakeFiles/cloning_whatif.dir/cloning_whatif.cpp.o.d"
+  "cloning_whatif"
+  "cloning_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloning_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

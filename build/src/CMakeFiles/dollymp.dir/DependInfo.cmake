@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/background_load.cpp" "src/CMakeFiles/dollymp.dir/cluster/background_load.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/cluster/background_load.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/dollymp.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/locality.cpp" "src/CMakeFiles/dollymp.dir/cluster/locality.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/cluster/locality.cpp.o.d"
+  "/root/repo/src/cluster/server.cpp" "src/CMakeFiles/dollymp.dir/cluster/server.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/cluster/server.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/dollymp.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/distributions.cpp" "src/CMakeFiles/dollymp.dir/common/distributions.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/distributions.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/dollymp.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/resources.cpp" "src/CMakeFiles/dollymp.dir/common/resources.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/resources.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dollymp.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dollymp.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/dollymp.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/dollymp.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/job/dag.cpp" "src/CMakeFiles/dollymp.dir/job/dag.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/job/dag.cpp.o.d"
+  "/root/repo/src/job/effective.cpp" "src/CMakeFiles/dollymp.dir/job/effective.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/job/effective.cpp.o.d"
+  "/root/repo/src/job/job.cpp" "src/CMakeFiles/dollymp.dir/job/job.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/job/job.cpp.o.d"
+  "/root/repo/src/learn/pocd.cpp" "src/CMakeFiles/dollymp.dir/learn/pocd.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/learn/pocd.cpp.o.d"
+  "/root/repo/src/learn/server_scorer.cpp" "src/CMakeFiles/dollymp.dir/learn/server_scorer.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/learn/server_scorer.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/dollymp.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/records.cpp" "src/CMakeFiles/dollymp.dir/metrics/records.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/metrics/records.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/dollymp.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/sched/capacity.cpp" "src/CMakeFiles/dollymp.dir/sched/capacity.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/capacity.cpp.o.d"
+  "/root/repo/src/sched/carbyne.cpp" "src/CMakeFiles/dollymp.dir/sched/carbyne.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/carbyne.cpp.o.d"
+  "/root/repo/src/sched/dollymp.cpp" "src/CMakeFiles/dollymp.dir/sched/dollymp.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/dollymp.cpp.o.d"
+  "/root/repo/src/sched/drf.cpp" "src/CMakeFiles/dollymp.dir/sched/drf.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/drf.cpp.o.d"
+  "/root/repo/src/sched/hopper.cpp" "src/CMakeFiles/dollymp.dir/sched/hopper.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/hopper.cpp.o.d"
+  "/root/repo/src/sched/knapsack.cpp" "src/CMakeFiles/dollymp.dir/sched/knapsack.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/knapsack.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/CMakeFiles/dollymp.dir/sched/priority.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/priority.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/dollymp.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/simple_priority.cpp" "src/CMakeFiles/dollymp.dir/sched/simple_priority.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/simple_priority.cpp.o.d"
+  "/root/repo/src/sched/strip_packing.cpp" "src/CMakeFiles/dollymp.dir/sched/strip_packing.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/strip_packing.cpp.o.d"
+  "/root/repo/src/sched/tetris.cpp" "src/CMakeFiles/dollymp.dir/sched/tetris.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sched/tetris.cpp.o.d"
+  "/root/repo/src/sim/execution.cpp" "src/CMakeFiles/dollymp.dir/sim/execution.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sim/execution.cpp.o.d"
+  "/root/repo/src/sim/runtime_state.cpp" "src/CMakeFiles/dollymp.dir/sim/runtime_state.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sim/runtime_state.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/dollymp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/speculation.cpp" "src/CMakeFiles/dollymp.dir/sim/speculation.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sim/speculation.cpp.o.d"
+  "/root/repo/src/sim/types.cpp" "src/CMakeFiles/dollymp.dir/sim/types.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/sim/types.cpp.o.d"
+  "/root/repo/src/workload/analysis.cpp" "src/CMakeFiles/dollymp.dir/workload/analysis.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/workload/analysis.cpp.o.d"
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/dollymp.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/dollymp.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/dollymp.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/workload/trace_io.cpp.o.d"
+  "/root/repo/src/workload/trace_model.cpp" "src/CMakeFiles/dollymp.dir/workload/trace_model.cpp.o" "gcc" "src/CMakeFiles/dollymp.dir/workload/trace_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_background_load.dir/test_background_load.cpp.o"
+  "CMakeFiles/test_background_load.dir/test_background_load.cpp.o.d"
+  "test_background_load"
+  "test_background_load.pdb"
+  "test_background_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_background_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_details.dir/test_baseline_details.cpp.o"
+  "CMakeFiles/test_baseline_details.dir/test_baseline_details.cpp.o.d"
+  "test_baseline_details"
+  "test_baseline_details.pdb"
+  "test_baseline_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

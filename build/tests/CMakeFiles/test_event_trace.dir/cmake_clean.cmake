@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_trace.dir/test_event_trace.cpp.o"
+  "CMakeFiles/test_event_trace.dir/test_event_trace.cpp.o.d"
+  "test_event_trace"
+  "test_event_trace.pdb"
+  "test_event_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

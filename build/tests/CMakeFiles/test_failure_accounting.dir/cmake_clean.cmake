@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_accounting.dir/test_failure_accounting.cpp.o"
+  "CMakeFiles/test_failure_accounting.dir/test_failure_accounting.cpp.o.d"
+  "test_failure_accounting"
+  "test_failure_accounting.pdb"
+  "test_failure_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

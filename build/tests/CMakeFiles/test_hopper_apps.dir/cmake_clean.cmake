@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopper_apps.dir/test_hopper_apps.cpp.o"
+  "CMakeFiles/test_hopper_apps.dir/test_hopper_apps.cpp.o.d"
+  "test_hopper_apps"
+  "test_hopper_apps.pdb"
+  "test_hopper_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopper_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

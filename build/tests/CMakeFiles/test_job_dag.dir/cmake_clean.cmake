@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_dag.dir/test_job_dag.cpp.o"
+  "CMakeFiles/test_job_dag.dir/test_job_dag.cpp.o.d"
+  "test_job_dag"
+  "test_job_dag.pdb"
+  "test_job_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_helpers.dir/test_sched_helpers.cpp.o"
+  "CMakeFiles/test_sched_helpers.dir/test_sched_helpers.cpp.o.d"
+  "test_sched_helpers"
+  "test_sched_helpers.pdb"
+  "test_sched_helpers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_analysis.dir/test_workload_analysis.cpp.o"
+  "CMakeFiles/test_workload_analysis.dir/test_workload_analysis.cpp.o.d"
+  "test_workload_analysis"
+  "test_workload_analysis.pdb"
+  "test_workload_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

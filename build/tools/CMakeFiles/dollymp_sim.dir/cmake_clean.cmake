@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dollymp_sim.dir/dollymp_sim.cpp.o"
+  "CMakeFiles/dollymp_sim.dir/dollymp_sim.cpp.o.d"
+  "dollymp_sim"
+  "dollymp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dollymp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
