@@ -9,6 +9,7 @@
 #include "dollymp/sched/carbyne.h"
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/sched/drf.h"
+#include "dollymp/sched/hopper.h"
 #include "dollymp/sched/simple_priority.h"
 #include "dollymp/sched/tetris.h"
 
@@ -16,6 +17,7 @@ namespace dollymp::bench {
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& key) {
   if (key == "capacity") return std::make_unique<CapacityScheduler>();
+  if (key == "hopper") return std::make_unique<HopperScheduler>();
   if (key == "drf") return std::make_unique<DrfScheduler>();
   if (key == "tetris") return std::make_unique<TetrisScheduler>();
   if (key == "carbyne") return std::make_unique<CarbyneScheduler>();
@@ -155,6 +157,8 @@ void print_flowtime_table(const std::string& title,
   summaries.reserve(results.size());
   for (const auto& r : results) summaries.push_back(summarize(r));
   std::cout << render_summaries(summaries);
+  std::cout << banner(title + " — control plane");
+  std::cout << render_control_plane(summaries);
 }
 
 DryRunContext::DryRunContext(Cluster cluster, std::vector<JobSpec> jobs,

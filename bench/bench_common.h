@@ -21,7 +21,7 @@
 namespace dollymp::bench {
 
 /// Factory over every policy in the library.  Keys: "capacity", "drf",
-/// "tetris", "carbyne", "srpt", "svf", "dollymp0".."dollymp3",
+/// "tetris", "carbyne", "srpt", "svf", "hopper", "dollymp0".."dollymp3",
 /// "dollymp2-naive" (clones largest-first — the Section 4.1 ablation).
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& key);
 
@@ -56,7 +56,9 @@ void print_cdf_figure(const std::string& title,
 /// whether the measured trend matches.
 void shape_check(const std::string& claim, double measured, bool holds);
 
-/// Sum of flowtimes table for a set of results.
+/// Sum of flowtimes table for a set of results, followed by the
+/// control-plane counter table (scheduler invocations, fast-forwarded
+/// slots, events by kind, placement funnel).
 void print_flowtime_table(const std::string& title, const std::vector<SimResult>& results);
 
 /// A stand-alone SchedulerContext for latency measurements (Section 6.3.3):
@@ -83,6 +85,8 @@ class DryRunContext final : public SchedulerContext {
                               ServerId server) override {
     return place_copy(job, phase, task, server);
   }
+  /// Time never advances in a dry run; wakeup requests are meaningless.
+  void request_wakeup(SimTime /*slot*/) override {}
 
   /// Undo all placements so the next measured round starts from scratch.
   void reset_placements();

@@ -1,0 +1,37 @@
+// Shared main() for the micro benchmarks.  Besides the console table, each
+// binary always writes machine-readable JSON — BENCH_<binary>.json in the
+// working directory — so the perf trajectory is tracked across PRs without
+// anyone remembering to pass --benchmark_out.  Explicit --benchmark_out
+// flags still win.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string binary = argv[0];
+  const auto slash = binary.find_last_of('/');
+  if (slash != std::string::npos) binary = binary.substr(slash + 1);
+
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!has_out) {
+    out_flag = "--benchmark_out=BENCH_" + binary + ".json";
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -74,6 +74,47 @@ struct UtilizationSample {
   double mem = 0.0;   ///< fraction of total memory allocated
 };
 
+/// Control-plane observability: how the event/timer-driven simulator spent
+/// a run.  Always filled (the counters are cheap); surfaced in the report
+/// tables so every perf PR can show its effect on scheduler invocations
+/// and fast-forwarding.
+struct SimStats {
+  // Control plane.
+  long long scheduler_invocations = 0;  ///< schedule() calls
+  long long slots_visited = 0;          ///< slots the event loop stopped at
+  long long slots_fast_forwarded = 0;   ///< slots skipped between visits
+  long long timer_wakeups_requested = 0;
+
+  // Events processed, by kind.
+  long long events_copy_finish = 0;   ///< stochastic-model completion events
+  long long events_work_finish = 0;   ///< work-based-model prediction events
+  long long events_server_failure = 0;
+  long long events_server_repair = 0;
+  long long events_timer = 0;         ///< timer wakeups fired
+  long long events_job_arrival = 0;
+
+  // Placement funnel: every place_copy/place_speculative_copy request,
+  // split by outcome.
+  long long placement_attempts = 0;
+  long long placements_accepted = 0;
+  long long rejected_job_not_ready = 0;      ///< job finished or not arrived
+  long long rejected_phase_not_runnable = 0; ///< parents unfinished / task done
+  long long rejected_copy_cap = 0;           ///< per-task concurrent-copy cap
+  long long rejected_invalid_server = 0;     ///< server id out of range
+  long long rejected_no_capacity = 0;        ///< server down or lacks resources
+
+  double wall_clock_seconds = 0.0;  ///< host time spent inside run()
+
+  [[nodiscard]] long long events_processed() const {
+    return events_copy_finish + events_work_finish + events_server_failure +
+           events_server_repair + events_timer + events_job_arrival;
+  }
+  [[nodiscard]] long long placements_rejected() const {
+    return rejected_job_not_ready + rejected_phase_not_runnable + rejected_copy_cap +
+           rejected_invalid_server + rejected_no_capacity;
+  }
+};
+
 struct SimResult {
   std::string scheduler;
   double slot_seconds = 5.0;
@@ -86,6 +127,10 @@ struct SimResult {
   // Aggregates filled by the simulator.
   long long total_copies_launched = 0;
   long long total_tasks_completed = 0;
+
+  /// Control-plane counters (invocations, events by kind, placement
+  /// funnel, wall clock) — always recorded.
+  SimStats stats;
 
   [[nodiscard]] double total_flowtime() const;
   [[nodiscard]] double mean_flowtime() const;

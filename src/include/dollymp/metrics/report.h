@@ -23,6 +23,9 @@ struct RunSummary {
   double total_resource_seconds = 0.0;
   double cloned_task_fraction = 0.0;
   long long clones_launched = 0;
+  /// Control-plane counters of the run (invocations, events, placement
+  /// funnel, wall clock).
+  SimStats stats;
 };
 
 [[nodiscard]] RunSummary summarize(const SimResult& result);
@@ -57,6 +60,13 @@ struct PairedRatios {
 
 /// Render a comparison table of several run summaries.
 [[nodiscard]] std::string render_summaries(const std::vector<RunSummary>& summaries);
+
+/// Render the control-plane counters of several runs: scheduler
+/// invocations, slots visited vs fast-forwarded, events processed by kind,
+/// the placement funnel (attempts / accepted / rejections by reason) and
+/// simulator wall clock.  The observability half of the event-driven
+/// control plane — every perf PR can quote this table.
+[[nodiscard]] std::string render_control_plane(const std::vector<RunSummary>& summaries);
 
 /// Render a CDF as "value@q" rows for quantiles {0.1 ... 1.0}.
 [[nodiscard]] std::string render_cdf_rows(const std::string& label, const Cdf& cdf);

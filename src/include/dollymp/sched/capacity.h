@@ -24,9 +24,6 @@ class CapacityScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "capacity"; }
   void schedule(SchedulerContext& ctx) override;
-  [[nodiscard]] bool wants_every_slot() const override {
-    return config_.speculation.enabled;
-  }
 
  private:
   CapacityConfig config_;

@@ -66,6 +66,7 @@ class DollyMPScheduler final : public Scheduler {
   void on_copy_finished(SchedulerContext& ctx, const JobRuntime& job,
                         const PhaseRuntime& phase, const TaskRuntime& task,
                         const CopyRuntime& copy) override;
+  void on_job_completed(SchedulerContext& ctx, const JobRuntime& job) override;
 
   /// Learned per-server slowdown estimates (only populated when
   /// config().straggler_aware is set).
@@ -94,7 +95,9 @@ class DollyMPScheduler final : public Scheduler {
   DollyMPConfig config_;
   std::unordered_map<JobId, int> priority_;
   std::unordered_map<JobId, double> volume_;
-  std::size_t known_jobs_ = 0;
+  /// Set by on_job_completed when recompute_on_completion is enabled;
+  /// schedule() refreshes priorities and clears it.
+  bool priorities_dirty_ = false;
   std::optional<ServerScorer> scorer_;
 };
 

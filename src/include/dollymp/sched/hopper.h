@@ -38,7 +38,6 @@ class HopperScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "hopper"; }
   void schedule(SchedulerContext& ctx) override;
-  [[nodiscard]] bool wants_every_slot() const override { return true; }
 
  private:
   HopperConfig config_;

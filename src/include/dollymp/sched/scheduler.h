@@ -6,6 +6,14 @@
 // (the only implementer of SchedulerContext) validates every request —
 // capacity (Eq. 5), precedence (Eq. 7), the per-task copy cap — so no
 // policy can cheat.
+//
+// The control plane is event-driven: the simulator invokes the scheduler
+// only at slots where something happened (arrival, completion, failure,
+// repair) or where the policy asked to be woken via
+// SchedulerContext::request_wakeup.  Time-triggered policies (speculative
+// execution, Hopper) schedule their next straggler-check deadline instead
+// of being polled every slot, which lets the simulator fast-forward across
+// empty slots unconditionally.
 #pragma once
 
 #include <memory>
@@ -43,6 +51,17 @@ class SchedulerContext {
   virtual bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase,
                                       TaskRuntime& task, ServerId server) = 0;
 
+  /// Ask to be invoked again at `slot` even if no arrival, completion or
+  /// failure lands there.  This is the timer half of the event-driven
+  /// control plane: a time-triggered policy computes the next slot at
+  /// which its decision could change (e.g. the earliest straggler-threshold
+  /// crossing) and registers it here; the simulator fast-forwards to
+  /// min(next arrival, next completion, next failure, next wakeup).
+  /// Requests for slots at or before now() are clamped to now() + 1.
+  /// Multiple requests are merged; a wakeup fires at most one scheduler
+  /// invocation per slot.
+  virtual void request_wakeup(SimTime slot) = 0;
+
   /// RNG stream reserved for scheduler-side randomness (never shared with
   /// the workload/execution streams, so policies do not perturb the
   /// environment's realization).
@@ -72,11 +91,27 @@ class Scheduler {
                                 const TaskRuntime& /*task*/,
                                 const CopyRuntime& /*copy*/) {}
 
-  /// Return true to be invoked every slot even without arrivals or
-  /// completions (needed by time-triggered policies such as speculative
-  /// execution).  Event-driven policies leave this false, which lets the
-  /// simulator fast-forward between events.
-  [[nodiscard]] virtual bool wants_every_slot() const { return false; }
+  // Typed event notifications.  All fire while the simulator is draining
+  // the event heap, before the schedule() invocation of the same slot, so
+  // a policy can update incremental state (dirty flags, learned scores)
+  // instead of rescanning every active job on each invocation.  Like
+  // on_copy_finished, these are observation channels: implementations must
+  // not place copies from them.
+
+  /// A phase finished its last task (Eq. 6); child phases just unlocked.
+  virtual void on_phase_completed(SchedulerContext& /*ctx*/, const JobRuntime& /*job*/,
+                                  const PhaseRuntime& /*phase*/) {}
+
+  /// A job finished its last phase (Eq. 8).  The job is still present in
+  /// active_jobs() during this call and is removed before schedule().
+  virtual void on_job_completed(SchedulerContext& /*ctx*/, const JobRuntime& /*job*/) {}
+
+  /// A server crashed; every copy it hosted has already been killed and
+  /// the orphaned tasks are back in the needs-placement pool.
+  virtual void on_server_failed(SchedulerContext& /*ctx*/, ServerId /*server*/) {}
+
+  /// A failed server came back and accepts placements again.
+  virtual void on_server_repaired(SchedulerContext& /*ctx*/, ServerId /*server*/) {}
 };
 
 // ---- shared helpers used by several policies -------------------------------

@@ -37,6 +37,12 @@ struct SpeculationConfig {
 /// Scans active jobs and launches backups through the context.  Returns the
 /// number of backups launched.  Reusable by any scheduler; the Capacity
 /// baseline calls it after its normal placement pass.
+///
+/// Event-driven: the pass also registers a timer wakeup
+/// (SchedulerContext::request_wakeup) at the earliest future slot where a
+/// currently-running task will cross the slow_factor threshold, so callers
+/// need no every-slot polling — between events and that crossing, the
+/// pass's decision cannot change.
 int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config);
 
 }  // namespace dollymp

@@ -30,6 +30,7 @@ RunSummary summarize(const SimResult& result) {
     s.p95_flowtime = flowtime_cdf(result).quantile(0.95);
     s.p95_running_time = running_time_cdf(result).quantile(0.95);
   }
+  s.stats = result.stats;
   return s;
 }
 
@@ -114,6 +115,31 @@ std::string render_summaries(const std::vector<RunSummary>& summaries) {
                    ConsoleTable::format_double(s.total_resource_seconds, 0),
                    ConsoleTable::format_double(s.cloned_task_fraction, 3),
                    std::to_string(s.clones_launched)});
+  }
+  return table.render();
+}
+
+std::string render_control_plane(const std::vector<RunSummary>& summaries) {
+  ConsoleTable table({"scheduler", "invocations", "slots", "ff_slots", "timers",
+                      "events", "arrive", "finish", "fail", "attempts", "placed",
+                      "rej_cap", "rej_full", "rej_other", "wall_ms"});
+  for (const auto& s : summaries) {
+    const SimStats& st = s.stats;
+    table.add_row({s.scheduler, std::to_string(st.scheduler_invocations),
+                   std::to_string(st.slots_visited),
+                   std::to_string(st.slots_fast_forwarded),
+                   std::to_string(st.events_timer),
+                   std::to_string(st.events_processed()),
+                   std::to_string(st.events_job_arrival),
+                   std::to_string(st.events_copy_finish + st.events_work_finish),
+                   std::to_string(st.events_server_failure + st.events_server_repair),
+                   std::to_string(st.placement_attempts),
+                   std::to_string(st.placements_accepted),
+                   std::to_string(st.rejected_copy_cap),
+                   std::to_string(st.rejected_no_capacity),
+                   std::to_string(st.rejected_job_not_ready + st.rejected_phase_not_runnable +
+                                  st.rejected_invalid_server),
+                   ConsoleTable::format_double(st.wall_clock_seconds * 1e3, 1)});
   }
   return table.render();
 }

@@ -21,7 +21,7 @@ std::string DollyMPScheduler::name() const {
 void DollyMPScheduler::reset() {
   priority_.clear();
   volume_.clear();
-  known_jobs_ = 0;
+  priorities_dirty_ = false;
   scorer_.reset();
 }
 
@@ -73,10 +73,18 @@ void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
     priority_[jobs[i]->id] = result.priority[i];
     volume_[jobs[i]->id] = inputs[i].volume;
   }
-  known_jobs_ = jobs.size();
 }
 
 void DollyMPScheduler::on_job_arrival(SchedulerContext& ctx) { recompute_priorities(ctx); }
+
+void DollyMPScheduler::on_job_completed(SchedulerContext& /*ctx*/, const JobRuntime& /*job*/) {
+  // The typed completion event replaces the old "did active_jobs() shrink
+  // since my last recompute?" size check: mark the cached priorities stale
+  // and refresh lazily at the next schedule() call (which the simulator
+  // guarantees happens in the same slot, after the job leaves the active
+  // set).
+  if (config_.recompute_on_completion) priorities_dirty_ = true;
+}
 
 std::vector<DollyMPScheduler::JobOrder> DollyMPScheduler::ordered_jobs(
     SchedulerContext& ctx) const {
@@ -254,8 +262,9 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
 }
 
 void DollyMPScheduler::schedule(SchedulerContext& ctx) {
-  if (config_.recompute_on_completion && ctx.active_jobs().size() != known_jobs_) {
+  if (priorities_dirty_) {
     recompute_priorities(ctx);
+    priorities_dirty_ = false;
   }
   auto order = ordered_jobs(ctx);
   place_new_tasks(ctx, order);

@@ -1,6 +1,7 @@
 #include "dollymp/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <stdexcept>
 
@@ -13,37 +14,66 @@ namespace dollymp {
 
 namespace {
 
-/// A scheduled completion.  Stochastic model: one event per copy; the event
-/// is stale when the copy was killed.  Work-based model: one event per task
-/// prediction; the event is stale when the task's generation moved on.
-struct Event {
-  SimTime slot;
-  std::int32_t job_index;
-  PhaseIndex phase;
-  std::int32_t task;
-  std::int32_t copy;        // -1 for work-based task events
-  std::uint32_t generation; // work-based staleness check
+/// Everything that can make the simulator visit a slot, in one typed heap.
+/// Kind values double as the same-slot processing order: repairs before
+/// failures (a machine that bounces within one slot ends up alive),
+/// failures before completions (a copy cannot finish on a machine that
+/// died the same instant), completions before timer wakeups (the scheduler
+/// invocation a timer triggers must observe the slot's completions).
+enum class EvKind : std::uint8_t {
+  kServerRepair = 0,
+  kServerFailure = 1,
+  kCompletion = 2,  ///< copy finish (stochastic) or work prediction (work-based)
+  kTimer = 3,       ///< scheduler wakeup requested via request_wakeup()
+};
 
-  // Min-heap by slot with a fully deterministic tie order.
-  friend bool operator>(const Event& a, const Event& b) {
+/// One heap entry.  Completion events come in two flavours sharing the
+/// kind: per-copy events (copy >= 0; stale when the copy was killed) and
+/// per-task work predictions (copy == -1; stale when the task's generation
+/// moved on).  Fields a kind does not use hold fixed sentinels so the
+/// comparator defines one deterministic total order over all events.
+struct SimEvent {
+  SimTime slot = 0;
+  EvKind kind = EvKind::kTimer;
+  std::int32_t job_index = -1;
+  PhaseIndex phase = -1;
+  std::int32_t task = -1;
+  std::int32_t copy = -1;        // -1 for work-based task events and non-completions
+  std::uint32_t generation = 0;  // work-based staleness check, also a tie breaker
+  ServerId server = kInvalidServer;
+
+  // Repairs and failures form one group so same-slot machine events across
+  // servers pop server-major with the repair first per server (each pop
+  // draws the machine's next lifetime from the failure RNG, so this order
+  // is part of the deterministic realization).
+  [[nodiscard]] int group() const {
+    switch (kind) {
+      case EvKind::kServerRepair:
+      case EvKind::kServerFailure:
+        return 0;
+      case EvKind::kCompletion:
+        return 1;
+      case EvKind::kTimer:
+        return 2;
+    }
+    return 3;  // unreachable
+  }
+
+  // Min-heap by slot with a fully deterministic total order: kind group,
+  // then every payload field.  `generation` participates so two work-based
+  // predictions for the same task (pushed by successive copy-set changes
+  // landing on the same slot) pop in generation order instead of an
+  // implementation-defined one.
+  friend bool operator>(const SimEvent& a, const SimEvent& b) {
     if (a.slot != b.slot) return a.slot > b.slot;
+    if (a.group() != b.group()) return a.group() > b.group();
+    if (a.server != b.server) return a.server > b.server;
+    if (a.kind != b.kind) return a.kind > b.kind;
     if (a.job_index != b.job_index) return a.job_index > b.job_index;
     if (a.phase != b.phase) return a.phase > b.phase;
     if (a.task != b.task) return a.task > b.task;
-    return a.copy > b.copy;
-  }
-};
-
-/// A pending machine failure or repair.
-struct FailureEvent {
-  SimTime slot;
-  ServerId server;
-  bool is_repair;
-
-  friend bool operator>(const FailureEvent& a, const FailureEvent& b) {
-    if (a.slot != b.slot) return a.slot > b.slot;
-    if (a.server != b.server) return a.server > b.server;
-    return a.is_repair < b.is_repair;  // repairs before failures on ties
+    if (a.copy != b.copy) return a.copy > b.copy;
+    return a.generation > b.generation;
   }
 };
 
@@ -83,16 +113,40 @@ class Simulator::Impl final : public SchedulerContext {
     return place(job, phase, task, server, /*speculative=*/true);
   }
 
+  void request_wakeup(SimTime slot) override {
+    ++result_.stats.timer_wakeups_requested;
+    const SimTime target = std::max(slot, now_ + 1);
+    if (target == pending_timer_slot_) return;  // already registered
+    push_event(SimEvent{target, EvKind::kTimer});
+    ++pending_timer_count_;
+    pending_timer_slot_ = target;
+  }
+
  private:
   static std::uint64_t splitmix_seed(std::uint64_t seed, std::uint64_t tag) {
     std::uint64_t s = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
     return splitmix64(s);
   }
 
+  void push_event(const SimEvent& event) { events_.push(event); }
+  void push_completion(SimTime slot, const JobRuntime& job, PhaseIndex phase,
+                       std::int32_t task, std::int32_t copy, std::uint32_t generation) {
+    SimEvent e;
+    e.slot = slot;
+    e.kind = EvKind::kCompletion;
+    e.job_index = static_cast<std::int32_t>(&job - jobs_.data());
+    e.phase = phase;
+    e.task = task;
+    e.copy = copy;
+    e.generation = generation;
+    push_event(e);
+  }
+
   bool place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task, ServerId server,
              bool speculative);
   void process_arrivals();
-  void process_completions();
+  void drain_failures();
+  void drain_completions();
   void handle_copy_finish(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
                           std::size_t copy_index);
   void handle_work_event(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
@@ -111,10 +165,14 @@ class Simulator::Impl final : public SchedulerContext {
   }
   void validate_placeable(const JobSpec& spec) const;
   void seed_failures();
-  void process_failures();
   void fail_server(ServerId server_id);
   [[nodiscard]] SimTime failure_delay_slots(double mean_seconds);
   [[nodiscard]] bool any_copy_active() const { return active_copy_count_ > 0; }
+  /// True when the heap holds anything that can change simulation state
+  /// (timer wakeups alone cannot: they only re-invoke the scheduler).
+  [[nodiscard]] bool state_events_pending() const {
+    return events_.size() > pending_timer_count_;
+  }
 
   Cluster cluster_;
   SimConfig config_;
@@ -130,9 +188,11 @@ class Simulator::Impl final : public SchedulerContext {
   std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
   std::size_t next_arrival_ = 0;
   std::vector<JobRuntime*> active_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::priority_queue<FailureEvent, std::vector<FailureEvent>, std::greater<>>
-      failure_events_;
+  /// The one event heap: completions, failures, repairs and timer wakeups
+  /// in a single deterministic total order.
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>> events_;
+  std::size_t pending_timer_count_ = 0;
+  SimTime pending_timer_slot_ = kNever;  ///< dedupe: last timer slot still queued
 
   SimTime now_ = 0;
   Scheduler* scheduler_ = nullptr;  ///< valid during run()
@@ -163,17 +223,35 @@ void Simulator::Impl::validate_placeable(const JobSpec& spec) const {
 
 bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
                             ServerId server_id, bool speculative) {
-  if (job.finished || !job.arrived) return false;
-  if (!phase.runnable() || task.finished) return false;
+  SimStats& stats = result_.stats;
+  ++stats.placement_attempts;
+  if (job.finished || !job.arrived) {
+    ++stats.rejected_job_not_ready;
+    return false;
+  }
+  if (!phase.runnable() || task.finished) {
+    ++stats.rejected_phase_not_runnable;
+    return false;
+  }
   // The cap applies to *concurrent* copies: after a machine failure kills a
   // task's copies it may be re-placed even though dead copies remain on
   // record.
-  if (task.active_copies() >= config_.max_copies_per_task) return false;
-  if (server_id < 0 || static_cast<std::size_t>(server_id) >= cluster_.size()) return false;
+  if (task.active_copies() >= config_.max_copies_per_task) {
+    ++stats.rejected_copy_cap;
+    return false;
+  }
+  if (server_id < 0 || static_cast<std::size_t>(server_id) >= cluster_.size()) {
+    ++stats.rejected_invalid_server;
+    return false;
+  }
 
   Server& server = cluster_.server(static_cast<std::size_t>(server_id));
-  if (!server.allocate(task.demand)) return false;
+  if (!server.allocate(task.demand)) {
+    ++stats.rejected_no_capacity;
+    return false;
+  }
   server.note_copy_started();
+  ++stats.placements_accepted;
 
   const bool first_copy = task.copies.empty();
   // A task with no running copy is either brand new or a failure
@@ -196,9 +274,8 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
     copy.base_seconds = seconds;
     copy.finish = now_ + seconds_to_slots(seconds, config_.slot_seconds);
     task.copies.push_back(copy);
-    events_.push(Event{copy.finish, static_cast<std::int32_t>(&job - jobs_.data()),
-                       phase.index, task.ref.task,
-                       static_cast<std::int32_t>(task.copies.size() - 1), 0});
+    push_completion(copy.finish, job, phase.index, task.ref.task,
+                    static_cast<std::int32_t>(task.copies.size() - 1), 0);
   } else {
     // Work-based: roll accrued work to now, then re-predict with the larger
     // copy set and invalidate the previous prediction.
@@ -206,8 +283,7 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
     task.copies.push_back(copy);
     ++task.generation;
     const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
-    events_.push(Event{finish, static_cast<std::int32_t>(&job - jobs_.data()), phase.index,
-                       task.ref.task, -1, task.generation});
+    push_completion(finish, job, phase.index, task.ref.task, -1, task.generation);
   }
 
   ++active_copy_count_;
@@ -307,6 +383,7 @@ void Simulator::Impl::complete_phase(JobRuntime& job, PhaseRuntime& phase) {
       if (c.active) end_copy(job, phase, task, c, /*killed=*/true);
     }
   }
+  if (scheduler_ != nullptr) scheduler_->on_phase_completed(*this, job, phase);
   if (--job.remaining_phases == 0) complete_job(job);
 }
 
@@ -314,6 +391,7 @@ void Simulator::Impl::complete_job(JobRuntime& job) {
   job.finished = true;
   job.finish_slot = now_;
   record_event(SimEventKind::kJobCompleted, job.id);
+  if (scheduler_ != nullptr) scheduler_->on_job_completed(*this, job);
   --jobs_remaining_;
 }
 
@@ -340,8 +418,7 @@ void Simulator::Impl::handle_work_event(JobRuntime& job, PhaseRuntime& phase,
     // end at completion in the work model) — re-predict defensively.
     const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
     if (finish != kNever) {
-      events_.push(Event{finish, static_cast<std::int32_t>(&job - jobs_.data()), phase.index,
-                         task.ref.task, -1, task.generation});
+      push_completion(finish, job, phase.index, task.ref.task, -1, task.generation);
     }
     return;
   }
@@ -358,12 +435,13 @@ SimTime Simulator::Impl::failure_delay_slots(double mean_seconds) {
 }
 
 void Simulator::Impl::seed_failures() {
-  failure_events_ = {};
   if (!config_.failures.enabled) return;
   for (const auto& server : cluster_.servers()) {
-    failure_events_.push(FailureEvent{
-        failure_delay_slots(config_.failures.mean_time_to_failure_seconds), server.id(),
-        /*is_repair=*/false});
+    SimEvent e;
+    e.slot = failure_delay_slots(config_.failures.mean_time_to_failure_seconds);
+    e.kind = EvKind::kServerFailure;
+    e.server = server.id();
+    push_event(e);
   }
 }
 
@@ -393,8 +471,8 @@ void Simulator::Impl::fail_server(ServerId server_id) {
           const SimTime finish =
               predict_work_finish(task, phase, now_, config_.slot_seconds);
           if (finish != kNever) {
-            events_.push(Event{finish, static_cast<std::int32_t>(job - jobs_.data()),
-                               phase.index, task.ref.task, -1, task.generation});
+            push_completion(finish, *job, phase.index, task.ref.task, -1,
+                            task.generation);
           }
         }
         if (task.needs_placement()) {
@@ -407,24 +485,37 @@ void Simulator::Impl::fail_server(ServerId server_id) {
   }
 }
 
-void Simulator::Impl::process_failures() {
-  while (!failure_events_.empty() && failure_events_.top().slot <= now_) {
-    const FailureEvent e = failure_events_.top();
-    failure_events_.pop();
+void Simulator::Impl::drain_failures() {
+  // Repairs and failures sort before completions at a slot, so they form a
+  // prefix of the heap's due events.
+  while (!events_.empty() && events_.top().slot <= now_ &&
+         (events_.top().kind == EvKind::kServerRepair ||
+          events_.top().kind == EvKind::kServerFailure)) {
+    const SimEvent e = events_.top();
+    events_.pop();
     Server& server = cluster_.server(static_cast<std::size_t>(e.server));
-    if (e.is_repair) {
+    if (e.kind == EvKind::kServerRepair) {
+      ++result_.stats.events_server_repair;
       server.set_down(false);
       record_event(SimEventKind::kServerRepaired, -1, -1, -1, e.server);
-      failure_events_.push(FailureEvent{
-          now_ + failure_delay_slots(config_.failures.mean_time_to_failure_seconds),
-          e.server, /*is_repair=*/false});
+      if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, e.server);
+      SimEvent fail;
+      fail.slot =
+          now_ + failure_delay_slots(config_.failures.mean_time_to_failure_seconds);
+      fail.kind = EvKind::kServerFailure;
+      fail.server = e.server;
+      push_event(fail);
     } else {
+      ++result_.stats.events_server_failure;
       server.set_down(true);
       record_event(SimEventKind::kServerFailed, -1, -1, -1, e.server);
       fail_server(e.server);
-      failure_events_.push(FailureEvent{
-          now_ + failure_delay_slots(config_.failures.mean_repair_seconds), e.server,
-          /*is_repair=*/true});
+      if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, e.server);
+      SimEvent repair;
+      repair.slot = now_ + failure_delay_slots(config_.failures.mean_repair_seconds);
+      repair.kind = EvKind::kServerRepair;
+      repair.server = e.server;
+      push_event(repair);
     }
   }
 }
@@ -436,21 +527,30 @@ void Simulator::Impl::process_arrivals() {
     job.arrived = true;
     active_.push_back(&job);
     record_event(SimEventKind::kJobArrival, job.id);
+    ++result_.stats.events_job_arrival;
     ++next_arrival_;
     arrivals_this_slot_ = true;
   }
 }
 
-void Simulator::Impl::process_completions() {
+void Simulator::Impl::drain_completions() {
   while (!events_.empty() && events_.top().slot <= now_) {
-    const Event e = events_.top();
+    const SimEvent e = events_.top();
     events_.pop();
+    if (e.kind == EvKind::kTimer) {
+      ++result_.stats.events_timer;
+      --pending_timer_count_;
+      if (pending_timer_slot_ == e.slot) pending_timer_slot_ = kNever;
+      continue;  // a timer's only effect is that this slot is visited
+    }
     JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
     PhaseRuntime& phase = job.phases[static_cast<std::size_t>(e.phase)];
     TaskRuntime& task = phase.tasks[static_cast<std::size_t>(e.task)];
     if (e.copy >= 0) {
+      ++result_.stats.events_copy_finish;
       handle_copy_finish(job, phase, task, static_cast<std::size_t>(e.copy));
     } else {
+      ++result_.stats.events_work_finish;
       handle_work_event(job, phase, task, e.generation);
     }
   }
@@ -468,6 +568,7 @@ void Simulator::Impl::sample_utilization() {
 }
 
 SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& scheduler) {
+  const auto wall_start = std::chrono::steady_clock::now();
   result_ = SimResult{};
   result_.scheduler = scheduler.name();
   result_.slot_seconds = config_.slot_seconds;
@@ -492,6 +593,8 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
   next_arrival_ = 0;
   active_.clear();
   events_ = {};
+  pending_timer_count_ = 0;
+  pending_timer_slot_ = kNever;
   now_ = 0;
   active_copy_count_ = 0;
 
@@ -504,39 +607,41 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
       throw std::runtime_error("Simulator: exceeded max_slots safety valve at slot " +
                                std::to_string(now_));
     }
+    ++result_.stats.slots_visited;
     arrivals_this_slot_ = false;
-    process_failures();
+    drain_failures();
     process_arrivals();
-    process_completions();
+    drain_completions();
     // Drop finished jobs from the active list (keep arrival order).
     std::erase_if(active_, [](const JobRuntime* j) { return j->finished; });
 
     placed_this_invocation_ = false;
     if (!active_.empty()) {
       if (arrivals_this_slot_) scheduler.on_job_arrival(*this);
+      ++result_.stats.scheduler_invocations;
       scheduler.schedule(*this);
       sample_utilization();
     }
 
     if (jobs_remaining_ == 0) break;
 
-    // Decide the next slot to visit.
+    // Fast-forward to the next slot anything can happen at: the earliest of
+    // the next arrival and the event heap's top (completions, failures,
+    // repairs and requested timer wakeups all live there).
     SimTime next = config_.max_slots + 1;
     if (next_arrival_ < arrival_order_.size()) {
       next = std::min(next,
                       jobs_[static_cast<std::size_t>(arrival_order_[next_arrival_])].arrival);
     }
     if (!events_.empty()) next = std::min(next, events_.top().slot);
-    if (!failure_events_.empty()) next = std::min(next, failure_events_.top().slot);
-    if (scheduler.wants_every_slot() && !active_.empty()) {
-      next = std::min(next, now_ + 1);
-    }
 
-    const bool failure_pending = !failure_events_.empty();
-    if (!any_copy_active() && next_arrival_ >= arrival_order_.size() && events_.empty() &&
-        !failure_pending) {
-      // Pending work, no running copies, no future arrivals: if the policy
-      // also placed nothing we are stuck.
+    if (!any_copy_active() && next_arrival_ >= arrival_order_.size() &&
+        !state_events_pending()) {
+      // Pending work, no running copies, no future arrivals, and nothing in
+      // the heap that could change state (pending timer wakeups do not
+      // count: re-invoking a scheduler that just declined to place on an
+      // idle cluster cannot help): if the policy also placed nothing we are
+      // stuck.
       if (!placed_this_invocation_) {
         throw std::runtime_error(
             "Simulator: scheduler '" + scheduler.name() + "' stalled at slot " +
@@ -547,6 +652,7 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     if (next <= now_) {
       throw std::logic_error("Simulator: time failed to advance");
     }
+    result_.stats.slots_fast_forwarded += next - now_ - 1;
     now_ = next;
   }
 
@@ -570,6 +676,8 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.jobs.push_back(std::move(rec));
   }
   result_.makespan_seconds = makespan;
+  result_.stats.wall_clock_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return std::move(result_);
 }
 

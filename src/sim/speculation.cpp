@@ -1,6 +1,7 @@
 #include "dollymp/sim/speculation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace dollymp {
@@ -14,6 +15,24 @@ struct Candidate {
   double overrun;  ///< elapsed / theta, larger = more overdue
 };
 
+/// Earliest slot at which `task` satisfies the overrun predicate
+/// elapsed / theta >= slow_factor, i.e. the slot this pass would first
+/// consider it a straggler.  Computed in closed form then fixed up against
+/// the exact floating-point predicate so the wakeup lands on precisely the
+/// slot the old every-slot polling would have acted on.
+SimTime overrun_crossing_slot(const TaskRuntime& task, double theta_seconds,
+                              double slot_seconds, double slow_factor) {
+  const auto overdue = [&](SimTime t) {
+    const double elapsed = static_cast<double>(t - task.first_start) * slot_seconds;
+    return elapsed / theta_seconds >= slow_factor;
+  };
+  SimTime cross = task.first_start +
+                  static_cast<SimTime>(std::ceil(slow_factor * theta_seconds / slot_seconds));
+  while (!overdue(cross)) ++cross;
+  while (cross > task.first_start && overdue(cross - 1)) --cross;
+  return cross;
+}
+
 }  // namespace
 
 int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config) {
@@ -23,6 +42,9 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
   const Resources total = ctx.cluster().total_capacity();
   double backup_norm_in_use = 0.0;
   std::vector<Candidate> candidates;
+  // Earliest future overrun crossing among running tasks: the next slot at
+  // which this pass could act even if no other event lands.
+  SimTime next_crossing = kNever;
 
   for (JobRuntime* job : ctx.active_jobs()) {
     for (auto& phase : job->phases) {
@@ -47,10 +69,19 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
         const double overrun = elapsed / phase.spec->theta_seconds;
         if (overrun >= config.slow_factor) {
           candidates.push_back({job, &phase, &task, overrun});
+        } else {
+          // Not yet a straggler: the only slot at which that can change
+          // with no intervening event is its threshold crossing.  (Tasks
+          // gated out by min_finished_fraction need no timer: the gate
+          // only opens at a completion, which invokes the scheduler.)
+          const SimTime cross = overrun_crossing_slot(
+              task, phase.spec->theta_seconds, ctx.slot_seconds(), config.slow_factor);
+          if (next_crossing == kNever || cross < next_crossing) next_crossing = cross;
         }
       }
     }
   }
+  if (next_crossing != kNever) ctx.request_wakeup(next_crossing);
 
   // Most overdue first — LATE's "longest approximate time to end".
   std::sort(candidates.begin(), candidates.end(),

@@ -303,8 +303,10 @@ TEST(Simulator, WorkBasedLateCloneStillHelps) {
           }
         }
       }
+      // Time-triggered policy under the event-driven control plane: ask to
+      // be woken at the clone deadline instead of polling every slot.
+      if (ctx.now() < 4) ctx.request_wakeup(4);
     }
-    [[nodiscard]] bool wants_every_slot() const override { return true; }
   };
 
   const double theta = 10.0;

@@ -5,7 +5,7 @@
 //
 //   dollymp_sim [options]
 //     --cluster  paper30 | google:<N> | uniform:<N>:<cpu>:<mem>   (default paper30)
-//     --scheduler capacity|drf|tetris|carbyne|srpt|svf|dollymp<0-3> (default dollymp2)
+//     --scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp<0-3> (default dollymp2)
 //     --jobs N           synthesize N trace-model jobs          (default 200)
 //     --gap SECONDS      mean Poisson inter-arrival gap         (default 20)
 //     --trace FILE       replay a trace CSV instead of synthesizing
@@ -37,6 +37,7 @@
 #include "dollymp/sched/carbyne.h"
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/sched/drf.h"
+#include "dollymp/sched/hopper.h"
 #include "dollymp/sched/simple_priority.h"
 #include "dollymp/sched/tetris.h"
 #include "dollymp/sim/simulator.h"
@@ -68,7 +69,7 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "usage: dollymp_sim [--cluster paper30|google:N|uniform:N:CPU:MEM]\n"
-      "                   [--scheduler capacity|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
+      "                   [--scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
       "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
       "                   [--slot SECONDS] [--clones K] [--straggler-aware]\n"
       "                   [--failures MTBF:REPAIR] [--out FILE] [--quiet]\n";
@@ -140,6 +141,7 @@ Cluster make_cluster(const std::string& spec) {
 std::unique_ptr<Scheduler> make_policy(const Options& opt) {
   const std::string& key = opt.scheduler;
   if (key == "capacity") return std::make_unique<CapacityScheduler>();
+  if (key == "hopper") return std::make_unique<HopperScheduler>();
   if (key == "drf") return std::make_unique<DrfScheduler>();
   if (key == "tetris") return std::make_unique<TetrisScheduler>();
   if (key == "carbyne") return std::make_unique<CarbyneScheduler>();
@@ -206,6 +208,7 @@ int main(int argc, char** argv) {
     summaries.reserve(results.size());
     for (const auto& r : results) summaries.push_back(summarize(r));
     std::cout << render_summaries(summaries);
+    std::cout << render_control_plane(summaries);
     return 0;
   }
 
@@ -219,6 +222,7 @@ int main(int argc, char** argv) {
               << " makespan_s=" << summary.makespan << "\n";
   } else {
     std::cout << render_summaries({summary});
+    std::cout << render_control_plane({summary});
     std::cout << render_cdf_rows("flowtime_s", flowtime_cdf(result));
     std::cout << render_cdf_rows("running_s", running_time_cdf(result));
   }
