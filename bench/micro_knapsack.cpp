@@ -39,6 +39,20 @@ void BM_KnapsackDp(benchmark::State& state) {
 }
 BENCHMARK(BM_KnapsackDp)->Range(16, 1024);
 
+// Regression guard for the flattened DP choice table: a large item set at
+// high resolution makes the table the dominant cost, so a layout regression
+// (back to one heap row per item) shows up directly here.
+void BM_KnapsackDpLargeTable(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto weights = random_weights(n, 5);
+  const auto profits = random_weights(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_dp(weights, profits, 200.0, 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KnapsackDpLargeTable)->Range(256, 2048)->Unit(benchmark::kMillisecond);
+
 void BM_TransientPriorities(benchmark::State& state) {
   Rng rng(4);
   std::vector<PriorityJobInput> jobs(static_cast<std::size_t>(state.range(0)));

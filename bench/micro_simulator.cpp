@@ -43,6 +43,22 @@ void BM_SimulatorStochastic(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorStochastic)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 
+// Same end-to-end run at a 1,000-server inventory: the scale where the
+// placement index starts to dominate over the linear scan.
+void BM_SimulatorStochasticLargeCluster(benchmark::State& state) {
+  const auto jobs = sim_jobs(static_cast<int>(state.range(0)), 9);
+  const Cluster cluster = Cluster::google_like(1000);
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = 9;
+  for (auto _ : state) {
+    DollyMPScheduler scheduler;
+    const SimResult result = simulate(cluster, config, jobs, scheduler);
+    benchmark::DoNotOptimize(result.total_flowtime());
+  }
+}
+BENCHMARK(BM_SimulatorStochasticLargeCluster)->Arg(300)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorWorkBased(benchmark::State& state) {
   const auto jobs = sim_jobs(static_cast<int>(state.range(0)), 5);
   const Cluster cluster = Cluster::google_like(100);

@@ -76,6 +76,29 @@ Cluster Cluster::google_like(std::size_t servers) {
   return cluster;
 }
 
+Cluster Cluster::google_trace(std::size_t servers) {
+  // Full-scale inventory for the Section 6.3 trace replays: the paper
+  // simulates >30,000 servers.  Four platform classes (the Borg trace
+  // collapses to a handful of machine shapes) over racks of 48; class
+  // proportions per 20 machines: 8 standard, 6 large, 3 very large, 3
+  // small, with base speeds spanning the reported heterogeneity.
+  Cluster cluster;
+  for (std::size_t i = 0; i < servers; ++i) {
+    const int rack = static_cast<int>(i / 48);
+    const std::size_t r = i % 20;
+    if (r < 8) {
+      cluster.add_server(ServerSpec{{12, 48}, 1.0, rack, "std-12c"});
+    } else if (r < 14) {
+      cluster.add_server(ServerSpec{{24, 96}, 1.15, rack, "big-24c"});
+    } else if (r < 17) {
+      cluster.add_server(ServerSpec{{48, 192}, 1.3, rack, "huge-48c"});
+    } else {
+      cluster.add_server(ServerSpec{{8, 24}, 0.85, rack, "small-8c"});
+    }
+  }
+  return cluster;
+}
+
 Cluster Cluster::single(Resources capacity, double base_speed) {
   Cluster cluster;
   cluster.add_server(ServerSpec{capacity, base_speed, 0, "single"});

@@ -57,6 +57,11 @@ class Cluster {
   /// pass a larger `servers` to go bigger).
   static Cluster google_like(std::size_t servers);
 
+  /// Full-scale trace inventory (Section 6.3): the paper replays Google
+  /// traces on >30,000 servers.  Four machine shapes over racks of 48 —
+  /// feasible to simulate thanks to the incremental PlacementIndex.
+  static Cluster google_trace(std::size_t servers = 30'000);
+
   /// Single server with the given (normalized) capacity — the transient
   /// setting of Sections 4.1/4.2 and the Fig. 2 example.
   static Cluster single(Resources capacity, double base_speed = 1.0);

@@ -103,6 +103,14 @@ struct SimStats {
   long long rejected_invalid_server = 0;     ///< server id out of range
   long long rejected_no_capacity = 0;        ///< server down or lacks resources
 
+  // Placement-index effectiveness (all zero when the index is disabled):
+  // queries answered, servers actually score-evaluated across them (the
+  // "rescan" cost an unindexed run would pay per query times the fleet
+  // size), and maintenance updates applied.
+  long long index_queries = 0;
+  long long index_servers_scanned = 0;
+  long long index_updates = 0;
+
   double wall_clock_seconds = 0.0;  ///< host time spent inside run()
 
   [[nodiscard]] long long events_processed() const {

@@ -17,10 +17,12 @@
 //      task (DollyMP^0/1/2/3 of the evaluation).
 #pragma once
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "dollymp/learn/server_scorer.h"
+#include "dollymp/sched/priority.h"
 #include "dollymp/sched/scheduler.h"
 
 namespace dollymp {
@@ -85,16 +87,40 @@ class DollyMPScheduler final : public Scheduler {
     JobRuntime* job;
     int priority;
     double volume;
+    /// Whether the priority store had a fresh entry for this job.  Jobs
+    /// that arrived after the last recompute have none: they sort last
+    /// (the 1 << 20 sentinel) and are exempt from the Corollary 4.1 clone
+    /// cap, exactly as a hash-map lookup miss used to behave.
+    bool has_priority;
   };
 
-  [[nodiscard]] std::vector<JobOrder> ordered_jobs(SchedulerContext& ctx) const;
-  int place_new_tasks(SchedulerContext& ctx, std::vector<JobOrder>& order);
-  int place_clones(SchedulerContext& ctx, std::vector<JobOrder>& order);
+  /// True when the dense priority store holds a current-epoch entry for
+  /// `id` (see `epoch_` below).
+  [[nodiscard]] bool priority_known(JobId id) const;
+  /// Grow the dense per-job arrays to cover `id`.  Only ever allocates on
+  /// arrival of a job with a new maximum id — never in the steady-state
+  /// schedule() path.
+  void ensure_slot(JobId id);
+  void rebuild_order(SchedulerContext& ctx);
+  int place_new_tasks(SchedulerContext& ctx);
+  int place_clones(SchedulerContext& ctx);
   [[nodiscard]] ServerId pick_server(SchedulerContext& ctx, const TaskRuntime& task) const;
 
   DollyMPConfig config_;
-  std::unordered_map<JobId, int> priority_;
-  std::unordered_map<JobId, double> volume_;
+  /// Dense per-job priority store, indexed by JobId (ids are small and
+  /// sequential).  An entry is valid iff prio_epoch_[id] == epoch_; each
+  /// recompute (and each reset) bumps epoch_, which invalidates every
+  /// stale entry in O(1) without deallocating or clearing — the hot loop
+  /// never touches a hash map and schedule() stays allocation-free once
+  /// the buffers are warm.
+  std::vector<std::int64_t> prio_epoch_;
+  std::vector<int> prio_value_;
+  std::vector<double> vol_value_;
+  std::int64_t epoch_ = 0;
+  /// Reused scratch buffers: cleared, never shrunk, between invocations.
+  std::vector<PriorityJobInput> inputs_;
+  std::vector<JobOrder> order_;
+  std::vector<TaskRuntime*> candidates_;
   /// Set by on_job_completed when recompute_on_completion is enabled;
   /// schedule() refreshes priorities and clears it.
   bool priorities_dirty_ = false;

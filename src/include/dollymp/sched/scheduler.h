@@ -27,6 +27,8 @@
 
 namespace dollymp {
 
+class PlacementIndex;
+
 class SchedulerContext {
  public:
   virtual ~SchedulerContext() = default;
@@ -66,6 +68,14 @@ class SchedulerContext {
   /// the workload/execution streams, so policies do not perturb the
   /// environment's realization).
   [[nodiscard]] virtual Rng& policy_rng() = 0;
+
+  /// Incremental free-capacity index over cluster(), maintained by the
+  /// simulator across every allocation/release/failure/repair when
+  /// SimConfig::use_placement_index is set; nullptr when running against
+  /// the linear-scan baseline (or under a context that keeps none).  The
+  /// context-taking placement helpers below consult it and fall back to the
+  /// linear scan — both paths produce bit-identical decisions.
+  [[nodiscard]] virtual PlacementIndex* placement_index() { return nullptr; }
 };
 
 class Scheduler {
@@ -132,6 +142,15 @@ class Scheduler {
                                              const LocalityModel& locality,
                                              const TaskRuntime& task);
 
+// Context-taking variants of the placement helpers: answered by the
+// context's PlacementIndex when one is maintained (sub-linear at trace
+// scale), by the linear scan above otherwise.  Results are identical.
+[[nodiscard]] ServerId best_fit_server(SchedulerContext& ctx, const Resources& demand);
+[[nodiscard]] ServerId first_fit_server(SchedulerContext& ctx, const Resources& demand);
+[[nodiscard]] ServerId locality_aware_server(SchedulerContext& ctx,
+                                             const LocalityModel& locality,
+                                             const TaskRuntime& task);
+
 /// Next task of `phase` that has no copy yet, using the phase's monotone
 /// cursor (O(1) amortized); nullptr when all tasks are scheduled.
 [[nodiscard]] TaskRuntime* next_unscheduled_task(PhaseRuntime& phase);
@@ -141,7 +160,14 @@ class Scheduler {
 int place_job_greedy(SchedulerContext& ctx, JobRuntime& job);
 
 /// Total demand-weighted allocation of a job's currently active copies
-/// (the DRF "currently allocated" vector).
+/// (the DRF "currently allocated" vector).  O(#phases): tasks of a phase
+/// share one demand vector, so the sum is demand * active_copies per phase
+/// using the incrementally maintained per-phase counter — exact because
+/// demands are the same value the per-task scan would multiply.
 [[nodiscard]] Resources job_active_allocation(const JobRuntime& job);
+
+/// Brute-force per-task rescan of the same quantity (test/validation
+/// reference for the O(#phases) read above).
+[[nodiscard]] Resources job_active_allocation_scan(const JobRuntime& job);
 
 }  // namespace dollymp

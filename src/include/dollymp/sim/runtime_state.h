@@ -109,17 +109,42 @@ class JobRuntime {
   /// Snapshot for the Eq. (16)/(17) recomputation.
   [[nodiscard]] JobProgress progress() const;
 
-  /// Remaining effective volume v_j(t) (Eq. 16).
+  /// Remaining effective volume v_j(t) (Eq. 16).  Cached: the inputs only
+  /// change when a task or phase of this job completes, and the simulator
+  /// calls invalidate_remaining_cache() on exactly those events, so
+  /// repeated reads (every DollyMP recompute, Carbyne's leftover sort)
+  /// skip the per-phase rescan.  A cache refresh runs the identical
+  /// effective.h computation, so cached reads are bit-identical to fresh
+  /// ones.
   [[nodiscard]] double remaining_volume(const Resources& cluster_total,
                                         double sigma_factor) const;
-  /// Remaining effective length e_j(t) (Eq. 17).
+  /// Remaining effective length e_j(t) (Eq. 17).  Cached like
+  /// remaining_volume.
   [[nodiscard]] double remaining_length(double sigma_factor) const;
+
+  /// Drop the remaining_volume / remaining_length caches (a task or phase
+  /// of this job just completed).
+  void invalidate_remaining_cache() const {
+    volume_cache_valid_ = false;
+    length_cache_valid_ = false;
+  }
   /// Max over remaining phases of the phase dominant share (the d_j used by
   /// Algorithm 1's capacity margin).
   [[nodiscard]] double max_dominant_share(const Resources& cluster_total) const;
 
   [[nodiscard]] int total_tasks() const { return spec->total_tasks(); }
   [[nodiscard]] bool has_runnable_work() const;
+
+ private:
+  // remaining_volume / remaining_length caches, keyed by the call
+  // parameters (different policies may pass different sigma factors).
+  mutable bool volume_cache_valid_ = false;
+  mutable double volume_cache_sigma_ = 0.0;
+  mutable Resources volume_cache_total_;
+  mutable double volume_cache_value_ = 0.0;
+  mutable bool length_cache_valid_ = false;
+  mutable double length_cache_sigma_ = 0.0;
+  mutable double length_cache_value_ = 0.0;
 };
 
 /// Build the runtime skeleton for a job: samples the per-phase duration

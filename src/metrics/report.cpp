@@ -122,7 +122,8 @@ std::string render_summaries(const std::vector<RunSummary>& summaries) {
 std::string render_control_plane(const std::vector<RunSummary>& summaries) {
   ConsoleTable table({"scheduler", "invocations", "slots", "ff_slots", "timers",
                       "events", "arrive", "finish", "fail", "attempts", "placed",
-                      "rej_cap", "rej_full", "rej_other", "wall_ms"});
+                      "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
+                      "idx_update", "wall_ms"});
   for (const auto& s : summaries) {
     const SimStats& st = s.stats;
     table.add_row({s.scheduler, std::to_string(st.scheduler_invocations),
@@ -139,6 +140,9 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.rejected_no_capacity),
                    std::to_string(st.rejected_job_not_ready + st.rejected_phase_not_runnable +
                                   st.rejected_invalid_server),
+                   std::to_string(st.index_queries),
+                   std::to_string(st.index_servers_scanned),
+                   std::to_string(st.index_updates),
                    ConsoleTable::format_double(st.wall_clock_seconds * 1e3, 1)});
   }
   return table.render();

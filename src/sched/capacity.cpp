@@ -19,7 +19,7 @@ void CapacityScheduler::schedule(SchedulerContext& ctx) {
     for (auto& phase : job->phases) {
       if (!phase.runnable()) continue;
       while (TaskRuntime* task = next_unscheduled_task(phase)) {
-        const ServerId server = first_fit_server(ctx.cluster(), task->demand);
+        const ServerId server = first_fit_server(ctx, task->demand);
         if (server == kInvalidServer) break;
         if (!ctx.place_copy(*job, phase, *task, server)) break;
       }

@@ -12,7 +12,7 @@ bool place_one(SchedulerContext& ctx, JobRuntime& job) {
     if (!phase.runnable()) continue;
     TaskRuntime* task = next_unscheduled_task(phase);
     if (task == nullptr) continue;
-    const ServerId server = best_fit_server(ctx.cluster(), task->demand);
+    const ServerId server = best_fit_server(ctx, task->demand);
     if (server == kInvalidServer) continue;
     if (ctx.place_copy(job, phase, *task, server)) return true;
   }

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "dollymp/sched/priority.h"
+#include "dollymp/cluster/placement_index.h"
 
 namespace dollymp {
 
@@ -19,10 +19,26 @@ std::string DollyMPScheduler::name() const {
 }
 
 void DollyMPScheduler::reset() {
-  priority_.clear();
-  volume_.clear();
+  // Invalidate every cached priority entry in O(1): entries are valid only
+  // for the current epoch, so bumping it (monotonically — epoch 0 is never
+  // a written epoch) retires them all without deallocating the buffers.
+  ++epoch_;
   priorities_dirty_ = false;
   scorer_.reset();
+}
+
+bool DollyMPScheduler::priority_known(JobId id) const {
+  const auto slot = static_cast<std::size_t>(id);
+  return epoch_ > 0 && slot < prio_epoch_.size() && prio_epoch_[slot] == epoch_;
+}
+
+void DollyMPScheduler::ensure_slot(JobId id) {
+  const auto need = static_cast<std::size_t>(id) + 1;
+  if (prio_epoch_.size() < need) {
+    prio_epoch_.resize(need, 0);
+    prio_value_.resize(need, 0);
+    vol_value_.resize(need, 0.0);
+  }
 }
 
 void DollyMPScheduler::on_copy_finished(SchedulerContext& ctx, const JobRuntime& /*job*/,
@@ -34,6 +50,14 @@ void DollyMPScheduler::on_copy_finished(SchedulerContext& ctx, const JobRuntime&
   const double actual_seconds =
       static_cast<double>(ctx.now() - copy.start) * ctx.slot_seconds();
   scorer_->observe(copy.server, phase.spec->theta_seconds, actual_seconds);
+  // Mirror the updated weight into the placement index so its weighted
+  // query scores with exactly the multipliers the linear scan would use.
+  // observe() touches only copy.server's estimate, so pushing that one
+  // weight keeps the mirror complete (cold servers stay at the index's
+  // default multiplier 1.0 == 1 / prior_slowdown).
+  if (PlacementIndex* index = ctx.placement_index()) {
+    index->set_multiplier(copy.server, scorer_->placement_weight(copy.server));
+  }
 }
 
 void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
@@ -41,8 +65,8 @@ void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
   const Resources total = ctx.cluster().total_capacity();
   const double slot = ctx.slot_seconds();
 
-  std::vector<PriorityJobInput> inputs;
-  inputs.reserve(jobs.size());
+  inputs_.clear();
+  inputs_.reserve(jobs.size());
   for (const JobRuntime* job : jobs) {
     PriorityJobInput in;
     in.volume = job->remaining_volume(total, config_.sigma_factor) / slot;
@@ -63,15 +87,21 @@ void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
         in.length /= min_speedup;
       }
     }
-    inputs.push_back(in);
+    inputs_.push_back(in);
   }
-  const PriorityResult result = compute_transient_priorities(inputs);
+  const PriorityResult result = compute_transient_priorities(inputs_);
 
-  priority_.clear();
-  volume_.clear();
+  // Open a new epoch: every pre-existing entry becomes stale at once, then
+  // the active jobs are written fresh.  Equivalent to clearing and refilling
+  // the old hash maps, without the rehash/allocation churn.
+  ++epoch_;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    priority_[jobs[i]->id] = result.priority[i];
-    volume_[jobs[i]->id] = inputs[i].volume;
+    const JobId id = jobs[i]->id;
+    ensure_slot(id);
+    const auto slot_i = static_cast<std::size_t>(id);
+    prio_epoch_[slot_i] = epoch_;
+    prio_value_[slot_i] = result.priority[i];
+    vol_value_[slot_i] = inputs_[i].volume;
   }
 }
 
@@ -86,31 +116,39 @@ void DollyMPScheduler::on_job_completed(SchedulerContext& /*ctx*/, const JobRunt
   if (config_.recompute_on_completion) priorities_dirty_ = true;
 }
 
-std::vector<DollyMPScheduler::JobOrder> DollyMPScheduler::ordered_jobs(
-    SchedulerContext& ctx) const {
-  std::vector<JobOrder> order;
-  order.reserve(ctx.active_jobs().size());
+void DollyMPScheduler::rebuild_order(SchedulerContext& ctx) {
+  order_.clear();
+  order_.reserve(ctx.active_jobs().size());
   for (JobRuntime* job : ctx.active_jobs()) {
-    const auto pit = priority_.find(job->id);
-    const auto vit = volume_.find(job->id);
     JobOrder jo;
     jo.job = job;
-    jo.priority = pit == priority_.end() ? 1 << 20 : pit->second;
-    jo.volume = vit == volume_.end() ? 0.0 : vit->second;
-    order.push_back(jo);
+    jo.has_priority = priority_known(job->id);
+    const auto slot = static_cast<std::size_t>(job->id);
+    jo.priority = jo.has_priority ? prio_value_[slot] : 1 << 20;
+    jo.volume = jo.has_priority ? vol_value_[slot] : 0.0;
+    order_.push_back(jo);
   }
-  std::stable_sort(order.begin(), order.end(), [](const JobOrder& a, const JobOrder& b) {
+  // The comparator is a strict total order (job ids are unique), so plain
+  // sort yields the same permutation stable_sort did — without its
+  // temporary-buffer allocation on every call.
+  std::sort(order_.begin(), order_.end(), [](const JobOrder& a, const JobOrder& b) {
     if (a.priority != b.priority) return a.priority < b.priority;
     if (a.volume != b.volume) return a.volume < b.volume;
     return a.job->id < b.job->id;
   });
-  return order;
 }
 
 ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime& task) const {
   if (config_.straggler_aware && scorer_ && scorer_->size() == ctx.cluster().size()) {
     // Straggler-aware placement: best resource fit, discounted by the
     // learned slowdown estimate, with a bonus for input-replica locality.
+    // The placement index keeps a mirror of the scorer's weights (pushed in
+    // on_copy_finished), so its weighted query reproduces the linear scan
+    // below exactly — same score expression, same lowest-id tie-break.
+    if (PlacementIndex* index = ctx.placement_index()) {
+      return index->weighted_best_fit(task.demand,
+                                      config_.locality_aware ? &task.block : nullptr);
+    }
     ServerId best = kInvalidServer;
     double best_score = -1.0;
     for (const auto& server : ctx.cluster().servers()) {
@@ -139,10 +177,10 @@ ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime&
       if (server.can_fit(task.demand)) return replica;
     }
   }
-  return best_fit_server(ctx.cluster(), task.demand);
+  return best_fit_server(ctx, task.demand);
 }
 
-int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx, std::vector<JobOrder>& order) {
+int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx) {
   // Walk priority classes in order; inside a class jobs are already sorted
   // by remaining volume (the knapsack oracle treats members of a class
   // equally, so smallest-volume-first is the natural ordering), and every
@@ -152,7 +190,7 @@ int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx, std::vector<JobOrde
   // cluster size; per-task best-fit keeps the same packing signal at
   // O(placements x servers).
   int placed_total = 0;
-  for (auto& jo : order) {
+  for (auto& jo : order_) {
     JobRuntime& job = *jo.job;
     if (job.finished) continue;
     for (auto& phase : job.phases) {
@@ -168,7 +206,7 @@ int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx, std::vector<JobOrde
   return placed_total;
 }
 
-int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>& order) {
+int DollyMPScheduler::place_clones(SchedulerContext& ctx) {
   if (config_.clone_budget == 0) return 0;
   const int copy_cap =
       std::min(1 + config_.clone_budget, ctx.config().max_copies_per_task);
@@ -180,7 +218,7 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
   // clone-second is stolen from a waiting task, so only overdue copies —
   // where the heavy-tail conditional gain is large — justify the cost.
   bool anyone_waiting = false;
-  for (const JobOrder& jo : order) {
+  for (const JobOrder& jo : order_) {
     for (const auto& phase : jo.job->phases) {
       if (phase.runnable() && phase.unscheduled_tasks > 0) {
         anyone_waiting = true;
@@ -191,7 +229,6 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
   }
 
   int placed = 0;
-  std::vector<TaskRuntime*> candidates;
   auto clone_pass = [&](JobOrder& jo) {
     JobRuntime& job = *jo.job;
     if (job.finished) return;
@@ -215,17 +252,15 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
       // contested; with an idle queue the flat budget applies (Section
       // 4.1's free-cloning rule).
       int phase_cap = copy_cap;
-      if (config_.corollary_clone_counts && anyone_waiting) {
-        const auto pit = priority_.find(job.id);
-        if (pit != priority_.end()) {
-          const double window_seconds =
-              std::ldexp(1.0, pit->second) * ctx.slot_seconds();
-          const int needed =
-              phase.speedup.min_copies_for(phase.spec->theta_seconds, window_seconds);
-          if (needed > 0) phase_cap = std::min(copy_cap, std::max(1, needed));
-        }
+      if (config_.corollary_clone_counts && anyone_waiting && jo.has_priority) {
+        // jo.has_priority guards against the 1 << 20 not-yet-prioritized
+        // sentinel reaching ldexp, matching the old hash-map lookup miss.
+        const double window_seconds = std::ldexp(1.0, jo.priority) * ctx.slot_seconds();
+        const int needed =
+            phase.speedup.min_copies_for(phase.spec->theta_seconds, window_seconds);
+        if (needed > 0) phase_cap = std::min(copy_cap, std::max(1, needed));
       }
-      candidates.clear();
+      candidates_.clear();
       for (auto& task : phase.tasks) {
         if (task.finished || !task.running()) continue;
         if (task.total_copies() >= phase_cap) continue;
@@ -239,13 +274,17 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
           const bool launch_time = task.first_start == ctx.now();
           if (!launch_time && elapsed < phase.spec->theta_seconds) continue;
         }
-        candidates.push_back(&task);
+        candidates_.push_back(&task);
       }
-      std::stable_sort(candidates.begin(), candidates.end(),
-                       [](const TaskRuntime* a, const TaskRuntime* b) {
-                         return a->first_start < b->first_start;
-                       });
-      for (TaskRuntime* task : candidates) {
+      // Candidates are pushed in ascending task index, so breaking
+      // first_start ties on task index makes this total order sort exactly
+      // as the previous stable_sort (and allocation-free).
+      std::sort(candidates_.begin(), candidates_.end(),
+                [](const TaskRuntime* a, const TaskRuntime* b) {
+                  if (a->first_start != b->first_start) return a->first_start < b->first_start;
+                  return a->ref.task < b->ref.task;
+                });
+      for (TaskRuntime* task : candidates_) {
         const ServerId server = pick_server(ctx, *task);
         if (server == kInvalidServer) continue;
         if (ctx.place_copy(job, phase, *task, server)) ++placed;
@@ -254,9 +293,9 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx, std::vector<JobOrder>&
   };
 
   if (config_.smallest_first_clones) {
-    for (auto& jo : order) clone_pass(jo);
+    for (auto& jo : order_) clone_pass(jo);
   } else {
-    for (auto it = order.rbegin(); it != order.rend(); ++it) clone_pass(*it);
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) clone_pass(*it);
   }
   return placed;
 }
@@ -266,12 +305,12 @@ void DollyMPScheduler::schedule(SchedulerContext& ctx) {
     recompute_priorities(ctx);
     priorities_dirty_ = false;
   }
-  auto order = ordered_jobs(ctx);
-  place_new_tasks(ctx, order);
+  rebuild_order(ctx);
+  place_new_tasks(ctx);
   // "Repeat Step 9 twice if there are available resources" — each extra
   // pass may add one more clone per task up to the budget.
   for (int pass = 0; pass < config_.clone_budget; ++pass) {
-    if (place_clones(ctx, order) == 0) break;
+    if (place_clones(ctx) == 0) break;
   }
 }
 

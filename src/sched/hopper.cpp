@@ -49,7 +49,7 @@ void HopperScheduler::schedule(SchedulerContext& ctx) {
             std::min(total.cpu > 0 ? now_free.cpu / total.cpu : 0.0,
                      total.mem > 0 ? now_free.mem / total.mem : 0.0);
         if (now_fraction <= reservation) break;
-        const ServerId server = best_fit_server(ctx.cluster(), task->demand);
+        const ServerId server = best_fit_server(ctx, task->demand);
         if (server == kInvalidServer) break;
         if (!ctx.place_copy(*job, phase, *task, server)) break;
       }

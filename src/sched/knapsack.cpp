@@ -49,17 +49,20 @@ KnapsackPick knapsack_dp(const std::vector<double>& weights,
   constexpr double kNoValue = -1.0;
   std::vector<double> best(resolution + 1, kNoValue);
   best[0] = 0.0;
-  // choice[i][b] = whether item i is taken at budget b in the optimum.
-  std::vector<std::vector<bool>> taken(weights.size(),
-                                       std::vector<bool>(resolution + 1, false));
+  // Whether item i is taken at budget b in the optimum, flattened to one
+  // contiguous allocation at row stride (resolution + 1): one cache-friendly
+  // block instead of `weights.size()` separate bitset rows.
+  const std::size_t stride = resolution + 1;
+  std::vector<bool> taken(weights.size() * stride, false);
   for (std::size_t i = 0; i < weights.size(); ++i) {
     if (w[i] > resolution) continue;
+    const std::size_t row = i * stride;
     for (std::size_t b = resolution + 1; b-- > w[i];) {
       const std::size_t prev = b - w[i];
       if (best[prev] == kNoValue) continue;
       if (best[prev] + profits[i] > best[b]) {
         best[b] = best[prev] + profits[i];
-        taken[i][b] = true;
+        taken[row + b] = true;
       }
     }
   }
@@ -71,7 +74,7 @@ KnapsackPick knapsack_dp(const std::vector<double>& weights,
   // Reconstruct.
   std::size_t b = best_b;
   for (std::size_t i = weights.size(); i-- > 0;) {
-    if (b >= w[i] && taken[i][b]) {
+    if (b >= w[i] && taken[i * stride + b]) {
       pick.chosen.push_back(i);
       pick.total_weight += weights[i];
       pick.total_profit += profits[i];

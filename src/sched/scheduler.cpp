@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dollymp/cluster/placement_index.h"
+
 namespace dollymp {
 
 ServerId best_fit_server(const Cluster& cluster, const Resources& demand) {
@@ -48,6 +50,24 @@ ServerId locality_aware_server(const Cluster& cluster, const LocalityModel& loca
   return best_fit_server(cluster, task.demand);
 }
 
+ServerId best_fit_server(SchedulerContext& ctx, const Resources& demand) {
+  if (PlacementIndex* index = ctx.placement_index()) return index->best_fit(demand);
+  return best_fit_server(ctx.cluster(), demand);
+}
+
+ServerId first_fit_server(SchedulerContext& ctx, const Resources& demand) {
+  if (PlacementIndex* index = ctx.placement_index()) return index->first_fit(demand);
+  return first_fit_server(ctx.cluster(), demand);
+}
+
+ServerId locality_aware_server(SchedulerContext& ctx, const LocalityModel& locality,
+                               const TaskRuntime& task) {
+  if (PlacementIndex* index = ctx.placement_index()) {
+    return index->locality_aware(locality, task.block, task.demand);
+  }
+  return locality_aware_server(ctx.cluster(), locality, task);
+}
+
 TaskRuntime* next_unscheduled_task(PhaseRuntime& phase) {
   if (phase.unscheduled_tasks == 0) return nullptr;
   auto& hint = phase.first_unscheduled_hint;
@@ -63,7 +83,7 @@ int place_job_greedy(SchedulerContext& ctx, JobRuntime& job) {
   for (auto& phase : job.phases) {
     if (!phase.runnable()) continue;
     while (TaskRuntime* task = next_unscheduled_task(phase)) {
-      const ServerId server = best_fit_server(ctx.cluster(), task->demand);
+      const ServerId server = best_fit_server(ctx, task->demand);
       if (server == kInvalidServer) break;  // identical siblings will not fit either
       if (!ctx.place_copy(job, phase, *task, server)) break;
       ++placed;
@@ -73,6 +93,16 @@ int place_job_greedy(SchedulerContext& ctx, JobRuntime& job) {
 }
 
 Resources job_active_allocation(const JobRuntime& job) {
+  Resources total;
+  for (const auto& phase : job.phases) {
+    if (phase.active_copies > 0) {
+      total += phase.spec->demand * static_cast<double>(phase.active_copies);
+    }
+  }
+  return total;
+}
+
+Resources job_active_allocation_scan(const JobRuntime& job) {
   Resources total;
   for (const auto& phase : job.phases) {
     for (const auto& task : phase.tasks) {

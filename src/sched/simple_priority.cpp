@@ -46,7 +46,7 @@ void SimplePriorityScheduler::schedule(SchedulerContext& ctx) {
         for (auto& task : phase.tasks) {
           if (task.finished || !task.running()) continue;
           if (task.total_copies() >= copy_cap) continue;
-          const ServerId server = best_fit_server(ctx.cluster(), task.demand);
+          const ServerId server = best_fit_server(ctx, task.demand);
           if (server == kInvalidServer) continue;
           if (ctx.place_copy(*job, phase, task, server)) ++placed;
         }

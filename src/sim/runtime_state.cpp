@@ -25,11 +25,26 @@ JobProgress JobRuntime::progress() const {
 
 double JobRuntime::remaining_volume(const Resources& cluster_total,
                                     double sigma_factor) const {
-  return job_effective_volume_remaining(*spec, progress(), cluster_total, sigma_factor);
+  if (volume_cache_valid_ && volume_cache_sigma_ == sigma_factor &&
+      volume_cache_total_ == cluster_total) {
+    return volume_cache_value_;
+  }
+  volume_cache_value_ =
+      job_effective_volume_remaining(*spec, progress(), cluster_total, sigma_factor);
+  volume_cache_sigma_ = sigma_factor;
+  volume_cache_total_ = cluster_total;
+  volume_cache_valid_ = true;
+  return volume_cache_value_;
 }
 
 double JobRuntime::remaining_length(double sigma_factor) const {
-  return job_effective_length_remaining(*spec, progress(), sigma_factor);
+  if (length_cache_valid_ && length_cache_sigma_ == sigma_factor) {
+    return length_cache_value_;
+  }
+  length_cache_value_ = job_effective_length_remaining(*spec, progress(), sigma_factor);
+  length_cache_sigma_ = sigma_factor;
+  length_cache_valid_ = true;
+  return length_cache_value_;
 }
 
 double JobRuntime::max_dominant_share(const Resources& cluster_total) const {

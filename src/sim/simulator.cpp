@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 
 #include "dollymp/cluster/background_load.h"
+#include "dollymp/cluster/placement_index.h"
 #include "dollymp/common/distributions.h"
 #include "dollymp/common/logging.h"
 #include "dollymp/sim/execution.h"
@@ -91,6 +93,7 @@ class Simulator::Impl final : public SchedulerContext {
     rng_exec_ = rng_root_.split(2);
     rng_policy_ = rng_root_.split(3);
     rng_failure_ = rng_root_.split(4);
+    if (config_.use_placement_index) index_.emplace(cluster_);
   }
 
   SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
@@ -102,6 +105,9 @@ class Simulator::Impl final : public SchedulerContext {
   [[nodiscard]] const SimConfig& config() const override { return config_; }
   [[nodiscard]] const std::vector<JobRuntime*>& active_jobs() override { return active_; }
   [[nodiscard]] Rng& policy_rng() override { return rng_policy_; }
+  [[nodiscard]] PlacementIndex* placement_index() override {
+    return index_ ? &*index_ : nullptr;
+  }
 
   bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
                   ServerId server) override {
@@ -176,6 +182,10 @@ class Simulator::Impl final : public SchedulerContext {
 
   Cluster cluster_;
   SimConfig config_;
+  /// Incremental free-capacity index over cluster_, kept in lockstep with
+  /// every allocate/release/failure/repair below (absent when
+  /// config_.use_placement_index is off).
+  std::optional<PlacementIndex> index_;
   LocalityModel locality_;
   BackgroundLoadProcess background_;
   Rng rng_root_;
@@ -250,6 +260,7 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
     ++stats.rejected_no_capacity;
     return false;
   }
+  if (index_) index_->on_allocation_changed(server_id);
   server.note_copy_started();
   ++stats.placements_accepted;
 
@@ -321,6 +332,7 @@ void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime
                job.id, phase.index, task.ref.task, copy.server);
   Server& server = cluster_.server(static_cast<std::size_t>(copy.server));
   server.release(task.demand);
+  if (index_) index_->on_allocation_changed(copy.server);
   server.note_copy_finished();
   --active_copy_count_;
   --phase.active_copies;
@@ -333,6 +345,7 @@ void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime
 void Simulator::Impl::complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task) {
   task.finished = true;
   task.finish_slot = now_;
+  job.invalidate_remaining_cache();  // remaining_tasks is about to change
   ++result_.total_tasks_completed;
   record_event(SimEventKind::kTaskCompleted, job.id, phase.index, task.ref.task);
 
@@ -369,6 +382,7 @@ void Simulator::Impl::complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRu
 void Simulator::Impl::complete_phase(JobRuntime& job, PhaseRuntime& phase) {
   phase.finished = true;
   phase.finish_slot = now_;
+  job.invalidate_remaining_cache();
   record_event(SimEventKind::kPhaseCompleted, job.id, phase.index);
   // Unlock children (Eq. 7).
   for (auto& other : job.phases) {
@@ -497,6 +511,7 @@ void Simulator::Impl::drain_failures() {
     if (e.kind == EvKind::kServerRepair) {
       ++result_.stats.events_server_repair;
       server.set_down(false);
+      if (index_) index_->on_server_up(e.server);
       record_event(SimEventKind::kServerRepaired, -1, -1, -1, e.server);
       if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, e.server);
       SimEvent fail;
@@ -508,6 +523,10 @@ void Simulator::Impl::drain_failures() {
     } else {
       ++result_.stats.events_server_failure;
       server.set_down(true);
+      // Deindex before fail_server kills the hosted copies: the releases
+      // that follow land on a down (unindexed) server and are no-ops for
+      // the index until the repair re-indexes from live state.
+      if (index_) index_->on_server_down(e.server);
       record_event(SimEventKind::kServerFailed, -1, -1, -1, e.server);
       fail_server(e.server);
       if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, e.server);
@@ -676,6 +695,11 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.jobs.push_back(std::move(rec));
   }
   result_.makespan_seconds = makespan;
+  if (index_) {
+    result_.stats.index_queries = index_->counters().queries;
+    result_.stats.index_servers_scanned = index_->counters().servers_scanned;
+    result_.stats.index_updates = index_->counters().updates;
+  }
   result_.stats.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return std::move(result_);

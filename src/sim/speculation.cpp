@@ -90,7 +90,7 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
   int launched = 0;
   for (const auto& c : candidates) {
     if (backup_norm_in_use >= config.capacity_fraction_cap * 2.0) break;  // 2 dims
-    const ServerId server = best_fit_server(ctx.cluster(), c.task->demand);
+    const ServerId server = best_fit_server(ctx, c.task->demand);
     if (server == kInvalidServer) break;
     if (ctx.place_speculative_copy(*c.job, *c.phase, *c.task, server)) {
       backup_norm_in_use += normalized_sum(c.task->demand, total);

@@ -68,11 +68,16 @@ TEST(JobActiveAllocation, SumsActiveCopiesOnly) {
   Rng rng(1);
   JobRuntime job = materialize_job(spec, 1.0, locality, rng);
   EXPECT_EQ(job_active_allocation(job), Resources(0, 0));
-  // Fake two active copies on task 0 and one inactive on task 1.
+  EXPECT_EQ(job_active_allocation_scan(job), Resources(0, 0));
+  // Fake two active copies on task 0 and one inactive on task 1, keeping
+  // the phase's active_copies counter consistent (as the simulator does):
+  // job_active_allocation reads the counter, the scan walks the copies.
   job.phases[0].tasks[0].copies.push_back({0, 0, 5, LocalityLevel::kNode, true, false, 0});
   job.phases[0].tasks[0].copies.push_back({1, 0, 5, LocalityLevel::kNode, true, false, 0});
   job.phases[0].tasks[1].copies.push_back({0, 0, 5, LocalityLevel::kNode, false, true, 0});
+  job.phases[0].active_copies = 2;
   EXPECT_EQ(job_active_allocation(job), Resources(4, 8));
+  EXPECT_EQ(job_active_allocation_scan(job), Resources(4, 8));
 }
 
 TEST(NextUnscheduledTask, WalksAndSticks) {

@@ -5,6 +5,10 @@
 //
 //   dollymp_sim [options]
 //     --cluster  paper30 | google:<N> | uniform:<N>:<cpu>:<mem>   (default paper30)
+//     --inventory paper30 | google | google-trace   named inventory; combine
+//                        with --servers to scale it (google-trace defaults
+//                        to the full 30,000-server trace shape)
+//     --servers N        server count for --inventory
 //     --scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp<0-3> (default dollymp2)
 //     --jobs N           synthesize N trace-model jobs          (default 200)
 //     --gap SECONDS      mean Poisson inter-arrival gap         (default 20)
@@ -51,6 +55,8 @@ using namespace dollymp;
 
 struct Options {
   std::string cluster = "paper30";
+  std::string inventory;
+  int servers = 0;
   std::string scheduler = "dollymp2";
   int jobs = 200;
   double gap = 20.0;
@@ -69,6 +75,7 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "usage: dollymp_sim [--cluster paper30|google:N|uniform:N:CPU:MEM]\n"
+      "                   [--inventory paper30|google|google-trace] [--servers N]\n"
       "                   [--scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
       "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
       "                   [--slot SECONDS] [--clones K] [--straggler-aware]\n"
@@ -97,6 +104,8 @@ Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--cluster") opt.cluster = need_value(i);
+    else if (arg == "--inventory") opt.inventory = need_value(i);
+    else if (arg == "--servers") opt.servers = std::stoi(need_value(i));
     else if (arg == "--scheduler") opt.scheduler = need_value(i);
     else if (arg == "--jobs") opt.jobs = std::stoi(need_value(i));
     else if (arg == "--gap") opt.gap = std::stod(need_value(i));
@@ -122,6 +131,17 @@ Options parse_options(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+Cluster make_cluster_from_inventory(const Options& opt) {
+  const auto servers = static_cast<std::size_t>(opt.servers);
+  if (opt.inventory == "paper30") return Cluster::paper30();
+  if (opt.inventory == "google") return Cluster::google_like(servers > 0 ? servers : 100);
+  if (opt.inventory == "google-trace") {
+    return servers > 0 ? Cluster::google_trace(servers) : Cluster::google_trace();
+  }
+  std::cerr << "unknown inventory '" << opt.inventory << "'\n";
+  usage(2);
 }
 
 Cluster make_cluster(const std::string& spec) {
@@ -169,7 +189,8 @@ std::unique_ptr<Scheduler> make_policy(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
 
-  const Cluster cluster = make_cluster(opt.cluster);
+  const Cluster cluster =
+      opt.inventory.empty() ? make_cluster(opt.cluster) : make_cluster_from_inventory(opt);
   std::vector<JobSpec> jobs;
   if (!opt.trace.empty()) {
     jobs = load_trace(opt.trace);
