@@ -3,11 +3,34 @@
 // working directory — so the perf trajectory is tracked across PRs without
 // anyone remembering to pass --benchmark_out.  Explicit --benchmark_out
 // flags still win.
+//
+// Benchmarks that fail (SkipWithError — e.g. micro_recorder's <5% overhead
+// guard) fail the whole binary with exit code 1, so CI smoke runs catch
+// budget violations instead of printing them and passing.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <string>
 #include <vector>
+
+namespace {
+
+class FailureTrackingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) failed_ = true;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string binary = argv[0];
@@ -31,7 +54,8 @@ int main(int argc, char** argv) {
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());
   if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  FailureTrackingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  return reporter.failed() ? 1 : 0;
 }

@@ -1,0 +1,155 @@
+// Microbenchmark: flight-recorder overhead.
+//
+// The recorder's contract is "near-zero cost": every instrumentation site
+// is one `if (rec_)` branch when disabled, and one fixed-size struct copy
+// plus a hash fold when enabled.  This bench measures (a) raw append
+// throughput for ring and unbounded recorders, (b) end-to-end simulation
+// wall time with the recorder off / ring / unbounded, and (c) a guard that
+// *fails the benchmark* (SkipWithError, so it is red in the console and in
+// BENCH_micro_recorder.json) if the bounded-ring recorder slows a full
+// simulation down by more than 5%.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dollymp/obs/recorder.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+using namespace dollymp;
+using namespace dollymp::bench;
+
+namespace {
+
+std::vector<JobSpec> sim_jobs(int count, std::uint64_t seed) {
+  TraceModelConfig config;
+  config.max_tasks_per_phase = 100;
+  TraceModel model(config, seed);
+  auto jobs = model.sample_jobs(count);
+  assign_poisson_arrivals(jobs, 5.0, seed + 1);
+  return jobs;
+}
+
+TraceRecord sample_record(int i) {
+  TraceRecord r;
+  r.slot = i;
+  r.type = static_cast<TraceEv>(i % 16);
+  r.job = i % 64;
+  r.phase = i % 4;
+  r.task = i % 100;
+  r.copy = i % 3;
+  r.server = i % 1000;
+  r.aux = i;
+  r.score = static_cast<double>(i) * 0.25;
+  return r;
+}
+
+// Raw append cost: one struct copy + one hash fold (+ ring bookkeeping).
+void BM_RecorderAppendUnbounded(benchmark::State& state) {
+  Recorder rec;
+  int i = 0;
+  for (auto _ : state) {
+    rec.append(sample_record(i++));
+    if (rec.records_written() >= 1u << 20) {  // bound memory, keep hot
+      state.PauseTiming();
+      rec.clear();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(rec.hash());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderAppendUnbounded);
+
+void BM_RecorderAppendRing(benchmark::State& state) {
+  Recorder rec(static_cast<std::size_t>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    rec.append(sample_record(i++));
+  }
+  benchmark::DoNotOptimize(rec.hash());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderAppendRing)->Arg(1 << 10)->Arg(1 << 16);
+
+// End-to-end simulation wall time per recorder mode.  mode: 0 = recorder
+// off (the default-path baseline), 1 = bounded ring, 2 = unbounded.
+void BM_SimulatorRecorderMode(benchmark::State& state) {
+  const auto jobs = sim_jobs(200, 3);
+  const Cluster cluster = Cluster::google_like(100);
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = 3;
+  const int mode = static_cast<int>(state.range(0));
+  long long records = 0;
+  for (auto _ : state) {
+    Recorder recorder(mode == 1 ? (1u << 10) : 0u);
+    config.recorder = mode == 0 ? nullptr : &recorder;
+    DollyMPScheduler scheduler;
+    const SimResult result = simulate(cluster, config, jobs, scheduler);
+    records = result.stats.recorder_records;
+    benchmark::DoNotOptimize(result.total_flowtime());
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.SetLabel(mode == 0 ? "off" : mode == 1 ? "ring1k" : "unbounded");
+}
+BENCHMARK(BM_SimulatorRecorderMode)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// Overhead guard: best-of-N paired measurement of the same simulation with
+// the recorder off vs a bounded ring.  Best-of-N (not mean) because the
+// interesting quantity is intrinsic cost, not scheduler noise.  Fails the
+// benchmark if the ring costs more than 5%.
+void BM_RecorderOverheadGuard(benchmark::State& state) {
+  const auto jobs = sim_jobs(150, 11);
+  const Cluster cluster = Cluster::google_like(100);
+  SimConfig base;
+  base.slot_seconds = 5.0;
+  base.seed = 11;
+
+  const auto run_once = [&](Recorder* recorder) {
+    SimConfig config = base;
+    config.recorder = recorder;
+    DollyMPScheduler scheduler;
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = simulate(cluster, config, jobs, scheduler);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(result.total_flowtime());
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  const auto measure = [&](int rounds) {
+    double best_off = 1e30;
+    double best_ring = 1e30;
+    for (int round = 0; round < rounds; ++round) {  // interleaved pairs
+      best_off = std::min(best_off, run_once(nullptr));
+      Recorder ring(1u << 10);
+      best_ring = std::min(best_ring, run_once(&ring));
+    }
+    return (best_ring / best_off - 1.0) * 100.0;
+  };
+
+  double overhead_pct = 0.0;
+  for (auto _ : state) {
+    overhead_pct = measure(7);
+    if (overhead_pct > 5.0) {
+      // One transiently noisy round (CI neighbours, frequency scaling)
+      // should not fail the budget: re-measure with more rounds and let
+      // the longer, calmer sample decide.
+      overhead_pct = measure(15);
+    }
+  }
+  state.counters["overhead_pct"] = overhead_pct;
+  if (overhead_pct > 5.0) {
+    state.SkipWithError(("ring recorder overhead " + std::to_string(overhead_pct) +
+                         "% exceeds the 5% budget")
+                            .c_str());
+  }
+}
+BENCHMARK(BM_RecorderOverheadGuard)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace

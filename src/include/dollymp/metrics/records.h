@@ -111,6 +111,15 @@ struct SimStats {
   long long index_servers_scanned = 0;
   long long index_updates = 0;
 
+  // Flight recorder (obs/recorder.h; all zero when SimConfig::recorder is
+  // null): records appended, wire bytes they represent, ring evictions, and
+  // the incremental hash over the full stream — the run's replay
+  // fingerprint (identical across same-seed runs; see obs/replay.h).
+  long long recorder_records = 0;
+  long long recorder_bytes = 0;
+  long long recorder_evictions = 0;
+  unsigned long long recorder_hash = 0;
+
   double wall_clock_seconds = 0.0;  ///< host time spent inside run()
 
   [[nodiscard]] long long events_processed() const {

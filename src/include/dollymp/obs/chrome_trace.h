@@ -1,0 +1,38 @@
+// Chrome trace event (Perfetto-loadable) export of a flight-recorder
+// stream.
+//
+// The rendering: one process ("cluster", pid 0) with one lane (tid) per
+// server holding the copy spans — first copies, clones and speculative
+// backups distinguished by category, killed copies and stragglers flagged —
+// plus a "scheduler" process (pid 1) carrying instant events for scheduler
+// invocations, job arrivals/completions and speculation passes.  Open the
+// file at https://ui.perfetto.dev (or chrome://tracing) to scrub through a
+// run: where every copy sat on a machine timeline, which clone won, where
+// a straggler held a phase open.
+//
+// A span is a straggler when its duration exceeds
+// `straggler_factor` x the median duration of completed spans of the same
+// (job, phase) — a self-contained definition that needs no model
+// parameters, mirroring how the paper eyeballs Fig. 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dollymp/obs/trace_record.h"
+
+namespace dollymp {
+
+struct ChromeTraceOptions {
+  double slot_seconds = 5.0;       ///< slot -> microsecond conversion
+  double straggler_factor = 1.5;   ///< x median same-phase duration
+};
+
+/// Render `records` (stream order) as Chrome trace event JSON
+/// ({"traceEvents": [...]}).  Tolerates ring-truncated streams: spans whose
+/// start was evicted are dropped, spans still open at the end of the stream
+/// are emitted with zero duration and an "unterminated" flag.
+[[nodiscard]] std::string chrome_trace_json(const std::vector<TraceRecord>& records,
+                                            const ChromeTraceOptions& options);
+
+}  // namespace dollymp

@@ -28,6 +28,7 @@
 namespace dollymp {
 
 class PlacementIndex;
+class Recorder;
 
 class SchedulerContext {
  public:
@@ -76,6 +77,12 @@ class SchedulerContext {
   /// context-taking placement helpers below consult it and fall back to the
   /// linear scan — both paths produce bit-identical decisions.
   [[nodiscard]] virtual PlacementIndex* placement_index() { return nullptr; }
+
+  /// The run's flight recorder (obs/recorder.h), or nullptr when recording
+  /// is off.  Scheduler-side decision points (the placement helpers below,
+  /// DollyMP's weighted pick, the speculation pass) append their chosen
+  /// server + score here so a trace shows *why* a copy landed where it did.
+  [[nodiscard]] virtual Recorder* recorder() { return nullptr; }
 };
 
 class Scheduler {

@@ -14,6 +14,8 @@
 
 namespace dollymp {
 
+class Recorder;  // obs/recorder.h — the optional flight recorder
+
 using SimTime = std::int64_t;
 inline constexpr SimTime kNever = -1;
 
@@ -103,6 +105,14 @@ struct SimConfig {
   /// Record the full event trace (every placement/completion/kill/failure)
   /// in SimResult::events — debugging aid, memory heavy for big runs.
   bool record_events = false;
+
+  /// Optional flight recorder (obs/recorder.h): every simulation event and
+  /// scheduler decision is appended as a compact TraceRecord.  Null by
+  /// default — each instrumentation site is one predicted-not-taken branch,
+  /// so a recorder-off run pays nothing.  Not owned; must outlive the run.
+  /// The recorder's stream hash and counters are surfaced in
+  /// SimStats::recorder_* at the end of the run.
+  Recorder* recorder = nullptr;
 };
 
 }  // namespace dollymp

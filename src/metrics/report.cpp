@@ -119,11 +119,24 @@ std::string render_summaries(const std::vector<RunSummary>& summaries) {
   return table.render();
 }
 
+namespace {
+
+// "-" when no recorder ran; otherwise the stream hash as compact hex — the
+// run's replay fingerprint (obs/replay.h), eyeball-comparable across runs.
+std::string format_recorder_hash(const SimStats& st) {
+  if (st.recorder_records == 0) return "-";
+  std::ostringstream os;
+  os << "0x" << std::hex << st.recorder_hash;
+  return os.str();
+}
+
+}  // namespace
+
 std::string render_control_plane(const std::vector<RunSummary>& summaries) {
   ConsoleTable table({"scheduler", "invocations", "slots", "ff_slots", "timers",
                       "events", "arrive", "finish", "fail", "attempts", "placed",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
-                      "idx_update", "wall_ms"});
+                      "idx_update", "rec", "rec_evict", "rec_hash", "wall_ms"});
   for (const auto& s : summaries) {
     const SimStats& st = s.stats;
     table.add_row({s.scheduler, std::to_string(st.scheduler_invocations),
@@ -143,6 +156,9 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.index_queries),
                    std::to_string(st.index_servers_scanned),
                    std::to_string(st.index_updates),
+                   std::to_string(st.recorder_records),
+                   std::to_string(st.recorder_evictions),
+                   format_recorder_hash(st),
                    ConsoleTable::format_double(st.wall_clock_seconds * 1e3, 1)});
   }
   return table.render();

@@ -1,0 +1,235 @@
+#include "dollymp/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace dollymp {
+
+namespace {
+
+struct Span {
+  JobId job;
+  PhaseIndex phase;
+  std::int32_t task;
+  std::int32_t copy;
+  std::int32_t server;
+  SimTime start;
+  SimTime end;
+  TraceEv kind;       ///< the placement record's type
+  bool killed;
+  bool unterminated;
+};
+
+const char* kind_label(TraceEv kind) {
+  switch (kind) {
+    case TraceEv::kClonePlaced: return "clone";
+    case TraceEv::kSpeculativePlaced: return "spec";
+    default: return "task";
+  }
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::string& out) : out_(out) {}
+
+  /// Begin one trace event object; pairs with close().
+  void open(const std::string& name, char ph, double ts_us, int pid, std::int64_t tid) {
+    if (!first_) out_ += ",\n";
+    first_ = false;
+    out_ += R"({"name":")";
+    append_escaped(out_, name);
+    out_ += R"(","ph":")";
+    out_ += ph;
+    out_ += R"(","ts":)" + format_number(ts_us);
+    out_ += ",\"pid\":" + std::to_string(pid);
+    out_ += ",\"tid\":" + std::to_string(tid);
+  }
+
+  void field(const std::string& key, const std::string& raw_value) {
+    out_ += ",\"" + key + "\":" + raw_value;
+  }
+
+  void close() { out_ += "}"; }
+
+  static std::string format_number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  append_escaped(out, text);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceRecord>& records,
+                              const ChromeTraceOptions& options) {
+  const double us_per_slot = options.slot_seconds * 1e6;
+
+  // Pass 1: pair placements with finish/kill records into spans, collect the
+  // instants worth plotting and the set of server lanes.
+  std::map<std::array<std::int32_t, 4>, std::pair<TraceEv, SimTime>> open;
+  std::vector<Span> spans;
+  std::vector<const TraceRecord*> instants;
+  std::set<std::int32_t> servers;
+  SimTime last_slot = 0;
+  for (const auto& r : records) {
+    last_slot = std::max(last_slot, r.slot);
+    switch (r.type) {
+      case TraceEv::kCopyPlaced:
+      case TraceEv::kClonePlaced:
+      case TraceEv::kSpeculativePlaced:
+        open[{r.job, r.phase, r.task, r.copy}] = {r.type, r.slot};
+        servers.insert(r.server);
+        break;
+      case TraceEv::kCopyFinished:
+      case TraceEv::kCopyKilled: {
+        const auto it = open.find({r.job, r.phase, r.task, r.copy});
+        if (it == open.end()) break;  // start evicted from a ring — drop
+        spans.push_back(Span{r.job, r.phase, r.task, r.copy, r.server,
+                             it->second.second, r.slot, it->second.first,
+                             r.type == TraceEv::kCopyKilled, false});
+        servers.insert(r.server);
+        open.erase(it);
+        break;
+      }
+      case TraceEv::kSchedulerInvoked:
+      case TraceEv::kJobArrival:
+      case TraceEv::kJobCompleted:
+      case TraceEv::kSpeculationPass:
+      case TraceEv::kServerFailed:
+      case TraceEv::kServerRepaired:
+        instants.push_back(&r);
+        if (r.server >= 0) servers.insert(r.server);
+        break;
+      default:
+        break;  // queries, wakeups, task/phase records: args-level noise
+    }
+  }
+  for (const auto& [key, start] : open) {  // still running at end of stream
+    spans.push_back(Span{key[0], key[1], key[2], key[3], -1, start.second,
+                         start.second, start.first, false, true});
+  }
+
+  // Straggler classification: duration vs the median of completed
+  // (non-killed) spans of the same (job, phase).
+  std::map<std::pair<JobId, PhaseIndex>, std::vector<SimTime>> durations;
+  for (const auto& s : spans) {
+    if (!s.killed && !s.unterminated) {
+      durations[{s.job, s.phase}].push_back(s.end - s.start);
+    }
+  }
+  std::map<std::pair<JobId, PhaseIndex>, SimTime> median;
+  for (auto& [key, d] : durations) {
+    std::sort(d.begin(), d.end());
+    median[key] = d[d.size() / 2];
+  }
+
+  std::string out;
+  out.reserve(256 + spans.size() * 200 + instants.size() * 120);
+  out += "{\"traceEvents\":[\n";
+  EventWriter w(out);
+
+  // Metadata: process and thread names so Perfetto labels the lanes.
+  w.open("process_name", 'M', 0, 0, 0);
+  w.field("args", "{\"name\":\"cluster\"}");
+  w.close();
+  w.open("process_name", 'M', 0, 1, 0);
+  w.field("args", "{\"name\":\"scheduler\"}");
+  w.close();
+  w.open("thread_name", 'M', 0, 1, 0);
+  w.field("args", "{\"name\":\"control plane\"}");
+  w.close();
+  for (const auto server : servers) {
+    if (server < 0) continue;
+    w.open("thread_name", 'M', 0, 0, server);
+    w.field("args", "{\"name\":\"server " + std::to_string(server) + "\"}");
+    w.close();
+  }
+
+  for (const auto& s : spans) {
+    const SimTime dur_slots = s.end - s.start;
+    const auto med = median.find({s.job, s.phase});
+    const bool straggler = !s.unterminated && med != median.end() &&
+                           med->second > 0 &&
+                           static_cast<double>(dur_slots) >
+                               options.straggler_factor *
+                                   static_cast<double>(med->second);
+    std::string name = "J" + std::to_string(s.job) + "/P" + std::to_string(s.phase) +
+                       "/T" + std::to_string(s.task);
+    if (s.kind == TraceEv::kClonePlaced) name += " clone";
+    if (s.kind == TraceEv::kSpeculativePlaced) name += " spec";
+    std::string cat = kind_label(s.kind);
+    if (straggler) cat += ",straggler";
+
+    w.open(name, 'X', static_cast<double>(s.start) * us_per_slot, 0,
+           s.unterminated ? 0 : s.server);
+    w.field("cat", quoted(cat));
+    w.field("dur", EventWriter::format_number(static_cast<double>(dur_slots) * us_per_slot));
+    std::string args = "{\"job\":" + std::to_string(s.job) +
+                       ",\"phase\":" + std::to_string(s.phase) +
+                       ",\"task\":" + std::to_string(s.task) +
+                       ",\"copy\":" + std::to_string(s.copy) +
+                       ",\"kind\":" + quoted(kind_label(s.kind)) +
+                       ",\"outcome\":" +
+                       quoted(s.unterminated ? "unterminated"
+                              : s.killed     ? "killed"
+                                             : "finished") +
+                       ",\"straggler\":" + (straggler ? "true" : "false") + "}";
+    w.field("args", args);
+    w.close();
+  }
+
+  for (const TraceRecord* r : instants) {
+    const bool server_lane =
+        r->type == TraceEv::kServerFailed || r->type == TraceEv::kServerRepaired;
+    std::string name = to_string(r->type);
+    if (r->job >= 0) name += " J" + std::to_string(r->job);
+    w.open(name, 'i', static_cast<double>(r->slot) * us_per_slot,
+           server_lane ? 0 : 1, server_lane ? r->server : 0);
+    w.field("s", quoted("t"));
+    if (r->type == TraceEv::kSpeculationPass) {
+      w.field("args", "{\"candidates\":" + std::to_string(r->aux >> 16) +
+                          ",\"launched\":" + std::to_string(r->aux & 0xFFFF) + "}");
+    }
+    w.close();
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace dollymp

@@ -1,0 +1,85 @@
+#include "dollymp/obs/replay.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dollymp {
+
+std::string DivergenceReport::to_string() const {
+  std::ostringstream os;
+  os << std::hex;
+  if (identical) {
+    os << "identical: " << std::dec << records_a << " records, hash 0x" << std::hex
+       << hash_a;
+    return os.str();
+  }
+  os << "DIVERGED: hash 0x" << hash_a << " vs 0x" << hash_b << std::dec << " ("
+     << records_a << " vs " << records_b << " records)\n"
+     << "first divergent record at index " << first_divergence << ":\n"
+     << "  A: " << lhs << "\n"
+     << "  B: " << rhs;
+  return os.str();
+}
+
+DivergenceReport compare_streams(const std::vector<TraceRecord>& a,
+                                 const std::vector<TraceRecord>& b) {
+  DivergenceReport report;
+  report.records_a = a.size();
+  report.records_b = b.size();
+  std::uint64_t ha = kTraceHashSeed;
+  std::uint64_t hb = kTraceHashSeed;
+  for (const auto& r : a) ha = fold_record_hash(ha, r);
+  for (const auto& r : b) hb = fold_record_hash(hb, r);
+  report.hash_a = ha;
+  report.hash_b = hb;
+
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(a[i] == b[i])) {
+      report.first_divergence = i;
+      report.lhs = decode(a[i]);
+      report.rhs = decode(b[i]);
+      return report;
+    }
+  }
+  if (a.size() != b.size()) {
+    report.first_divergence = common;
+    report.lhs = common < a.size() ? decode(a[common]) : "<end of stream>";
+    report.rhs = common < b.size() ? decode(b[common]) : "<end of stream>";
+    return report;
+  }
+  report.identical = true;
+  return report;
+}
+
+namespace {
+
+std::vector<TraceRecord> record_run(const Cluster& cluster, SimConfig config,
+                                    const std::vector<JobSpec>& jobs,
+                                    const SchedulerFactory& factory) {
+  Recorder recorder;  // unbounded: divergence localization needs the stream
+  config.recorder = &recorder;
+  const auto scheduler = factory();
+  (void)simulate(cluster, config, jobs, *scheduler);
+  return recorder.snapshot();
+}
+
+}  // namespace
+
+DivergenceReport verify_replay(const Cluster& cluster, const SimConfig& config,
+                               const std::vector<JobSpec>& jobs,
+                               const SchedulerFactory& factory) {
+  const auto first = record_run(cluster, config, jobs, factory);
+  const auto second = record_run(cluster, config, jobs, factory);
+  return compare_streams(first, second);
+}
+
+DivergenceReport verify_against_log(const Cluster& cluster, const SimConfig& config,
+                                    const std::vector<JobSpec>& jobs,
+                                    const SchedulerFactory& factory,
+                                    const std::vector<TraceRecord>& reference) {
+  const auto live = record_run(cluster, config, jobs, factory);
+  return compare_streams(live, reference);
+}
+
+}  // namespace dollymp

@@ -1,0 +1,86 @@
+#include "dollymp/obs/trace_record.h"
+
+#include <bit>
+#include <sstream>
+
+namespace dollymp {
+
+const char* to_string(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::kJobArrival: return "job-arrival";
+    case TraceEv::kCopyPlaced: return "copy-placed";
+    case TraceEv::kClonePlaced: return "clone-placed";
+    case TraceEv::kSpeculativePlaced: return "speculative-placed";
+    case TraceEv::kCopyFinished: return "copy-finished";
+    case TraceEv::kCopyKilled: return "copy-killed";
+    case TraceEv::kTaskCompleted: return "task-completed";
+    case TraceEv::kPhaseCompleted: return "phase-completed";
+    case TraceEv::kJobCompleted: return "job-completed";
+    case TraceEv::kServerFailed: return "server-failed";
+    case TraceEv::kServerRepaired: return "server-repaired";
+    case TraceEv::kSchedulerInvoked: return "scheduler-invoked";
+    case TraceEv::kWakeupRequested: return "wakeup-requested";
+    case TraceEv::kTimerFired: return "timer-fired";
+    case TraceEv::kPlacementQuery: return "placement-query";
+    case TraceEv::kSpeculationPass: return "speculation-pass";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One multiply + xor-shift per word — bijective, so any single-bit change
+// in any field changes the word's image.  The per-position odd constants
+// make the xor-combine below order-sensitive within a record.
+constexpr std::uint64_t mix(std::uint64_t v, std::uint64_t k) {
+  v *= k;
+  v ^= v >> 32;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fold_record_hash(std::uint64_t h, const TraceRecord& r) {
+  // Per-append cost matters: the recorder's <5% end-to-end budget is
+  // enforced by bench/micro_recorder.cpp.  Two ingredients keep this fast:
+  // (a) the payload is packed losslessly into six 64-bit words instead of
+  // hashed field-by-field, and (b) the six word mixes are independent (a
+  // xor-combine with distinct per-position constants), so they execute
+  // with instruction-level parallelism — only the final combine sits on
+  // the loop-carried dependency chain through `h`.  seq is deliberately
+  // *not* hashed: the recorder stamps it from its own counter, so at any
+  // stream position both sides of a replay agree on it by construction.
+  const auto u32 = [](std::int32_t v) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+  };
+  const std::uint64_t phase = u32(r.phase);
+  const std::uint64_t copy = u32(r.copy);
+  const std::uint64_t aux = static_cast<std::uint64_t>(r.aux);
+  const std::uint64_t score = std::bit_cast<std::uint64_t>(r.score);
+  const std::uint64_t rh =
+      mix(static_cast<std::uint64_t>(r.slot), 0x9E3779B97F4A7C15ULL) ^
+      mix(static_cast<std::uint64_t>(r.type) | (u32(r.job) << 8) | (phase << 40),
+          0xBF58476D1CE4E5B9ULL) ^
+      mix((phase >> 24) | (u32(r.task) << 8) | (copy << 40), 0x94D049BB133111EBULL) ^
+      mix((copy >> 24) | (u32(r.server) << 8) | (aux << 40), 0xD6E8FEB86659FD93ULL) ^
+      mix((aux >> 24) | (score << 40), 0xA24BAED4963EE407ULL) ^
+      mix(score >> 24, 0x9FB21C651E98DF25ULL);
+  h ^= rh;
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+std::string decode(const TraceRecord& r) {
+  std::ostringstream os;
+  os << '#' << r.seq << " slot=" << r.slot << ' ' << to_string(r.type);
+  if (r.job >= 0) os << " job=" << r.job;
+  if (r.phase >= 0) os << " phase=" << r.phase;
+  if (r.task >= 0) os << " task=" << r.task;
+  if (r.copy >= 0) os << " copy=" << r.copy;
+  if (r.server >= 0) os << " server=" << r.server;
+  if (r.aux != 0) os << " aux=" << r.aux;
+  if (r.score != 0.0) os << " score=" << r.score;
+  return os.str();
+}
+
+}  // namespace dollymp

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dollymp/cluster/placement_index.h"
+#include "dollymp/obs/recorder.h"
 
 namespace dollymp {
 
@@ -138,6 +139,27 @@ void DollyMPScheduler::rebuild_order(SchedulerContext& ctx) {
   });
 }
 
+namespace {
+
+// Flight-recorder record for DollyMP's weighted pick (TraceEv query kind 3):
+// chosen server plus the weighted score the scan maximized, recomputed from
+// the chosen server so the index and linear-scan paths log the same value.
+void trace_weighted_pick(SchedulerContext& ctx, const TaskRuntime& task,
+                         ServerId chosen, double score) {
+  Recorder* rec = ctx.recorder();
+  if (rec == nullptr) return;
+  TraceRecord r;
+  r.slot = ctx.now();
+  r.type = TraceEv::kPlacementQuery;
+  r.task = task.ref.task;
+  r.server = chosen;
+  r.aux = 3;
+  r.score = score;
+  rec->append(r);
+}
+
+}  // namespace
+
 ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime& task) const {
   if (config_.straggler_aware && scorer_ && scorer_->size() == ctx.cluster().size()) {
     // Straggler-aware placement: best resource fit, discounted by the
@@ -146,8 +168,25 @@ ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime&
     // on_copy_finished), so its weighted query reproduces the linear scan
     // below exactly — same score expression, same lowest-id tie-break.
     if (PlacementIndex* index = ctx.placement_index()) {
-      return index->weighted_best_fit(task.demand,
-                                      config_.locality_aware ? &task.block : nullptr);
+      const ServerId chosen = index->weighted_best_fit(
+          task.demand, config_.locality_aware ? &task.block : nullptr);
+      if (ctx.recorder() != nullptr) {
+        double score = 0.0;
+        if (chosen != kInvalidServer) {
+          const auto& server = ctx.cluster().server(static_cast<std::size_t>(chosen));
+          score = task.demand.dot(server.free()) * scorer_->placement_weight(chosen);
+          if (config_.locality_aware) {
+            for (const auto replica : task.block.replicas) {
+              if (replica == chosen) {
+                score *= 1.25;
+                break;
+              }
+            }
+          }
+        }
+        trace_weighted_pick(ctx, task, chosen, score);
+      }
+      return chosen;
     }
     ServerId best = kInvalidServer;
     double best_score = -1.0;
@@ -167,6 +206,7 @@ ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime&
         best = server.id();
       }
     }
+    trace_weighted_pick(ctx, task, best, best == kInvalidServer ? 0.0 : best_score);
     return best;
   }
   if (config_.locality_aware) {
@@ -174,7 +214,10 @@ ServerId DollyMPScheduler::pick_server(SchedulerContext& ctx, const TaskRuntime&
     // its preference order with the cluster's rack layout.
     for (const auto replica : task.block.replicas) {
       const auto& server = ctx.cluster().server(static_cast<std::size_t>(replica));
-      if (server.can_fit(task.demand)) return replica;
+      if (server.can_fit(task.demand)) {
+        trace_weighted_pick(ctx, task, replica, task.demand.dot(server.free()));
+        return replica;
+      }
     }
   }
   return best_fit_server(ctx, task.demand);

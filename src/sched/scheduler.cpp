@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "dollymp/cluster/placement_index.h"
+#include "dollymp/obs/recorder.h"
 
 namespace dollymp {
+
+namespace {
+
+// Flight-recorder hook shared by the context-taking placement helpers: one
+// kPlacementQuery record per query with the chosen server and its score (the
+// same free-capacity dot product either answer path maximizes), so a trace
+// explains every placement decision.  `query_kind` matches the TraceEv
+// documentation: 0 best-fit, 1 first-fit, 2 locality-aware.
+void trace_query(SchedulerContext& ctx, std::int64_t query_kind,
+                 const Resources& demand, ServerId chosen) {
+  Recorder* rec = ctx.recorder();
+  if (rec == nullptr) return;
+  TraceRecord r;
+  r.slot = ctx.now();
+  r.type = TraceEv::kPlacementQuery;
+  r.server = chosen;
+  r.aux = query_kind;
+  if (chosen != kInvalidServer) {
+    r.score = demand.dot(ctx.cluster().server(static_cast<std::size_t>(chosen)).free());
+  }
+  rec->append(r);
+}
+
+}  // namespace
 
 ServerId best_fit_server(const Cluster& cluster, const Resources& demand) {
   ServerId best = kInvalidServer;
@@ -51,21 +76,29 @@ ServerId locality_aware_server(const Cluster& cluster, const LocalityModel& loca
 }
 
 ServerId best_fit_server(SchedulerContext& ctx, const Resources& demand) {
-  if (PlacementIndex* index = ctx.placement_index()) return index->best_fit(demand);
-  return best_fit_server(ctx.cluster(), demand);
+  PlacementIndex* index = ctx.placement_index();
+  const ServerId chosen =
+      index ? index->best_fit(demand) : best_fit_server(ctx.cluster(), demand);
+  trace_query(ctx, 0, demand, chosen);
+  return chosen;
 }
 
 ServerId first_fit_server(SchedulerContext& ctx, const Resources& demand) {
-  if (PlacementIndex* index = ctx.placement_index()) return index->first_fit(demand);
-  return first_fit_server(ctx.cluster(), demand);
+  PlacementIndex* index = ctx.placement_index();
+  const ServerId chosen =
+      index ? index->first_fit(demand) : first_fit_server(ctx.cluster(), demand);
+  trace_query(ctx, 1, demand, chosen);
+  return chosen;
 }
 
 ServerId locality_aware_server(SchedulerContext& ctx, const LocalityModel& locality,
                                const TaskRuntime& task) {
-  if (PlacementIndex* index = ctx.placement_index()) {
-    return index->locality_aware(locality, task.block, task.demand);
-  }
-  return locality_aware_server(ctx.cluster(), locality, task);
+  PlacementIndex* index = ctx.placement_index();
+  const ServerId chosen = index
+                              ? index->locality_aware(locality, task.block, task.demand)
+                              : locality_aware_server(ctx.cluster(), locality, task);
+  trace_query(ctx, 2, task.demand, chosen);
+  return chosen;
 }
 
 TaskRuntime* next_unscheduled_task(PhaseRuntime& phase) {

@@ -10,6 +10,7 @@
 #include "dollymp/cluster/placement_index.h"
 #include "dollymp/common/distributions.h"
 #include "dollymp/common/logging.h"
+#include "dollymp/obs/recorder.h"
 #include "dollymp/sim/execution.h"
 
 namespace dollymp {
@@ -88,7 +89,8 @@ class Simulator::Impl final : public SchedulerContext {
         config_(config),
         locality_(config.locality, cluster_),
         background_(config.background, cluster_.size(), splitmix_seed(config.seed, 0xB6)),
-        rng_root_(config.seed) {
+        rng_root_(config.seed),
+        rec_(config.recorder) {
     rng_workload_ = rng_root_.split(1);
     rng_exec_ = rng_root_.split(2);
     rng_policy_ = rng_root_.split(3);
@@ -108,6 +110,7 @@ class Simulator::Impl final : public SchedulerContext {
   [[nodiscard]] PlacementIndex* placement_index() override {
     return index_ ? &*index_ : nullptr;
   }
+  [[nodiscard]] Recorder* recorder() override { return rec_; }
 
   bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
                   ServerId server) override {
@@ -126,6 +129,7 @@ class Simulator::Impl final : public SchedulerContext {
     push_event(SimEvent{target, EvKind::kTimer});
     ++pending_timer_count_;
     pending_timer_slot_ = target;
+    trace(TraceEv::kWakeupRequested, -1, -1, -1, -1, -1, target);
   }
 
  private:
@@ -169,6 +173,23 @@ class Simulator::Impl final : public SchedulerContext {
     result_.events.push_back(SimEventRecord{
         static_cast<double>(now_) * config_.slot_seconds, kind, job, phase, task, server});
   }
+  /// Flight-recorder hook: one predicted-not-taken branch when recording is
+  /// off (rec_ is null by default).
+  void trace(TraceEv type, JobId job = -1, PhaseIndex phase = -1,
+             std::int32_t task = -1, std::int32_t copy = -1,
+             std::int32_t server = -1, std::int64_t aux = 0) {
+    if (!rec_) return;
+    TraceRecord r;
+    r.slot = now_;
+    r.type = type;
+    r.job = job;
+    r.phase = phase;
+    r.task = task;
+    r.copy = copy;
+    r.server = server;
+    r.aux = aux;
+    rec_->append(r);
+  }
   void validate_placeable(const JobSpec& spec) const;
   void seed_failures();
   void fail_server(ServerId server_id);
@@ -193,6 +214,7 @@ class Simulator::Impl final : public SchedulerContext {
   Rng rng_exec_;
   Rng rng_policy_;
   Rng rng_failure_;
+  Recorder* rec_;  ///< flight recorder, null unless SimConfig::recorder set
 
   std::vector<JobRuntime> jobs_;
   std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
@@ -319,6 +341,12 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
                : speculative       ? SimEventKind::kSpeculativePlaced
                                    : SimEventKind::kClonePlaced,
                job.id, phase.index, task.ref.task, server_id);
+  trace(!had_active_sibling ? TraceEv::kCopyPlaced
+        : speculative       ? TraceEv::kSpeculativePlaced
+                            : TraceEv::kClonePlaced,
+        job.id, phase.index, task.ref.task,
+        static_cast<std::int32_t>(task.copies.size() - 1), server_id,
+        static_cast<std::int64_t>(task.copies.back().locality));
   ++result_.total_copies_launched;
   return true;
 }
@@ -330,6 +358,9 @@ void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime
   copy.killed = killed;
   record_event(killed ? SimEventKind::kCopyKilled : SimEventKind::kCopyFinished,
                job.id, phase.index, task.ref.task, copy.server);
+  trace(killed ? TraceEv::kCopyKilled : TraceEv::kCopyFinished, job.id, phase.index,
+        task.ref.task, static_cast<std::int32_t>(&copy - task.copies.data()),
+        copy.server, now_ - copy.start);
   Server& server = cluster_.server(static_cast<std::size_t>(copy.server));
   server.release(task.demand);
   if (index_) index_->on_allocation_changed(copy.server);
@@ -348,6 +379,8 @@ void Simulator::Impl::complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRu
   job.invalidate_remaining_cache();  // remaining_tasks is about to change
   ++result_.total_tasks_completed;
   record_event(SimEventKind::kTaskCompleted, job.id, phase.index, task.ref.task);
+  trace(TraceEv::kTaskCompleted, job.id, phase.index, task.ref.task, -1, -1,
+        task.total_copies());
 
   // Delay-assignment clone handling (Section 5): optionally keep the
   // best-locality sibling when a downstream phase will consume this task's
@@ -384,6 +417,7 @@ void Simulator::Impl::complete_phase(JobRuntime& job, PhaseRuntime& phase) {
   phase.finish_slot = now_;
   job.invalidate_remaining_cache();
   record_event(SimEventKind::kPhaseCompleted, job.id, phase.index);
+  trace(TraceEv::kPhaseCompleted, job.id, phase.index);
   // Unlock children (Eq. 7).
   for (auto& other : job.phases) {
     for (const auto parent : other.spec->parents) {
@@ -405,6 +439,7 @@ void Simulator::Impl::complete_job(JobRuntime& job) {
   job.finished = true;
   job.finish_slot = now_;
   record_event(SimEventKind::kJobCompleted, job.id);
+  trace(TraceEv::kJobCompleted, job.id);
   if (scheduler_ != nullptr) scheduler_->on_job_completed(*this, job);
   --jobs_remaining_;
 }
@@ -513,6 +548,7 @@ void Simulator::Impl::drain_failures() {
       server.set_down(false);
       if (index_) index_->on_server_up(e.server);
       record_event(SimEventKind::kServerRepaired, -1, -1, -1, e.server);
+      trace(TraceEv::kServerRepaired, -1, -1, -1, -1, e.server);
       if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, e.server);
       SimEvent fail;
       fail.slot =
@@ -528,6 +564,7 @@ void Simulator::Impl::drain_failures() {
       // the index until the repair re-indexes from live state.
       if (index_) index_->on_server_down(e.server);
       record_event(SimEventKind::kServerFailed, -1, -1, -1, e.server);
+      trace(TraceEv::kServerFailed, -1, -1, -1, -1, e.server);
       fail_server(e.server);
       if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, e.server);
       SimEvent repair;
@@ -546,6 +583,7 @@ void Simulator::Impl::process_arrivals() {
     job.arrived = true;
     active_.push_back(&job);
     record_event(SimEventKind::kJobArrival, job.id);
+    trace(TraceEv::kJobArrival, job.id);
     ++result_.stats.events_job_arrival;
     ++next_arrival_;
     arrivals_this_slot_ = true;
@@ -560,6 +598,7 @@ void Simulator::Impl::drain_completions() {
       ++result_.stats.events_timer;
       --pending_timer_count_;
       if (pending_timer_slot_ == e.slot) pending_timer_slot_ = kNever;
+      trace(TraceEv::kTimerFired);
       continue;  // a timer's only effect is that this slot is visited
     }
     JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
@@ -638,6 +677,8 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     if (!active_.empty()) {
       if (arrivals_this_slot_) scheduler.on_job_arrival(*this);
       ++result_.stats.scheduler_invocations;
+      trace(TraceEv::kSchedulerInvoked, -1, -1, -1, -1, -1,
+            static_cast<std::int64_t>(active_.size()));
       scheduler.schedule(*this);
       sample_utilization();
     }
@@ -699,6 +740,12 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.stats.index_queries = index_->counters().queries;
     result_.stats.index_servers_scanned = index_->counters().servers_scanned;
     result_.stats.index_updates = index_->counters().updates;
+  }
+  if (rec_) {
+    result_.stats.recorder_records = static_cast<long long>(rec_->records_written());
+    result_.stats.recorder_bytes = static_cast<long long>(rec_->bytes_written());
+    result_.stats.recorder_evictions = static_cast<long long>(rec_->evictions());
+    result_.stats.recorder_hash = rec_->hash();
   }
   result_.stats.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();

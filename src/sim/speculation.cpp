@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "dollymp/obs/recorder.h"
+
 namespace dollymp {
 
 namespace {
@@ -96,6 +98,17 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
       backup_norm_in_use += normalized_sum(c.task->demand, total);
       ++launched;
     }
+  }
+  // Flight-recorder summary of this sweep: how many stragglers crossed the
+  // overrun threshold and how many backups actually launched, packed into
+  // one record (candidates in the high bits, launches in the low 16).
+  if (Recorder* rec = ctx.recorder(); rec != nullptr && !candidates.empty()) {
+    TraceRecord r;
+    r.slot = ctx.now();
+    r.type = TraceEv::kSpeculationPass;
+    r.aux = (static_cast<std::int64_t>(candidates.size()) << 16) |
+            static_cast<std::int64_t>(launched & 0xFFFF);
+    rec->append(r);
   }
   return launched;
 }

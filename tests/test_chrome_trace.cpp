@@ -1,0 +1,385 @@
+// Schema checks for the Chrome trace event exporter.  A minimal
+// recursive-descent JSON parser (values only, no references) validates the
+// output structurally, then the tests assert the trace-event contract:
+// metadata names the lanes, X spans carry ts/dur/pid/tid, instants sit on
+// the scheduler process, stragglers and clones are flagged by category.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/obs/chrome_trace.h"
+#include "dollymp/obs/recorder.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/arrivals.h"
+
+namespace dollymp {
+namespace {
+
+// ---- tiny JSON model + parser ---------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.object[key.string] = value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'r': v.string += '\r'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;       // schema tests never inspect non-ASCII payloads
+            v.string += '?';
+            break;
+          default: throw std::runtime_error("unknown escape");
+        }
+        continue;
+      }
+      v.string += c;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.compare(pos_, 4, "null") != 0) throw std::runtime_error("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- fixtures --------------------------------------------------------------
+
+std::vector<TraceRecord> recorded_run(unsigned seed = 3) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 8, {1, 1}, 20.0, 30.0));
+  }
+  assign_poisson_arrivals(jobs, 15.0, seed + 100);
+  const Cluster cluster = Cluster::google_like(20);
+  SimConfig config;
+  config.seed = seed;
+  Recorder recorder;
+  config.recorder = &recorder;
+  DollyMPScheduler scheduler;
+  (void)simulate(cluster, config, jobs, scheduler);
+  return recorder.snapshot();
+}
+
+JsonValue parse_trace(const std::vector<TraceRecord>& records,
+                      ChromeTraceOptions options = {}) {
+  const std::string json = chrome_trace_json(records, options);
+  return JsonParser(json).parse();
+}
+
+TEST(ChromeTrace, EmitsParsableTraceEventObject) {
+  const JsonValue root = parse_trace(recorded_run());
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+  EXPECT_TRUE(root.has("displayTimeUnit"));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  EXPECT_GT(events.array.size(), 10u);
+  for (const auto& ev : events.array) {
+    ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+    ASSERT_TRUE(ev.has("ph"));
+    ASSERT_TRUE(ev.has("pid"));
+    const std::string ph = ev.at("ph").string;
+    EXPECT_TRUE(ph == "M" || ph == "X" || ph == "i") << "unknown phase " << ph;
+    if (ph == "X") {
+      EXPECT_TRUE(ev.has("name"));
+      EXPECT_TRUE(ev.has("ts"));
+      EXPECT_TRUE(ev.has("dur"));
+      EXPECT_TRUE(ev.has("tid"));
+      EXPECT_TRUE(ev.has("cat"));
+      EXPECT_EQ(ev.at("pid").number, 0.0);  // spans live on the cluster process
+    } else if (ph == "i") {
+      EXPECT_TRUE(ev.has("ts"));
+      EXPECT_TRUE(ev.has("s"));
+    }
+  }
+}
+
+TEST(ChromeTrace, MetadataNamesProcessesAndServerLanes) {
+  const JsonValue root = parse_trace(recorded_run());
+  bool saw_cluster = false;
+  bool saw_scheduler = false;
+  int server_lanes = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "M") continue;
+    const std::string name = ev.at("name").string;
+    if (name == "process_name") {
+      const std::string pname = ev.at("args").at("name").string;
+      if (ev.at("pid").number == 0.0 && pname == "cluster") saw_cluster = true;
+      if (ev.at("pid").number == 1.0 && pname == "scheduler") saw_scheduler = true;
+    } else if (name == "thread_name" && ev.at("pid").number == 0.0) {
+      EXPECT_EQ(ev.at("args").at("name").string.rfind("server ", 0), 0u);
+      ++server_lanes;
+    }
+  }
+  EXPECT_TRUE(saw_cluster);
+  EXPECT_TRUE(saw_scheduler);
+  EXPECT_GT(server_lanes, 0);
+}
+
+TEST(ChromeTrace, SpansUseSlotSecondsAndLandOnTheirServerLane) {
+  const auto records = recorded_run();
+  ChromeTraceOptions options;
+  options.slot_seconds = 2.0;
+  const JsonValue root = parse_trace(records, options);
+
+  int spans = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "X") continue;
+    ++spans;
+    // ts is µs; with slot_seconds=2 every slot boundary is a multiple of 2e6.
+    const double ts = ev.at("ts").number;
+    EXPECT_EQ(ts, 2.0e6 * std::floor(ts / 2.0e6 + 0.5)) << "ts off slot grid";
+    EXPECT_GE(ev.at("dur").number, 0.0);
+    const JsonValue& args = ev.at("args");
+    ASSERT_TRUE(args.has("job"));
+    ASSERT_TRUE(args.has("outcome"));
+    const std::string outcome = args.at("outcome").string;
+    EXPECT_TRUE(outcome == "finished" || outcome == "killed" ||
+                outcome == "unterminated");
+    // The lane (tid) is the server the copy-placed record named.
+    EXPECT_GE(ev.at("tid").number, 0.0);
+  }
+  EXPECT_GT(spans, 0);
+}
+
+TEST(ChromeTrace, SchedulerInstantsSitOnProcessOne) {
+  const JsonValue root = parse_trace(recorded_run());
+  int scheduler_instants = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "i") continue;
+    if (ev.at("pid").number == 1.0 &&
+        ev.at("name").string == "scheduler-invoked") {
+      ++scheduler_instants;
+    }
+  }
+  EXPECT_GT(scheduler_instants, 0);
+}
+
+TEST(ChromeTrace, StragglerCategoryFlagsOutlierSpans) {
+  // Hand-build a stream: four same-phase tasks, three finish in 2 slots, one
+  // takes 20 — far beyond 1.5x the median, so it must carry the straggler cat.
+  std::vector<TraceRecord> records;
+  std::uint64_t seq = 0;
+  const auto place = [&](int task, SimTime at) {
+    TraceRecord r;
+    r.seq = seq++;
+    r.slot = at;
+    r.type = TraceEv::kCopyPlaced;
+    r.job = 0;
+    r.phase = 0;
+    r.task = task;
+    r.copy = 0;
+    r.server = task;
+    records.push_back(r);
+  };
+  const auto finish = [&](int task, SimTime at) {
+    TraceRecord r;
+    r.seq = seq++;
+    r.slot = at;
+    r.type = TraceEv::kCopyFinished;
+    r.job = 0;
+    r.phase = 0;
+    r.task = task;
+    r.copy = 0;
+    r.server = task;
+    records.push_back(r);
+  };
+  for (int t = 0; t < 4; ++t) place(t, 0);
+  for (int t = 0; t < 3; ++t) finish(t, 2);
+  finish(3, 20);
+
+  const JsonValue root = parse_trace(records);
+  int stragglers = 0;
+  int normal = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "X") continue;
+    const std::string cat = ev.at("cat").string;
+    if (cat.find("straggler") != std::string::npos) {
+      ++stragglers;
+      EXPECT_EQ(ev.at("args").at("task").number, 3.0);
+      EXPECT_EQ(ev.at("args").at("straggler").boolean, true);
+    } else {
+      ++normal;
+    }
+  }
+  EXPECT_EQ(stragglers, 1);
+  EXPECT_EQ(normal, 3);
+}
+
+TEST(ChromeTrace, TolerantOfRingTruncatedStreams) {
+  // Drop the front half of a real stream (simulating ring eviction): the
+  // exporter must still produce valid JSON and simply skip orphaned ends.
+  auto records = recorded_run();
+  ASSERT_GT(records.size(), 40u);
+  records.erase(records.begin(),
+                records.begin() + static_cast<std::ptrdiff_t>(records.size() / 2));
+  const JsonValue root = parse_trace(records);
+  EXPECT_EQ(root.at("traceEvents").kind, JsonValue::Kind::kArray);
+  EXPECT_GT(root.at("traceEvents").array.size(), 0u);
+}
+
+TEST(ChromeTrace, EmptyStreamStillValid) {
+  const JsonValue root = parse_trace({});
+  ASSERT_TRUE(root.has("traceEvents"));
+  // Only process metadata, no spans or instants.
+  for (const auto& ev : root.at("traceEvents").array) {
+    EXPECT_EQ(ev.at("ph").string, "M");
+  }
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -19,15 +19,28 @@
 //     --straggler-aware  enable learned server scoring (DollyMP only)
 //     --failures MTBF:REPAIR  enable machine failures (seconds)
 //     --out FILE         write per-job records as CSV
+//     --trace-out FILE   record the run and write Chrome trace JSON
+//                        (load it at https://ui.perfetto.dev)
+//     --log-out FILE     record the run and write the binary flight log
+//     --verify-log FILE  run once and verify against a saved flight log
+//     --flight-recorder N  keep a bounded ring of the last N records;
+//                        dumped decoded to stderr if the run fails
+//     --verify-replay    run the config twice and fail on any divergence
+//                        (exit 1), reporting the first divergent record
 //     --compare          run ALL schedulers on the workload (paired) and
 //                        print a comparison table instead of one summary
 //     --quiet            summary line only
 //     --help
 //
+// Flags also accept --flag=value.  Unknown flags are rejected.
+//
 // Examples:
 //   dollymp_sim --scheduler tetris --jobs 500 --gap 10
 //   dollymp_sim --cluster google:300 --trace mytrace.csv --out results.csv
+//   dollymp_sim --jobs 50 --trace-out run.trace.json
+//   dollymp_sim --inventory google-trace --servers 3000 --verify-replay
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -37,6 +50,9 @@
 #include "dollymp/cluster/cluster.h"
 #include "dollymp/metrics/experiment.h"
 #include "dollymp/metrics/report.h"
+#include "dollymp/obs/chrome_trace.h"
+#include "dollymp/obs/recorder.h"
+#include "dollymp/obs/replay.h"
 #include "dollymp/sched/capacity.h"
 #include "dollymp/sched/carbyne.h"
 #include "dollymp/sched/dollymp.h"
@@ -68,6 +84,11 @@ struct Options {
   double failure_mtbf = 0.0;
   double failure_repair = 0.0;
   std::string out;
+  std::string trace_out;
+  std::string log_out;
+  std::string verify_log;
+  std::size_t flight_recorder = 0;
+  bool verify_replay = false;
   bool quiet = false;
   bool compare = false;
 };
@@ -79,7 +100,18 @@ struct Options {
       "                   [--scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
       "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
       "                   [--slot SECONDS] [--clones K] [--straggler-aware]\n"
-      "                   [--failures MTBF:REPAIR] [--out FILE] [--quiet]\n";
+      "                   [--failures MTBF:REPAIR] [--out FILE] [--compare] [--quiet]\n"
+      "\n"
+      "flight recorder / tracing (flags also accept --flag=value):\n"
+      "  --trace-out FILE     record the run and write Chrome trace JSON with\n"
+      "                       per-server lanes (open at https://ui.perfetto.dev)\n"
+      "  --log-out FILE       record the run and write the binary flight log\n"
+      "  --verify-log FILE    run once and verify against a saved flight log;\n"
+      "                       exit 1 with the first divergent record on mismatch\n"
+      "  --flight-recorder N  bounded ring of the newest N records, decoded to\n"
+      "                       stderr when the run throws (dump-on-anomaly)\n"
+      "  --verify-replay      run the config twice, compare the record streams,\n"
+      "                       exit 1 with the first divergent record decoded\n";
   std::exit(code);
 }
 
@@ -93,15 +125,28 @@ std::vector<std::string> split(const std::string& text, char sep) {
 
 Options parse_options(int argc, char** argv) {
   Options opt;
-  auto need_value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) {
-      std::cerr << "missing value for " << argv[i] << "\n";
-      usage(2);
-    }
-    return argv[++i];
-  };
+  // Normalize --flag=value into --flag value so both spellings work.
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  const int n = static_cast<int>(args.size());
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= n) {
+      std::cerr << "missing value for " << args[static_cast<std::size_t>(i)] << "\n";
+      usage(2);
+    }
+    return args[static_cast<std::size_t>(++i)];
+  };
+  for (int i = 0; i < n; ++i) {
+    const std::string& arg = args[static_cast<std::size_t>(i)];
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--cluster") opt.cluster = need_value(i);
     else if (arg == "--inventory") opt.inventory = need_value(i);
@@ -123,6 +168,18 @@ Options parse_options(int argc, char** argv) {
       opt.failure_mtbf = std::stod(parts[0]);
       opt.failure_repair = std::stod(parts[1]);
     } else if (arg == "--out") opt.out = need_value(i);
+    else if (arg == "--trace-out") opt.trace_out = need_value(i);
+    else if (arg == "--log-out") opt.log_out = need_value(i);
+    else if (arg == "--verify-log") opt.verify_log = need_value(i);
+    else if (arg == "--flight-recorder") {
+      const long long cap = std::stoll(need_value(i));
+      if (cap <= 0) {
+        std::cerr << "--flight-recorder wants a positive ring capacity\n";
+        usage(2);
+      }
+      opt.flight_recorder = static_cast<std::size_t>(cap);
+    }
+    else if (arg == "--verify-replay") opt.verify_replay = true;
     else if (arg == "--compare") opt.compare = true;
     else if (arg == "--quiet") opt.quiet = true;
     else {
@@ -210,6 +267,10 @@ int main(int argc, char** argv) {
   }
 
   if (opt.compare) {
+    if (!opt.trace_out.empty() || !opt.log_out.empty() || opt.flight_recorder > 0 ||
+        opt.verify_replay || !opt.verify_log.empty()) {
+      std::cerr << "note: recorder/verify flags are ignored with --compare\n";
+    }
     ComparisonSpec spec;
     spec.cluster = cluster;
     spec.config = config;
@@ -233,8 +294,53 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Replay verification: run the config twice (or once against a saved
+  // log), compare the flight-recorder streams, and report the first
+  // divergent record decoded on both sides.  Exit 1 on any divergence so CI
+  // can gate on determinism.
+  if (opt.verify_replay || !opt.verify_log.empty()) {
+    const SchedulerFactory factory = [&opt] { return make_policy(opt); };
+    bool identical = true;
+    if (opt.verify_replay) {
+      const DivergenceReport report = verify_replay(cluster, config, jobs, factory);
+      std::cout << "verify-replay [" << opt.scheduler << "]: " << report.to_string()
+                << "\n";
+      identical = identical && report.identical;
+    }
+    if (!opt.verify_log.empty()) {
+      const TraceLog reference = load_log(opt.verify_log);
+      const DivergenceReport report =
+          verify_against_log(cluster, config, jobs, factory, reference.records);
+      std::cout << "verify-log [" << opt.verify_log << "]: " << report.to_string()
+                << "\n";
+      identical = identical && report.identical;
+    }
+    return identical ? 0 : 1;
+  }
+
+  // Trace export wants the whole stream; the bounded ring is the always-on
+  // "tell me what just happened" mode for long runs.
+  std::unique_ptr<Recorder> recorder;
+  if (!opt.trace_out.empty() || !opt.log_out.empty()) {
+    recorder = std::make_unique<Recorder>();
+  } else if (opt.flight_recorder > 0) {
+    recorder = std::make_unique<Recorder>(opt.flight_recorder);
+  }
+  config.recorder = recorder.get();
+
   auto scheduler = make_policy(opt);
-  const SimResult result = simulate(cluster, config, jobs, *scheduler);
+  SimResult result;
+  try {
+    result = simulate(cluster, config, jobs, *scheduler);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    if (recorder != nullptr && recorder->records_written() > 0) {
+      std::cerr << "flight recorder dump (newest " << recorder->size() << " of "
+                << recorder->records_written() << " records):\n";
+      recorder->dump(std::cerr);
+    }
+    return 3;
+  }
   const RunSummary summary = summarize(result);
 
   if (opt.quiet) {
@@ -250,6 +356,23 @@ int main(int argc, char** argv) {
   if (!opt.out.empty()) {
     save_results(result, opt.out);
     std::cout << "wrote per-job records to " << opt.out << "\n";
+  }
+  if (recorder != nullptr && !opt.trace_out.empty()) {
+    ChromeTraceOptions trace_options;
+    trace_options.slot_seconds = config.slot_seconds;
+    std::ofstream trace_file(opt.trace_out, std::ios::binary);
+    if (!trace_file ||
+        !(trace_file << chrome_trace_json(recorder->snapshot(), trace_options))) {
+      std::cerr << "cannot write " << opt.trace_out << "\n";
+      return 3;
+    }
+    std::cout << "wrote Chrome trace JSON to " << opt.trace_out
+              << " (open at https://ui.perfetto.dev)\n";
+  }
+  if (recorder != nullptr && !opt.log_out.empty()) {
+    save_log(opt.log_out, recorder->snapshot(), config.slot_seconds);
+    std::cout << "wrote flight log (" << recorder->records_written() << " records) to "
+              << opt.log_out << "\n";
   }
   return 0;
 }
