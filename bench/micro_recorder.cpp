@@ -38,7 +38,7 @@ std::vector<JobSpec> sim_jobs(int count, std::uint64_t seed) {
 TraceRecord sample_record(int i) {
   TraceRecord r;
   r.slot = i;
-  r.type = static_cast<TraceEv>(i % 16);
+  r.type = static_cast<TraceEv>(i % 23);
   r.job = i % 64;
   r.phase = i % 4;
   r.task = i % 100;

@@ -104,6 +104,17 @@ double ExponentialDist::sample(Rng& rng) const {
   return -mean_ * std::log1p(-rng.uniform());
 }
 
+WeibullDist::WeibullDist(double mean, double shape) : mean_(mean), shape_(shape) {
+  require(mean > 0.0, "WeibullDist: mean must be > 0");
+  require(shape > 0.0, "WeibullDist: shape must be > 0");
+  scale_ = mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+double WeibullDist::quantile(double u) const {
+  // -log1p(-u) keeps the argument in (0,1] like the exponential sampler.
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
 double sample_standard_normal(Rng& rng) {
   // Marsaglia polar method; rejection loop terminates with probability 1.
   for (;;) {

@@ -38,15 +38,29 @@ class Server {
   [[nodiscard]] int rack() const { return spec_.rack; }
 
   /// True when `demand` fits in the remaining capacity and the server is
-  /// up.
+  /// up and not quarantined.
   [[nodiscard]] bool can_fit(const Resources& demand) const {
-    return !down_ && (used_ + demand).fits_within(spec_.capacity);
+    return !down_ && !quarantined_ && (used_ + demand).fits_within(spec_.capacity);
   }
 
   /// Failure-injection state: a down server accepts no allocations (its
   /// running copies are killed by the simulator when it goes down).
   void set_down(bool down) { down_ = down; }
   [[nodiscard]] bool is_down() const { return down_; }
+
+  /// Resilience-policy state: a quarantined server is up (running copies
+  /// keep running) but accepts no new placements until probation releases
+  /// it.  Set via SchedulerContext::set_server_quarantined, which also
+  /// keeps the PlacementIndex candidacy in sync.
+  void set_quarantined(bool quarantined) { quarantined_ = quarantined; }
+  [[nodiscard]] bool is_quarantined() const { return quarantined_; }
+
+  /// Fail-slow ("gray failure") state: new copies launched on this server
+  /// take slow_factor times longer while > 1.  1.0 means healthy; the
+  /// simulator multiplies copy durations by this, so the healthy path is
+  /// bit-exact (x * 1.0 == x for finite x).
+  void set_slow_factor(double factor) { slow_factor_ = factor; }
+  [[nodiscard]] double slow_factor() const { return slow_factor_; }
 
   /// Reserve resources; returns false (and changes nothing) if they do not
   /// fit.  The simulator is the only caller, so all capacity accounting
@@ -66,6 +80,8 @@ class Server {
     used_ = {};
     running_copies_ = 0;
     down_ = false;
+    quarantined_ = false;
+    slow_factor_ = 1.0;
   }
 
  private:
@@ -74,6 +90,8 @@ class Server {
   Resources used_;
   int running_copies_ = 0;
   bool down_ = false;
+  bool quarantined_ = false;
+  double slow_factor_ = 1.0;
 };
 
 }  // namespace dollymp

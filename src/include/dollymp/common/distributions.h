@@ -112,6 +112,34 @@ class ExponentialDist {
   double mean_;
 };
 
+/// Weibull distribution parameterized by (mean, shape k), with the scale
+/// derived as mean / Gamma(1 + 1/k).  Failure-analysis literature fits
+/// machine lifetimes with k < 1 (infant mortality: hazard decreases with
+/// uptime) and wear-out repairs with k > 1; k == 1 degenerates to the
+/// exponential.  Inverse-CDF sampling, so draws are bit-portable and
+/// consume exactly one Rng::uniform() like ExponentialDist — the fault
+/// engine can switch a delay between the two without perturbing any other
+/// stream's draw count.
+class WeibullDist {
+ public:
+  /// @param mean   target mean, > 0.
+  /// @param shape  k > 0.
+  WeibullDist(double mean, double shape);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Inverse CDF at u in [0,1): scale * (-ln(1-u))^(1/k).
+  [[nodiscard]] double quantile(double u) const;
+  [[nodiscard]] double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+ private:
+  double mean_;
+  double shape_;
+  double scale_;
+};
+
 /// Standard normal sample via the Marsaglia polar variant of Box-Muller,
 /// consuming only Rng::uniform draws.
 [[nodiscard]] double sample_standard_normal(Rng& rng);

@@ -92,6 +92,11 @@ struct SimStats {
   long long events_server_repair = 0;
   long long events_timer = 0;         ///< timer wakeups fired
   long long events_job_arrival = 0;
+  long long events_rack_failure = 0;      ///< rack-correlated outage events
+  long long events_rack_repair = 0;
+  long long events_fail_slow_onset = 0;   ///< server entered fail-slow state
+  long long events_fail_slow_recover = 0;
+  long long events_copy_fault = 0;        ///< transient copy-fault timer pops
 
   // Placement funnel: every place_copy/place_speculative_copy request,
   // split by outcome.
@@ -120,11 +125,32 @@ struct SimStats {
   long long recorder_evictions = 0;
   unsigned long long recorder_hash = 0;
 
+  // Availability accounting (fault injection + resilience policies; all
+  // zero on a healthy run).  work_seconds_lost charges each fault-killed
+  // copy its elapsed runtime — the redo cost failures impose.
+  long long copies_killed_by_faults = 0;  ///< crash / rack / copy-fault kills
+  double work_seconds_lost = 0.0;
+  long long retries_issued = 0;           ///< backoff retries registered
+  long long backoff_slots_waited = 0;     ///< total slots placements were deferred
+  long long servers_quarantined = 0;      ///< quarantine entries
+  long long quarantine_exits = 0;         ///< probation released a server
+  long long clone_budget_degradations = 0;  ///< scheduler passes with shrunk budget
+
+  // End-of-run conservation check inputs (chaos invariant: every launched
+  // copy is accounted for and no allocation leaks past the last job).
+  long long copies_finished = 0;  ///< copies that ran to natural completion
+  long long copies_killed = 0;    ///< copies terminated early (any cause)
+  double leaked_cpu = 0.0;        ///< cluster CPU still allocated at run end
+  double leaked_mem = 0.0;        ///< cluster memory still allocated at run end
+  long long leaked_active_copies = 0;  ///< copies still marked active at run end
+
   double wall_clock_seconds = 0.0;  ///< host time spent inside run()
 
   [[nodiscard]] long long events_processed() const {
     return events_copy_finish + events_work_finish + events_server_failure +
-           events_server_repair + events_timer + events_job_arrival;
+           events_server_repair + events_timer + events_job_arrival +
+           events_rack_failure + events_rack_repair + events_fail_slow_onset +
+           events_fail_slow_recover + events_copy_fault;
   }
   [[nodiscard]] long long placements_rejected() const {
     return rejected_job_not_ready + rejected_phase_not_runnable + rejected_copy_cap +

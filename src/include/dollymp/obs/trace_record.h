@@ -43,6 +43,14 @@ enum class TraceEv : std::uint8_t {
                            ///< (aux = query kind: 0 best-fit, 1 first-fit,
                            ///<  2 locality-aware, 3 DollyMP weighted)
   kSpeculationPass = 15,   ///< straggler sweep; aux = candidates<<16 | launched
+  kCopyFault = 16,         ///< transient fault killed one running copy
+  kServerDegraded = 17,    ///< fail-slow onset; aux = slowdown_factor * 100
+  kServerRestored = 18,    ///< fail-slow recovery; server speed back to normal
+  kQuarantineEnter = 19,   ///< resilience policy quarantined a server
+  kQuarantineExit = 20,    ///< quarantine expired; server back in candidacy
+  kRetryBackoff = 21,      ///< re-placement deferred; aux = backoff slots
+  kCloneBudgetDegraded = 22,  ///< clone budget shrunk under low capacity
+                              ///< (aux = effective<<16 | configured)
 };
 
 [[nodiscard]] const char* to_string(TraceEv ev);

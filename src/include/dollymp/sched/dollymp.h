@@ -23,6 +23,7 @@
 
 #include "dollymp/learn/server_scorer.h"
 #include "dollymp/sched/priority.h"
+#include "dollymp/sched/resilience.h"
 #include "dollymp/sched/scheduler.h"
 
 namespace dollymp {
@@ -55,6 +56,11 @@ struct DollyMPConfig {
   /// window.  Off by default (the paper's deployed system uses the flat
   /// budget).
   bool corollary_clone_counts = false;
+  /// Resilience policies under fault injection (sched/resilience.h): retry
+  /// backoff, server quarantine, clone degradation.  Disabled by default —
+  /// and with it disabled the scheduler's decision stream is bit-identical
+  /// to the pre-resilience implementation.
+  ResilienceConfig resilience;
 };
 
 class DollyMPScheduler final : public Scheduler {
@@ -69,6 +75,16 @@ class DollyMPScheduler final : public Scheduler {
                         const PhaseRuntime& phase, const TaskRuntime& task,
                         const CopyRuntime& copy) override;
   void on_job_completed(SchedulerContext& ctx, const JobRuntime& job) override;
+  void on_copy_fault(SchedulerContext& ctx, const JobRuntime& job,
+                     const PhaseRuntime& phase, const TaskRuntime& task,
+                     ServerId server) override;
+  void on_server_failed(SchedulerContext& ctx, ServerId server) override;
+  void on_server_repaired(SchedulerContext& ctx, ServerId server) override;
+
+  /// The embedded resilience policy (null unless config().resilience.enabled).
+  [[nodiscard]] const ResiliencePolicy* resilience() const {
+    return resilience_ ? &*resilience_ : nullptr;
+  }
 
   /// Learned per-server slowdown estimates (only populated when
   /// config().straggler_aware is set).
@@ -103,8 +119,17 @@ class DollyMPScheduler final : public Scheduler {
   void ensure_slot(JobId id);
   void rebuild_order(SchedulerContext& ctx);
   int place_new_tasks(SchedulerContext& ctx);
-  int place_clones(SchedulerContext& ctx);
+  /// Resilient variant of place_new_tasks: identical placement order but
+  /// skips (and defers) tasks held under retry backoff — used only when the
+  /// resilience policy is live, so the default path keeps the monotone
+  /// cursor fast path.
+  int place_new_tasks_resilient(SchedulerContext& ctx);
+  int place_clones(SchedulerContext& ctx, int clone_budget);
   [[nodiscard]] ServerId pick_server(SchedulerContext& ctx, const TaskRuntime& task) const;
+  /// The resilience policy, created lazily on first use (reset() drops it;
+  /// hooks can fire before the first schedule(), so every entry point
+  /// funnels through here).  Null when resilience is disabled.
+  [[nodiscard]] ResiliencePolicy* live_resilience(SchedulerContext& ctx);
 
   DollyMPConfig config_;
   /// Dense per-job priority store, indexed by JobId (ids are small and
@@ -125,6 +150,8 @@ class DollyMPScheduler final : public Scheduler {
   /// schedule() refreshes priorities and clears it.
   bool priorities_dirty_ = false;
   std::optional<ServerScorer> scorer_;
+  /// Live only when config_.resilience.enabled; rebuilt on reset().
+  std::optional<ResiliencePolicy> resilience_;
 };
 
 }  // namespace dollymp

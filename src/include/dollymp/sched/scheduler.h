@@ -83,6 +83,29 @@ class SchedulerContext {
   /// DollyMP's weighted pick, the speculation pass) append their chosen
   /// server + score here so a trace shows *why* a copy landed where it did.
   [[nodiscard]] virtual Recorder* recorder() { return nullptr; }
+
+  // Resilience-policy channel (sched/resilience.h).  Default no-ops so
+  // lightweight contexts (tests, dry runs) need not implement them.
+
+  /// Quarantine or release a server: a quarantined server stays up (its
+  /// running copies continue) but is excluded from placement — can_fit
+  /// returns false and the simulator removes it from the PlacementIndex
+  /// candidate groups until released.  Idempotent.
+  virtual void set_server_quarantined(ServerId /*server*/, bool /*quarantined*/) {}
+
+  /// Tell the control plane that placement of at least one task was
+  /// deliberately deferred (retry backoff) and the policy wants to run
+  /// again at `release_slot`.  Distinguishes "waiting on purpose" from a
+  /// genuine stall so the simulator's no-progress detector does not fire.
+  virtual void defer_retry(SimTime release_slot) { request_wakeup(release_slot); }
+
+  /// Availability accounting: a retry with `backoff_slots` of backoff was
+  /// registered (surfaced in SimStats).
+  virtual void note_retry_issued(long long /*backoff_slots*/) {}
+
+  /// Availability accounting: a scheduler pass ran with its clone budget
+  /// shrunk from `configured` to `effective` under low live capacity.
+  virtual void note_clone_budget_degraded(int /*effective*/, int /*configured*/) {}
 };
 
 class Scheduler {
@@ -129,6 +152,23 @@ class Scheduler {
 
   /// A failed server came back and accepts placements again.
   virtual void on_server_repaired(SchedulerContext& /*ctx*/, ServerId /*server*/) {}
+
+  /// A fault killed one copy of `task` on `server` without the machine
+  /// going down (transient copy fault), or as part of a machine loss (one
+  /// call per killed copy).  Fires before on_server_failed for the same
+  /// event.  Resilience policies register retry backoff / server strikes
+  /// here.
+  virtual void on_copy_fault(SchedulerContext& /*ctx*/, const JobRuntime& /*job*/,
+                             const PhaseRuntime& /*phase*/, const TaskRuntime& /*task*/,
+                             ServerId /*server*/) {}
+
+  /// A server entered the fail-slow state: it stays up but new copies run
+  /// `factor` times longer until on_server_restored.
+  virtual void on_server_degraded(SchedulerContext& /*ctx*/, ServerId /*server*/,
+                                  double /*factor*/) {}
+
+  /// A fail-slow server recovered to full speed.
+  virtual void on_server_restored(SchedulerContext& /*ctx*/, ServerId /*server*/) {}
 };
 
 // ---- shared helpers used by several policies -------------------------------

@@ -58,6 +58,9 @@ enum class CloneKillPolicy : std::uint8_t {
 [[nodiscard]] const char* to_string(ExecutionModel model);
 [[nodiscard]] const char* to_string(CloneKillPolicy policy);
 
+enum class FaultDelayDist : std::uint8_t;
+[[nodiscard]] const char* to_string(FaultDelayDist dist);
+
 /// Machine failure injection: servers crash (killing every running copy on
 /// them and refusing placements) and come back after a repair delay.
 /// Exercises the cloning machinery's fault-tolerance story — HDFS keeps
@@ -66,6 +69,70 @@ struct FailureConfig {
   bool enabled = false;
   double mean_time_to_failure_seconds = 3600.0;
   double mean_repair_seconds = 300.0;
+};
+
+/// Delay distribution family for fault timers (sim/faults.h).  Both are
+/// inverse-CDF samplers consuming exactly one uniform draw, so switching
+/// the family never changes the failure stream's draw count.
+enum class FaultDelayDist : std::uint8_t {
+  kExponential,  ///< memoryless (the classic MTTF/MTTR model)
+  kWeibull,      ///< shape < 1: infant mortality; shape > 1: wear-out
+};
+
+/// One fault delay: family, mean, and (for Weibull) the shape k.
+struct FaultDelaySpec {
+  FaultDelayDist dist = FaultDelayDist::kExponential;
+  double mean_seconds = 3600.0;
+  double weibull_shape = 1.5;  ///< only read when dist == kWeibull
+};
+
+/// Rack-correlated outages: an entire rack (shared ToR switch / PDU) goes
+/// down at once and comes back at once.  Failure-domain correlation is the
+/// case HDFS's off-rack second replica exists for — and the case the
+/// independent-crash model cannot produce.
+struct RackFaultConfig {
+  bool enabled = false;
+  FaultDelaySpec time_to_failure{FaultDelayDist::kExponential, 7200.0, 1.5};
+  FaultDelaySpec repair{FaultDelayDist::kExponential, 600.0, 1.5};
+};
+
+/// Fail-slow ("gray") servers: the machine stays up and keeps its
+/// allocations but copies launched while degraded run slowdown_factor
+/// times longer (stochastic model; the mean-field work model ignores
+/// speed, so this class is a no-op there).  Running copies keep their
+/// already-realized durations — degradation hits new launches, which is
+/// what a scheduler can actually steer around.
+struct FailSlowConfig {
+  bool enabled = false;
+  double slowdown_factor = 4.0;  ///< >= 1; multiplies new-copy durations
+  FaultDelaySpec time_to_onset{FaultDelayDist::kExponential, 3600.0, 1.5};
+  FaultDelaySpec recovery{FaultDelayDist::kExponential, 900.0, 1.5};
+};
+
+/// Transient copy faults: a single running copy dies (task JVM crash, OOM
+/// kill) without the machine going down.  The victim is drawn uniformly
+/// from all running copies by the failure RNG.
+struct CopyFaultConfig {
+  bool enabled = false;
+  FaultDelaySpec inter_fault{FaultDelayDist::kExponential, 300.0, 1.5};
+};
+
+/// The full fault-injection matrix (sim/faults.h).  The legacy independent
+/// crash class keeps living in FailureConfig (SimConfig::failures) for
+/// source compatibility; crash_dist below upgrades its delay family.
+/// Everything here defaults to disabled/exponential, in which case the
+/// simulation is bit-identical to the pre-fault-matrix behaviour.
+struct FaultConfig {
+  RackFaultConfig rack;
+  FailSlowConfig fail_slow;
+  CopyFaultConfig copy;
+  /// Delay family for the independent-crash class of SimConfig::failures.
+  FaultDelayDist crash_dist = FaultDelayDist::kExponential;
+  double crash_weibull_shape = 1.5;
+
+  [[nodiscard]] bool any_enabled() const {
+    return rack.enabled || fail_slow.enabled || copy.enabled;
+  }
 };
 
 struct SimConfig {
@@ -87,6 +154,7 @@ struct SimConfig {
   BackgroundLoadConfig background;
   LocalityConfig locality;
   FailureConfig failures;
+  FaultConfig faults;
 
   /// Maintain an incremental PlacementIndex over the cluster and expose it
   /// through SchedulerContext::placement_index(), so the placement helpers
@@ -113,6 +181,13 @@ struct SimConfig {
   /// The recorder's stream hash and counters are surfaced in
   /// SimStats::recorder_* at the end of the run.
   Recorder* recorder = nullptr;
+
+  /// Reject nonsensical configurations with a clear std::invalid_argument
+  /// before a run silently misbehaves: non-positive slot length, zero copy
+  /// cap, non-positive fault delay means, slowdown factors below 1, or
+  /// repair/recovery delays that cannot complete within the max_slots
+  /// horizon.  Called by the Simulator constructor and the CLI tools.
+  void validate() const;
 };
 
 }  // namespace dollymp

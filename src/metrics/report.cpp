@@ -134,7 +134,9 @@ std::string format_recorder_hash(const SimStats& st) {
 
 std::string render_control_plane(const std::vector<RunSummary>& summaries) {
   ConsoleTable table({"scheduler", "invocations", "slots", "ff_slots", "timers",
-                      "events", "arrive", "finish", "fail", "attempts", "placed",
+                      "events", "arrive", "finish", "fail", "fault_kill",
+                      "work_lost_s", "retries", "quarantine", "clone_degr",
+                      "attempts", "placed",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
                       "idx_update", "rec", "rec_evict", "rec_hash", "wall_ms"});
   for (const auto& s : summaries) {
@@ -146,7 +148,17 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.events_processed()),
                    std::to_string(st.events_job_arrival),
                    std::to_string(st.events_copy_finish + st.events_work_finish),
-                   std::to_string(st.events_server_failure + st.events_server_repair),
+                   // All machine-loss churn: independent crashes, their
+                   // repairs, and rack-correlated outages.
+                   std::to_string(st.events_server_failure + st.events_server_repair +
+                                  st.events_rack_failure + st.events_rack_repair),
+                   std::to_string(st.copies_killed_by_faults),
+                   ConsoleTable::format_double(st.work_seconds_lost, 0),
+                   std::to_string(st.retries_issued),
+                   // entries/exits: "3/2" reads as one server still serving.
+                   std::to_string(st.servers_quarantined) + "/" +
+                       std::to_string(st.quarantine_exits),
+                   std::to_string(st.clone_budget_degradations),
                    std::to_string(st.placement_attempts),
                    std::to_string(st.placements_accepted),
                    std::to_string(st.rejected_copy_cap),

@@ -23,6 +23,13 @@ const char* to_string(TraceEv ev) {
     case TraceEv::kTimerFired: return "timer-fired";
     case TraceEv::kPlacementQuery: return "placement-query";
     case TraceEv::kSpeculationPass: return "speculation-pass";
+    case TraceEv::kCopyFault: return "copy-fault";
+    case TraceEv::kServerDegraded: return "server-degraded";
+    case TraceEv::kServerRestored: return "server-restored";
+    case TraceEv::kQuarantineEnter: return "quarantine-enter";
+    case TraceEv::kQuarantineExit: return "quarantine-exit";
+    case TraceEv::kRetryBackoff: return "retry-backoff";
+    case TraceEv::kCloneBudgetDegraded: return "clone-budget-degraded";
   }
   return "unknown";
 }

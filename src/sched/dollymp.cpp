@@ -26,6 +26,27 @@ void DollyMPScheduler::reset() {
   ++epoch_;
   priorities_dirty_ = false;
   scorer_.reset();
+  resilience_.reset();
+}
+
+ResiliencePolicy* DollyMPScheduler::live_resilience(SchedulerContext& ctx) {
+  if (!config_.resilience.enabled) return nullptr;
+  if (!resilience_) resilience_.emplace(config_.resilience, ctx.cluster().size());
+  return &*resilience_;
+}
+
+void DollyMPScheduler::on_copy_fault(SchedulerContext& ctx, const JobRuntime& /*job*/,
+                                     const PhaseRuntime& /*phase*/,
+                                     const TaskRuntime& task, ServerId server) {
+  if (ResiliencePolicy* res = live_resilience(ctx)) res->on_copy_fault(ctx, task, server);
+}
+
+void DollyMPScheduler::on_server_failed(SchedulerContext& ctx, ServerId server) {
+  if (ResiliencePolicy* res = live_resilience(ctx)) res->on_server_failed(ctx, server);
+}
+
+void DollyMPScheduler::on_server_repaired(SchedulerContext& ctx, ServerId server) {
+  if (ResiliencePolicy* res = live_resilience(ctx)) res->on_server_repaired(ctx, server);
 }
 
 bool DollyMPScheduler::priority_known(JobId id) const {
@@ -249,10 +270,47 @@ int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx) {
   return placed_total;
 }
 
-int DollyMPScheduler::place_clones(SchedulerContext& ctx) {
-  if (config_.clone_budget == 0) return 0;
-  const int copy_cap =
-      std::min(1 + config_.clone_budget, ctx.config().max_copies_per_task);
+int DollyMPScheduler::place_new_tasks_resilient(SchedulerContext& ctx) {
+  // Same priority order and per-task placement as place_new_tasks, but
+  // tasks under a retry-backoff hold are skipped (and their earliest
+  // release recorded for defer_retry) instead of placed.  This path cannot
+  // use next_unscheduled_task: its monotone cursor would advance past a
+  // held task and never revisit it.  Deferral is recorded even after
+  // capacity runs out, so the policy never misses the backoff wakeup.
+  int placed_total = 0;
+  const SimTime now = ctx.now();
+  for (auto& jo : order_) {
+    JobRuntime& job = *jo.job;
+    if (job.finished) continue;
+    for (auto& phase : job.phases) {
+      if (!phase.runnable() || phase.unscheduled_tasks == 0) continue;
+      bool capacity_exhausted = false;
+      const auto first =
+          static_cast<std::size_t>(std::max(phase.first_unscheduled_hint, 0));
+      for (std::size_t t = first; t < phase.tasks.size(); ++t) {
+        TaskRuntime& task = phase.tasks[t];
+        if (!task.needs_placement()) continue;
+        if (resilience_->should_defer(task, now)) continue;
+        if (capacity_exhausted) continue;
+        const ServerId server = pick_server(ctx, task);
+        if (server == kInvalidServer) {
+          capacity_exhausted = true;  // identical siblings will not fit either
+          continue;
+        }
+        if (!ctx.place_copy(job, phase, task, server)) {
+          capacity_exhausted = true;
+          continue;
+        }
+        ++placed_total;
+      }
+    }
+  }
+  return placed_total;
+}
+
+int DollyMPScheduler::place_clones(SchedulerContext& ctx, int clone_budget) {
+  if (clone_budget == 0) return 0;
+  const int copy_cap = std::min(1 + clone_budget, ctx.config().max_copies_per_task);
 
   // Section 4.1's rule: clone small jobs "when the total amount of consumed
   // resources under cloning is less than the resource demand of other
@@ -344,17 +402,33 @@ int DollyMPScheduler::place_clones(SchedulerContext& ctx) {
 }
 
 void DollyMPScheduler::schedule(SchedulerContext& ctx) {
+  ResiliencePolicy* res = live_resilience(ctx);
+  if (res != nullptr) res->begin_invocation(ctx);
   if (priorities_dirty_) {
     recompute_priorities(ctx);
     priorities_dirty_ = false;
   }
   rebuild_order(ctx);
-  place_new_tasks(ctx);
+  // Graceful degradation: shrink the clone budget when live capacity is
+  // below the watermark — redundancy yields to first copies under duress.
+  int clone_budget = config_.clone_budget;
+  if (res != nullptr) {
+    clone_budget = res->degraded_clone_budget(ctx, config_.clone_budget);
+    if (clone_budget < config_.clone_budget) {
+      ctx.note_clone_budget_degraded(clone_budget, config_.clone_budget);
+    }
+  }
+  if (res != nullptr) {
+    place_new_tasks_resilient(ctx);
+  } else {
+    place_new_tasks(ctx);
+  }
   // "Repeat Step 9 twice if there are available resources" — each extra
   // pass may add one more clone per task up to the budget.
-  for (int pass = 0; pass < config_.clone_budget; ++pass) {
-    if (place_clones(ctx) == 0) break;
+  for (int pass = 0; pass < clone_budget; ++pass) {
+    if (place_clones(ctx, clone_budget) == 0) break;
   }
+  if (res != nullptr) res->finish_invocation(ctx);
 }
 
 }  // namespace dollymp

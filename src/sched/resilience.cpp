@@ -1,0 +1,130 @@
+#include "dollymp/sched/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dollymp/obs/recorder.h"
+
+namespace dollymp {
+
+ResiliencePolicy::ResiliencePolicy(ResilienceConfig config, std::size_t cluster_size)
+    : config_(config) {
+  strikes_.assign(cluster_size, 0.0);
+  strike_updated_.assign(cluster_size, 0);
+  quarantine_release_.assign(cluster_size, kNever);
+}
+
+double ResiliencePolicy::decayed_strikes(ServerId server, SimTime now) const {
+  const auto s = static_cast<std::size_t>(server);
+  const auto dt = static_cast<double>(now - strike_updated_[s]);
+  if (dt <= 0.0 || strikes_[s] == 0.0) return strikes_[s];
+  return strikes_[s] * std::exp2(-dt / config_.strike_half_life_slots);
+}
+
+void ResiliencePolicy::add_strike(SchedulerContext& ctx, ServerId server) {
+  const SimTime now = ctx.now();
+  const auto s = static_cast<std::size_t>(server);
+  strikes_[s] = decayed_strikes(server, now) + 1.0;
+  strike_updated_[s] = now;
+  if (!config_.quarantine) return;
+  if (quarantine_release_[s] != kNever) return;  // already serving a term
+  if (strikes_[s] < config_.flap_threshold) return;
+  // Fleet-fraction cap: quarantining is a luxury — with much of the
+  // cluster already excluded, keep flaky servers in service rather than
+  // starving placement entirely.
+  const auto fleet = static_cast<double>(strikes_.size());
+  if (static_cast<double>(quarantined_count_ + 1) >
+      config_.max_quarantined_fraction * fleet) {
+    return;
+  }
+  quarantine_release_[s] = now + config_.quarantine_slots;
+  ++quarantined_count_;
+  ctx.set_server_quarantined(server, true);
+  // Make sure an invocation happens at the release slot even on an
+  // otherwise-quiet cluster, so begin_invocation can lift the term.
+  ctx.request_wakeup(quarantine_release_[s]);
+}
+
+void ResiliencePolicy::on_copy_fault(SchedulerContext& ctx, const TaskRuntime& task,
+                                     ServerId server) {
+  add_strike(ctx, server);
+  // Backoff applies when the fault orphaned the task: the next re-placement
+  // attempt waits out an exponentially growing hold.
+  if (!task.needs_placement()) return;
+  Backoff& b = backoff_[task.ref];
+  const int doublings = std::min(b.attempts, config_.retry_budget);
+  const SimTime hold = std::min(config_.backoff_max_slots,
+                                config_.backoff_initial_slots << doublings);
+  ++b.attempts;
+  b.release = ctx.now() + hold;
+  ctx.note_retry_issued(hold);
+  if (Recorder* rec = ctx.recorder()) {
+    TraceRecord r;
+    r.slot = ctx.now();
+    r.type = TraceEv::kRetryBackoff;
+    r.job = task.ref.job;
+    r.phase = task.ref.phase;
+    r.task = task.ref.task;
+    r.server = server;
+    r.aux = hold;
+    rec->append(r);
+  }
+}
+
+void ResiliencePolicy::on_server_failed(SchedulerContext& ctx, ServerId server) {
+  ++down_count_;
+  add_strike(ctx, server);
+}
+
+void ResiliencePolicy::on_server_repaired(SchedulerContext& /*ctx*/, ServerId /*server*/) {
+  --down_count_;
+}
+
+void ResiliencePolicy::begin_invocation(SchedulerContext& ctx) {
+  earliest_release_ = kNever;
+  const SimTime now = ctx.now();
+  for (std::size_t s = 0; s < quarantine_release_.size(); ++s) {
+    if (quarantine_release_[s] == kNever || quarantine_release_[s] > now) continue;
+    quarantine_release_[s] = kNever;
+    --quarantined_count_;
+    // Probation: release with half the strikes instead of a clean slate —
+    // a server that flaps again right away goes straight back in.
+    strikes_[s] = decayed_strikes(static_cast<ServerId>(s), now) * 0.5;
+    strike_updated_[s] = now;
+    ctx.set_server_quarantined(static_cast<ServerId>(s), false);
+  }
+}
+
+bool ResiliencePolicy::should_defer(const TaskRuntime& task, SimTime now) {
+  const auto it = backoff_.find(task.ref);
+  if (it == backoff_.end()) return false;
+  if (it->second.release == kNever || it->second.release <= now) return false;
+  if (earliest_release_ == kNever || it->second.release < earliest_release_) {
+    earliest_release_ = it->second.release;
+  }
+  return true;
+}
+
+void ResiliencePolicy::finish_invocation(SchedulerContext& ctx) {
+  if (earliest_release_ == kNever) return;
+  ctx.defer_retry(earliest_release_);
+  earliest_release_ = kNever;
+}
+
+int ResiliencePolicy::degraded_clone_budget(const SchedulerContext& ctx,
+                                            int configured) const {
+  if (!config_.degrade_clones || configured <= 0) return configured;
+  const auto fleet = static_cast<double>(ctx.cluster().size());
+  if (fleet <= 0.0) return configured;
+  const double live =
+      fleet - static_cast<double>(down_count_) - static_cast<double>(quarantined_count_);
+  const double fraction = std::max(0.0, live / fleet);
+  if (fraction >= config_.capacity_watermark) return configured;
+  // Proportional shrink below the watermark: at watermark the full budget,
+  // approaching zero capacity approaches zero clones.
+  const int effective = static_cast<int>(
+      std::floor(static_cast<double>(configured) * fraction / config_.capacity_watermark));
+  return std::clamp(effective, 0, configured);
+}
+
+}  // namespace dollymp

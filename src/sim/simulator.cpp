@@ -12,6 +12,7 @@
 #include "dollymp/common/logging.h"
 #include "dollymp/obs/recorder.h"
 #include "dollymp/sim/execution.h"
+#include "dollymp/sim/faults.h"
 
 namespace dollymp {
 
@@ -28,6 +29,15 @@ enum class EvKind : std::uint8_t {
   kServerFailure = 1,
   kCompletion = 2,  ///< copy finish (stochastic) or work prediction (work-based)
   kTimer = 3,       ///< scheduler wakeup requested via request_wakeup()
+  // Fault-matrix events (sim/faults.h).  Rack events carry the rack index
+  // in the `server` field.  Recover/repair kinds sort before their
+  // onset/failure counterparts so a machine that bounces within one slot
+  // ends up healthy, matching the crash-class convention above.
+  kRackRepair = 4,
+  kRackFailure = 5,
+  kFailSlowRecover = 6,
+  kFailSlowOnset = 7,
+  kCopyFault = 8,   ///< cluster-wide transient copy-fault timer
 };
 
 /// One heap entry.  Completion events come in two flavours sharing the
@@ -53,13 +63,19 @@ struct SimEvent {
     switch (kind) {
       case EvKind::kServerRepair:
       case EvKind::kServerFailure:
+      case EvKind::kRackRepair:
+      case EvKind::kRackFailure:
+      case EvKind::kFailSlowRecover:
+      case EvKind::kFailSlowOnset:
         return 0;
+      case EvKind::kCopyFault:
+        return 1;  // after machine state settles, before completions
       case EvKind::kCompletion:
-        return 1;
-      case EvKind::kTimer:
         return 2;
+      case EvKind::kTimer:
+        return 3;
     }
-    return 3;  // unreachable
+    return 4;  // unreachable
   }
 
   // Min-heap by slot with a fully deterministic total order: kind group,
@@ -96,6 +112,10 @@ class Simulator::Impl final : public SchedulerContext {
     rng_policy_ = rng_root_.split(3);
     rng_failure_ = rng_root_.split(4);
     if (config_.use_placement_index) index_.emplace(cluster_);
+    if (config_.failures.enabled || config_.faults.any_enabled()) {
+      faults_.emplace(cluster_, config_.failures, config_.faults, config_.slot_seconds,
+                      rng_failure_);
+    }
   }
 
   SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
@@ -130,6 +150,41 @@ class Simulator::Impl final : public SchedulerContext {
     ++pending_timer_count_;
     pending_timer_slot_ = target;
     trace(TraceEv::kWakeupRequested, -1, -1, -1, -1, -1, target);
+  }
+
+  void set_server_quarantined(ServerId server_id, bool quarantined) override {
+    Server& server = cluster_.server(static_cast<std::size_t>(server_id));
+    if (server.is_quarantined() == quarantined) return;  // idempotent
+    server.set_quarantined(quarantined);
+    // Index candidacy invariant: a server is indexed iff it is up AND not
+    // quarantined.  When the server is down the crash/repair path owns the
+    // index transition, so only touch the index for an up server here.
+    if (quarantined) {
+      ++result_.stats.servers_quarantined;
+      if (index_ && !server.is_down()) index_->on_server_down(server_id);
+      trace(TraceEv::kQuarantineEnter, -1, -1, -1, -1, server_id);
+    } else {
+      ++result_.stats.quarantine_exits;
+      if (index_ && !server.is_down()) index_->on_server_up(server_id);
+      trace(TraceEv::kQuarantineExit, -1, -1, -1, -1, server_id);
+    }
+  }
+
+  void defer_retry(SimTime release_slot) override {
+    deferred_this_invocation_ = true;
+    request_wakeup(release_slot);
+  }
+
+  void note_retry_issued(long long backoff_slots) override {
+    ++result_.stats.retries_issued;
+    result_.stats.backoff_slots_waited += backoff_slots;
+  }
+
+  void note_clone_budget_degraded(int effective, int configured) override {
+    ++result_.stats.clone_budget_degradations;
+    trace(TraceEv::kCloneBudgetDegraded, -1, -1, -1, -1, -1,
+          (static_cast<std::int64_t>(effective) << 16) |
+              static_cast<std::int64_t>(configured));
   }
 
  private:
@@ -193,7 +248,16 @@ class Simulator::Impl final : public SchedulerContext {
   void validate_placeable(const JobSpec& spec) const;
   void seed_failures();
   void fail_server(ServerId server_id);
-  [[nodiscard]] SimTime failure_delay_slots(double mean_seconds);
+  void apply_server_down(ServerId server_id);
+  void apply_server_up(ServerId server_id);
+  void inject_copy_fault();
+  void push_machine_event(SimTime delay, EvKind kind, std::int32_t target) {
+    SimEvent e;
+    e.slot = now_ + delay;
+    e.kind = kind;
+    e.server = target;
+    push_event(e);
+  }
   [[nodiscard]] bool any_copy_active() const { return active_copy_count_ > 0; }
   /// True when the heap holds anything that can change simulation state
   /// (timer wakeups alone cannot: they only re-invoke the scheduler).
@@ -214,6 +278,9 @@ class Simulator::Impl final : public SchedulerContext {
   Rng rng_exec_;
   Rng rng_policy_;
   Rng rng_failure_;
+  /// Fault-matrix delay draws + down-source bookkeeping; absent on a
+  /// healthy run.  Holds a reference to rng_failure_ above.
+  std::optional<FaultEngine> faults_;
   Recorder* rec_;  ///< flight recorder, null unless SimConfig::recorder set
 
   std::vector<JobRuntime> jobs_;
@@ -230,6 +297,10 @@ class Simulator::Impl final : public SchedulerContext {
   Scheduler* scheduler_ = nullptr;  ///< valid during run()
   long long active_copy_count_ = 0;
   bool placed_this_invocation_ = false;
+  /// Set via defer_retry(): the policy held at least one task back on
+  /// purpose this invocation (retry backoff), so an otherwise-idle slot is
+  /// not a stall.
+  bool deferred_this_invocation_ = false;
   bool arrivals_this_slot_ = false;
   int jobs_remaining_ = 0;
 
@@ -300,10 +371,14 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
   if (config_.model == ExecutionModel::kStochastic) {
     const double base =
         sample_copy_base_seconds(phase, task.ref.task, first_copy, rng_exec_);
-    const double seconds = scale_copy_seconds(
-        base, server, locality_.penalty(copy.locality),
-        background_.slowdown(static_cast<std::size_t>(server_id),
-                             static_cast<double>(now_) * config_.slot_seconds));
+    // Fail-slow degradation multiplies the realized duration; the healthy
+    // factor is exactly 1.0, so this is bit-identical when faults are off.
+    const double seconds =
+        scale_copy_seconds(
+            base, server, locality_.penalty(copy.locality),
+            background_.slowdown(static_cast<std::size_t>(server_id),
+                                 static_cast<double>(now_) * config_.slot_seconds)) *
+        server.slow_factor();
     copy.base_seconds = seconds;
     copy.finish = now_ + seconds_to_slots(seconds, config_.slot_seconds);
     task.copies.push_back(copy);
@@ -356,6 +431,11 @@ void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime
   if (!copy.active) return;
   copy.active = false;
   copy.killed = killed;
+  if (killed) {
+    ++result_.stats.copies_killed;
+  } else {
+    ++result_.stats.copies_finished;
+  }
   record_event(killed ? SimEventKind::kCopyKilled : SimEventKind::kCopyFinished,
                job.id, phase.index, task.ref.task, copy.server);
   trace(killed ? TraceEv::kCopyKilled : TraceEv::kCopyFinished, job.id, phase.index,
@@ -477,20 +557,17 @@ void Simulator::Impl::handle_work_event(JobRuntime& job, PhaseRuntime& phase,
   complete_task(job, phase, task);
 }
 
-SimTime Simulator::Impl::failure_delay_slots(double mean_seconds) {
-  const ExponentialDist dist(mean_seconds);
-  const double seconds = std::max(config_.slot_seconds, dist.sample(rng_failure_));
-  return seconds_to_slots(seconds, config_.slot_seconds);
-}
-
 void Simulator::Impl::seed_failures() {
-  if (!config_.failures.enabled) return;
-  for (const auto& server : cluster_.servers()) {
-    SimEvent e;
-    e.slot = failure_delay_slots(config_.failures.mean_time_to_failure_seconds);
-    e.kind = EvKind::kServerFailure;
-    e.server = server.id();
-    push_event(e);
+  if (!faults_) return;
+  for (const auto& timer : faults_->seed()) {
+    EvKind kind = EvKind::kServerFailure;
+    switch (timer.cls) {
+      case FaultClass::kCrash: kind = EvKind::kServerFailure; break;
+      case FaultClass::kRack: kind = EvKind::kRackFailure; break;
+      case FaultClass::kFailSlow: kind = EvKind::kFailSlowOnset; break;
+      case FaultClass::kCopyFault: kind = EvKind::kCopyFault; break;
+    }
+    push_machine_event(timer.slot, kind, timer.target);
   }
 }
 
@@ -511,6 +588,12 @@ void Simulator::Impl::fail_server(ServerId server_id) {
               accrue_work(task, phase, now_, config_.slot_seconds);
             }
             end_copy(*job, phase, task, copy, /*killed=*/true);
+            ++result_.stats.copies_killed_by_faults;
+            result_.stats.work_seconds_lost +=
+                static_cast<double>(now_ - copy.start) * config_.slot_seconds;
+            if (scheduler_ != nullptr) {
+              scheduler_->on_copy_fault(*this, *job, phase, task, server_id);
+            }
             killed_any = true;
           }
         }
@@ -534,46 +617,160 @@ void Simulator::Impl::fail_server(ServerId server_id) {
   }
 }
 
+void Simulator::Impl::apply_server_down(ServerId server_id) {
+  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
+  server.set_down(true);
+  // Deindex before fail_server kills the hosted copies: the releases that
+  // follow land on a down (unindexed) server and are no-ops for the index
+  // until the repair re-indexes from live state.  A quarantined server is
+  // already out of the index; on_server_down is idempotent either way.
+  if (index_) index_->on_server_down(server_id);
+  record_event(SimEventKind::kServerFailed, -1, -1, -1, server_id);
+  trace(TraceEv::kServerFailed, -1, -1, -1, -1, server_id);
+  fail_server(server_id);
+  if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, server_id);
+}
+
+void Simulator::Impl::apply_server_up(ServerId server_id) {
+  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
+  server.set_down(false);
+  // Candidacy invariant: indexed iff up && !quarantined — a server repaired
+  // while still quarantined stays out until the policy releases it.
+  if (index_ && !server.is_quarantined()) index_->on_server_up(server_id);
+  record_event(SimEventKind::kServerRepaired, -1, -1, -1, server_id);
+  trace(TraceEv::kServerRepaired, -1, -1, -1, -1, server_id);
+  if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, server_id);
+}
+
 void Simulator::Impl::drain_failures() {
-  // Repairs and failures sort before completions at a slot, so they form a
-  // prefix of the heap's due events.
-  while (!events_.empty() && events_.top().slot <= now_ &&
-         (events_.top().kind == EvKind::kServerRepair ||
-          events_.top().kind == EvKind::kServerFailure)) {
+  // Machine-state events sort before everything else at a slot, so they
+  // form a prefix of the heap's due events.  Every branch re-arms its fault
+  // process unconditionally — even when the FaultEngine absorbed the edge
+  // (server already down via another class, or a duplicate event) — so the
+  // per-class timer chains stay self-sustaining and the failure stream's
+  // draw order is a pure function of heap pop order.
+  while (!events_.empty() && events_.top().slot <= now_ && events_.top().group() == 0) {
     const SimEvent e = events_.top();
     events_.pop();
-    Server& server = cluster_.server(static_cast<std::size_t>(e.server));
-    if (e.kind == EvKind::kServerRepair) {
-      ++result_.stats.events_server_repair;
-      server.set_down(false);
-      if (index_) index_->on_server_up(e.server);
-      record_event(SimEventKind::kServerRepaired, -1, -1, -1, e.server);
-      trace(TraceEv::kServerRepaired, -1, -1, -1, -1, e.server);
-      if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, e.server);
-      SimEvent fail;
-      fail.slot =
-          now_ + failure_delay_slots(config_.failures.mean_time_to_failure_seconds);
-      fail.kind = EvKind::kServerFailure;
-      fail.server = e.server;
-      push_event(fail);
-    } else {
-      ++result_.stats.events_server_failure;
-      server.set_down(true);
-      // Deindex before fail_server kills the hosted copies: the releases
-      // that follow land on a down (unindexed) server and are no-ops for
-      // the index until the repair re-indexes from live state.
-      if (index_) index_->on_server_down(e.server);
-      record_event(SimEventKind::kServerFailed, -1, -1, -1, e.server);
-      trace(TraceEv::kServerFailed, -1, -1, -1, -1, e.server);
-      fail_server(e.server);
-      if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, e.server);
-      SimEvent repair;
-      repair.slot = now_ + failure_delay_slots(config_.failures.mean_repair_seconds);
-      repair.kind = EvKind::kServerRepair;
-      repair.server = e.server;
-      push_event(repair);
+    switch (e.kind) {
+      case EvKind::kServerRepair: {
+        ++result_.stats.events_server_repair;
+        if (faults_->mark_up(e.server, FaultClass::kCrash)) apply_server_up(e.server);
+        push_machine_event(faults_->crash_failure_delay(), EvKind::kServerFailure,
+                           e.server);
+        break;
+      }
+      case EvKind::kServerFailure: {
+        ++result_.stats.events_server_failure;
+        if (faults_->mark_down(e.server, FaultClass::kCrash)) apply_server_down(e.server);
+        push_machine_event(faults_->crash_repair_delay(), EvKind::kServerRepair,
+                           e.server);
+        break;
+      }
+      case EvKind::kRackRepair: {
+        ++result_.stats.events_rack_repair;
+        for (const ServerId member : faults_->rack_members(e.server)) {
+          if (faults_->mark_up(member, FaultClass::kRack)) apply_server_up(member);
+        }
+        push_machine_event(faults_->rack_failure_delay(), EvKind::kRackFailure, e.server);
+        break;
+      }
+      case EvKind::kRackFailure: {
+        ++result_.stats.events_rack_failure;
+        for (const ServerId member : faults_->rack_members(e.server)) {
+          if (faults_->mark_down(member, FaultClass::kRack)) apply_server_down(member);
+        }
+        push_machine_event(faults_->rack_repair_delay(), EvKind::kRackRepair, e.server);
+        break;
+      }
+      case EvKind::kFailSlowRecover: {
+        ++result_.stats.events_fail_slow_recover;
+        cluster_.server(static_cast<std::size_t>(e.server)).set_slow_factor(1.0);
+        trace(TraceEv::kServerRestored, -1, -1, -1, -1, e.server);
+        if (scheduler_ != nullptr) scheduler_->on_server_restored(*this, e.server);
+        push_machine_event(faults_->fail_slow_onset_delay(), EvKind::kFailSlowOnset,
+                           e.server);
+        break;
+      }
+      case EvKind::kFailSlowOnset: {
+        ++result_.stats.events_fail_slow_onset;
+        const double factor = faults_->slowdown_factor();
+        cluster_.server(static_cast<std::size_t>(e.server)).set_slow_factor(factor);
+        trace(TraceEv::kServerDegraded, -1, -1, -1, -1, e.server,
+              static_cast<std::int64_t>(factor * 100.0));
+        if (scheduler_ != nullptr) scheduler_->on_server_degraded(*this, e.server, factor);
+        push_machine_event(faults_->fail_slow_recovery_delay(), EvKind::kFailSlowRecover,
+                           e.server);
+        break;
+      }
+      default:
+        break;  // unreachable: group 0 holds only the kinds above
     }
   }
+}
+
+void Simulator::Impl::inject_copy_fault() {
+  ++result_.stats.events_copy_fault;
+  if (active_copy_count_ > 0) {
+    // Uniform victim among all running copies: walk the active jobs in
+    // deterministic (arrival) order counting down to the picked index.
+    long long k = static_cast<long long>(
+        faults_->pick(static_cast<std::size_t>(active_copy_count_)));
+    [&] {
+      for (JobRuntime* job : active_) {
+        for (auto& phase : job->phases) {
+          if (phase.active_copies == 0) continue;
+          if (k >= phase.active_copies) {
+            k -= phase.active_copies;
+            continue;
+          }
+          for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
+            TaskRuntime& task = phase.tasks[t];
+            for (auto& copy : task.copies) {
+              if (!copy.active) continue;
+              if (k-- > 0) continue;
+              const auto copy_index = static_cast<std::int32_t>(&copy - task.copies.data());
+              const ServerId server_id = copy.server;
+              if (config_.model == ExecutionModel::kWorkBased) {
+                accrue_work(task, phase, now_, config_.slot_seconds);
+              }
+              end_copy(*job, phase, task, copy, /*killed=*/true);
+              ++result_.stats.copies_killed_by_faults;
+              result_.stats.work_seconds_lost +=
+                  static_cast<double>(now_ - copy.start) * config_.slot_seconds;
+              // end_copy already recorded the kill itself; this record
+              // names the cause.
+              trace(TraceEv::kCopyFault, job->id, phase.index, task.ref.task,
+                    copy_index, server_id);
+              if (scheduler_ != nullptr) {
+                scheduler_->on_copy_fault(*this, *job, phase, task, server_id);
+              }
+              if (!task.finished) {
+                if (config_.model == ExecutionModel::kWorkBased) {
+                  ++task.generation;
+                  const SimTime finish =
+                      predict_work_finish(task, phase, now_, config_.slot_seconds);
+                  if (finish != kNever) {
+                    push_completion(finish, *job, phase.index, task.ref.task, -1,
+                                    task.generation);
+                  }
+                }
+                if (task.needs_placement()) {
+                  ++phase.unscheduled_tasks;
+                  phase.first_unscheduled_hint =
+                      std::min(phase.first_unscheduled_hint, static_cast<int>(t));
+                }
+              }
+              return;
+            }
+          }
+        }
+      }
+    }();
+  }
+  // Re-arm the cluster-wide timer whether or not a victim existed, so the
+  // process keeps ticking through idle stretches.
+  push_machine_event(faults_->copy_fault_delay(), EvKind::kCopyFault, kInvalidServer);
 }
 
 void Simulator::Impl::process_arrivals() {
@@ -600,6 +797,12 @@ void Simulator::Impl::drain_completions() {
       if (pending_timer_slot_ == e.slot) pending_timer_slot_ = kNever;
       trace(TraceEv::kTimerFired);
       continue;  // a timer's only effect is that this slot is visited
+    }
+    if (e.kind == EvKind::kCopyFault) {
+      // Sorts after machine events and before completions at a slot: a
+      // victim's same-slot natural finish is stale by the time it pops.
+      inject_copy_fault();
+      continue;
     }
     JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
     PhaseRuntime& phase = job.phases[static_cast<std::size_t>(e.phase)];
@@ -674,6 +877,7 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     std::erase_if(active_, [](const JobRuntime* j) { return j->finished; });
 
     placed_this_invocation_ = false;
+    deferred_this_invocation_ = false;
     if (!active_.empty()) {
       if (arrivals_this_slot_) scheduler.on_job_arrival(*this);
       ++result_.stats.scheduler_invocations;
@@ -701,8 +905,9 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
       // the heap that could change state (pending timer wakeups do not
       // count: re-invoking a scheduler that just declined to place on an
       // idle cluster cannot help): if the policy also placed nothing we are
-      // stuck.
-      if (!placed_this_invocation_) {
+      // stuck — unless it explicitly deferred via defer_retry, in which
+      // case the registered wakeup will re-invoke it when backoff expires.
+      if (!placed_this_invocation_ && !deferred_this_invocation_) {
         throw std::runtime_error(
             "Simulator: scheduler '" + scheduler.name() + "' stalled at slot " +
             std::to_string(now_) + " with " + std::to_string(jobs_remaining_) +
@@ -736,6 +941,13 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.jobs.push_back(std::move(rec));
   }
   result_.makespan_seconds = makespan;
+  // Conservation inputs for the chaos invariants: with every job complete,
+  // no allocation and no active copy may survive the run.
+  for (const auto& server : cluster_.servers()) {
+    result_.stats.leaked_cpu += server.used().cpu;
+    result_.stats.leaked_mem += server.used().mem;
+  }
+  result_.stats.leaked_active_copies = active_copy_count_;
   if (index_) {
     result_.stats.index_queries = index_->counters().queries;
     result_.stats.index_servers_scanned = index_->counters().servers_scanned;
@@ -754,12 +966,7 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
 
 Simulator::Simulator(Cluster cluster, SimConfig config)
     : prototype_(std::move(cluster)), config_(config) {
-  if (config_.slot_seconds <= 0.0) {
-    throw std::invalid_argument("SimConfig: slot_seconds must be > 0");
-  }
-  if (config_.max_copies_per_task < 1) {
-    throw std::invalid_argument("SimConfig: max_copies_per_task must be >= 1");
-  }
+  config_.validate();
   if (prototype_.empty()) throw std::invalid_argument("Simulator: empty cluster");
 }
 

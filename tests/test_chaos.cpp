@@ -1,0 +1,157 @@
+// Chaos invariant matrix: every fault class x policy x seed combination
+// must satisfy the five hard invariants the dollymp_chaos tool gates on —
+// completion, no leaked allocations, copy conservation, bounded makespan
+// degradation, and replay determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/obs/replay.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace dollymp {
+namespace {
+
+enum class Faults { kCrash, kRack, kFailSlow, kCopyFault, kAll };
+enum class Policy { kBase, kResilient };
+
+SimConfig chaos_config(std::uint64_t seed, Faults faults) {
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = seed;
+  config.background.enabled = false;
+  config.locality.enabled = false;
+  if (faults == Faults::kCrash || faults == Faults::kAll) {
+    config.failures.enabled = true;
+    config.failures.mean_time_to_failure_seconds = 500.0;
+    config.failures.mean_repair_seconds = 100.0;
+  }
+  if (faults == Faults::kRack || faults == Faults::kAll) {
+    config.faults.rack.enabled = true;
+    config.faults.rack.time_to_failure.mean_seconds = 1200.0;
+    config.faults.rack.repair.mean_seconds = 150.0;
+  }
+  if (faults == Faults::kFailSlow || faults == Faults::kAll) {
+    config.faults.fail_slow.enabled = true;
+    config.faults.fail_slow.slowdown_factor = 3.0;
+    config.faults.fail_slow.time_to_onset.mean_seconds = 500.0;
+    config.faults.fail_slow.recovery.mean_seconds = 250.0;
+  }
+  if (faults == Faults::kCopyFault || faults == Faults::kAll) {
+    config.faults.copy.enabled = true;
+    config.faults.copy.inter_fault.mean_seconds = 90.0;
+  }
+  return config;
+}
+
+SchedulerFactory factory_for(Policy policy) {
+  if (policy == Policy::kBase) {
+    return [] { return std::make_unique<DollyMPScheduler>(); };
+  }
+  DollyMPConfig config;
+  config.resilience.enabled = true;
+  config.resilience.flap_threshold = 2.0;
+  return [config] { return std::make_unique<DollyMPScheduler>(config); };
+}
+
+std::vector<JobSpec> chaos_workload(std::uint64_t seed) {
+  TraceModelConfig model_config;
+  model_config.max_tasks_per_phase = 20;
+  TraceModel model(model_config, seed);
+  auto jobs = model.sample_jobs(14);
+  assign_poisson_arrivals(jobs, 12.0, seed + 1);
+  return jobs;
+}
+
+/// Run one scenario and assert all five chaos invariants.
+void run_chaos_scenario(Faults faults, Policy policy, std::uint64_t seed) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = chaos_workload(seed);
+  const SchedulerFactory factory = factory_for(policy);
+  const SimConfig config = chaos_config(seed, faults);
+  ASSERT_NO_THROW(config.validate());
+
+  const auto scheduler = factory();
+  const SimResult result = simulate(cluster, config, jobs, *scheduler);
+
+  // 1. Every job completes.
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  for (const auto& j : result.jobs) {
+    EXPECT_GE(j.finish_seconds, j.arrival_seconds) << "job " << j.id;
+    EXPECT_GE(j.first_start_seconds, 0.0) << "job " << j.id;
+  }
+
+  // 2. No leaked allocations after the last job.
+  EXPECT_EQ(result.stats.leaked_cpu, 0.0);
+  EXPECT_EQ(result.stats.leaked_mem, 0.0);
+  EXPECT_EQ(result.stats.leaked_active_copies, 0);
+
+  // 3. Copy conservation: every launch ends in a finish or a kill.
+  EXPECT_EQ(result.total_copies_launched,
+            result.stats.copies_finished + result.stats.copies_killed);
+
+  // 4. Bounded degradation versus the healthy twin (generous bound: the
+  // invariant catches livelock/runaway, not performance regressions).
+  SimConfig healthy = config;
+  healthy.failures.enabled = false;
+  healthy.faults = FaultConfig{};
+  const auto healthy_scheduler = factory();
+  const SimResult baseline = simulate(cluster, healthy, jobs, *healthy_scheduler);
+  EXPECT_LE(result.makespan_seconds, baseline.makespan_seconds * 50.0 + 1800.0);
+
+  // 5. Replay determinism: bit-identical record stream on a re-run.
+  const DivergenceReport replay = verify_replay(cluster, config, jobs, factory);
+  EXPECT_TRUE(replay.identical) << replay.to_string();
+}
+
+// ---- the matrix: 5 fault classes x 2 policies + extra seeds ----------------
+
+TEST(Chaos, CrashBase) { run_chaos_scenario(Faults::kCrash, Policy::kBase, 1); }
+TEST(Chaos, CrashResilient) { run_chaos_scenario(Faults::kCrash, Policy::kResilient, 1); }
+TEST(Chaos, RackBase) { run_chaos_scenario(Faults::kRack, Policy::kBase, 2); }
+TEST(Chaos, RackResilient) { run_chaos_scenario(Faults::kRack, Policy::kResilient, 2); }
+TEST(Chaos, FailSlowBase) { run_chaos_scenario(Faults::kFailSlow, Policy::kBase, 3); }
+TEST(Chaos, FailSlowResilient) {
+  run_chaos_scenario(Faults::kFailSlow, Policy::kResilient, 3);
+}
+TEST(Chaos, CopyFaultBase) { run_chaos_scenario(Faults::kCopyFault, Policy::kBase, 4); }
+TEST(Chaos, CopyFaultResilient) {
+  run_chaos_scenario(Faults::kCopyFault, Policy::kResilient, 4);
+}
+TEST(Chaos, AllFaultsBase) { run_chaos_scenario(Faults::kAll, Policy::kBase, 5); }
+TEST(Chaos, AllFaultsResilient) { run_chaos_scenario(Faults::kAll, Policy::kResilient, 5); }
+TEST(Chaos, AllFaultsBaseSecondSeed) { run_chaos_scenario(Faults::kAll, Policy::kBase, 6); }
+TEST(Chaos, AllFaultsResilientSecondSeed) {
+  run_chaos_scenario(Faults::kAll, Policy::kResilient, 6);
+}
+TEST(Chaos, AllFaultsResilientThirdSeed) {
+  run_chaos_scenario(Faults::kAll, Policy::kResilient, 7);
+}
+
+// A healthy-config scenario through the same checker: the invariants are
+// not vacuous artifacts of fault handling.
+TEST(Chaos, HealthyBaselinePassesSameInvariants) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = chaos_workload(9);
+  SimConfig config;
+  config.slot_seconds = 5.0;
+  config.seed = 9;
+  DollyMPScheduler scheduler;
+  const SimResult result = simulate(cluster, config, jobs, scheduler);
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  EXPECT_EQ(result.stats.leaked_cpu, 0.0);
+  EXPECT_EQ(result.stats.leaked_active_copies, 0);
+  EXPECT_EQ(result.total_copies_launched,
+            result.stats.copies_finished + result.stats.copies_killed);
+  EXPECT_EQ(result.stats.copies_killed_by_faults, 0);
+  EXPECT_EQ(result.stats.work_seconds_lost, 0.0);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -18,6 +18,15 @@
 //     --clones K         DollyMP clone budget override
 //     --straggler-aware  enable learned server scoring (DollyMP only)
 //     --failures MTBF:REPAIR  enable machine failures (seconds)
+//     --rack-faults MTTF:REPAIR   enable rack-correlated outages (seconds)
+//     --fail-slow ONSET:RECOVERY:FACTOR  enable fail-slow servers: mean
+//                        seconds to onset/recovery, execution slowdown
+//     --copy-faults MEAN enable transient copy faults (mean seconds between)
+//     --weibull SHAPE    draw all fault delays from a Weibull with this
+//                        shape instead of the exponential (k<1: infant
+//                        mortality; k>1: wear-out; k=1: exponential)
+//     --resilience       enable the DollyMP resilience policies (retry
+//                        backoff, quarantine, clone degradation)
 //     --out FILE         write per-job records as CSV
 //     --trace-out FILE   record the run and write Chrome trace JSON
 //                        (load it at https://ui.perfetto.dev)
@@ -83,6 +92,14 @@ struct Options {
   bool straggler_aware = false;
   double failure_mtbf = 0.0;
   double failure_repair = 0.0;
+  double rack_mttf = 0.0;
+  double rack_repair = 0.0;
+  double fail_slow_onset = 0.0;
+  double fail_slow_recovery = 0.0;
+  double fail_slow_factor = 0.0;
+  double copy_fault_mean = 0.0;
+  double weibull_shape = 0.0;
+  bool resilience = false;
   std::string out;
   std::string trace_out;
   std::string log_out;
@@ -100,7 +117,10 @@ struct Options {
       "                   [--scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
       "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
       "                   [--slot SECONDS] [--clones K] [--straggler-aware]\n"
-      "                   [--failures MTBF:REPAIR] [--out FILE] [--compare] [--quiet]\n"
+      "                   [--failures MTBF:REPAIR] [--rack-faults MTTF:REPAIR]\n"
+      "                   [--fail-slow ONSET:RECOVERY:FACTOR] [--copy-faults MEAN]\n"
+      "                   [--weibull SHAPE] [--resilience]\n"
+      "                   [--out FILE] [--compare] [--quiet]\n"
       "\n"
       "flight recorder / tracing (flags also accept --flag=value):\n"
       "  --trace-out FILE     record the run and write Chrome trace JSON with\n"
@@ -167,7 +187,27 @@ Options parse_options(int argc, char** argv) {
       }
       opt.failure_mtbf = std::stod(parts[0]);
       opt.failure_repair = std::stod(parts[1]);
-    } else if (arg == "--out") opt.out = need_value(i);
+    } else if (arg == "--rack-faults") {
+      const auto parts = split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--rack-faults wants MTTF:REPAIR seconds\n";
+        usage(2);
+      }
+      opt.rack_mttf = std::stod(parts[0]);
+      opt.rack_repair = std::stod(parts[1]);
+    } else if (arg == "--fail-slow") {
+      const auto parts = split(need_value(i), ':');
+      if (parts.size() != 3) {
+        std::cerr << "--fail-slow wants ONSET:RECOVERY:FACTOR\n";
+        usage(2);
+      }
+      opt.fail_slow_onset = std::stod(parts[0]);
+      opt.fail_slow_recovery = std::stod(parts[1]);
+      opt.fail_slow_factor = std::stod(parts[2]);
+    } else if (arg == "--copy-faults") opt.copy_fault_mean = std::stod(need_value(i));
+    else if (arg == "--weibull") opt.weibull_shape = std::stod(need_value(i));
+    else if (arg == "--resilience") opt.resilience = true;
+    else if (arg == "--out") opt.out = need_value(i);
     else if (arg == "--trace-out") opt.trace_out = need_value(i);
     else if (arg == "--log-out") opt.log_out = need_value(i);
     else if (arg == "--verify-log") opt.verify_log = need_value(i);
@@ -217,6 +257,10 @@ Cluster make_cluster(const std::string& spec) {
 
 std::unique_ptr<Scheduler> make_policy(const Options& opt) {
   const std::string& key = opt.scheduler;
+  if (opt.resilience && key.rfind("dollymp", 0) != 0) {
+    std::cerr << "--resilience only applies to the dollymp schedulers\n";
+    usage(2);
+  }
   if (key == "capacity") return std::make_unique<CapacityScheduler>();
   if (key == "hopper") return std::make_unique<HopperScheduler>();
   if (key == "drf") return std::make_unique<DrfScheduler>();
@@ -235,6 +279,7 @@ std::unique_ptr<Scheduler> make_policy(const Options& opt) {
     config.clone_budget = key[7] - '0';
     if (opt.clones >= 0) config.clone_budget = opt.clones;
     config.straggler_aware = opt.straggler_aware;
+    config.resilience.enabled = opt.resilience;
     return std::make_unique<DollyMPScheduler>(config);
   }
   std::cerr << "unknown scheduler '" << key << "'\n";
@@ -264,6 +309,39 @@ int main(int argc, char** argv) {
     config.failures.enabled = true;
     config.failures.mean_time_to_failure_seconds = opt.failure_mtbf;
     config.failures.mean_repair_seconds = opt.failure_repair;
+  }
+  if (opt.rack_mttf > 0.0) {
+    config.faults.rack.enabled = true;
+    config.faults.rack.time_to_failure.mean_seconds = opt.rack_mttf;
+    config.faults.rack.repair.mean_seconds = opt.rack_repair;
+  }
+  if (opt.fail_slow_onset > 0.0) {
+    config.faults.fail_slow.enabled = true;
+    config.faults.fail_slow.time_to_onset.mean_seconds = opt.fail_slow_onset;
+    config.faults.fail_slow.recovery.mean_seconds = opt.fail_slow_recovery;
+    config.faults.fail_slow.slowdown_factor = opt.fail_slow_factor;
+  }
+  if (opt.copy_fault_mean > 0.0) {
+    config.faults.copy.enabled = true;
+    config.faults.copy.inter_fault.mean_seconds = opt.copy_fault_mean;
+  }
+  if (opt.weibull_shape > 0.0) {
+    config.faults.crash_dist = FaultDelayDist::kWeibull;
+    config.faults.crash_weibull_shape = opt.weibull_shape;
+    for (FaultDelaySpec* spec :
+         {&config.faults.rack.time_to_failure, &config.faults.rack.repair,
+          &config.faults.fail_slow.time_to_onset, &config.faults.fail_slow.recovery,
+          &config.faults.copy.inter_fault}) {
+      spec->dist = FaultDelayDist::kWeibull;
+      spec->weibull_shape = opt.weibull_shape;
+    }
+  }
+  // Fail fast with a parameter-naming message instead of deep inside run().
+  try {
+    config.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
 
   if (opt.compare) {
