@@ -8,11 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dollymp/cluster/cluster.h"
 #include "dollymp/common/stats.h"
+#include "dollymp/common/thread_pool.h"
 #include "dollymp/metrics/report.h"
 #include "dollymp/sched/scheduler.h"
 #include "dollymp/sim/simulator.h"
@@ -88,6 +90,12 @@ class DryRunContext final : public SchedulerContext {
   /// Time never advances in a dry run; wakeup requests are meaningless.
   void request_wakeup(SimTime /*slot*/) override {}
 
+  /// Deterministic parallel core, honoring SimConfig::threads exactly as
+  /// the simulator does (1 = sequential, 0 = hardware concurrency; a pool
+  /// that resolves to fewer than two workers is dropped).
+  [[nodiscard]] ThreadPool* worker_pool() override { return pool_ ? &*pool_ : nullptr; }
+  [[nodiscard]] ShardStats* shard_stats() override { return &shard_stats_; }
+
   /// Undo all placements so the next measured round starts from scratch.
   void reset_placements();
 
@@ -101,6 +109,8 @@ class DryRunContext final : public SchedulerContext {
   std::vector<JobSpec> specs_;  ///< owned: JobRuntime::spec points in here
   std::vector<JobRuntime> jobs_;
   std::vector<JobRuntime*> active_;
+  std::optional<ThreadPool> pool_;
+  ShardStats shard_stats_;
   int placements_ = 0;
 };
 

@@ -37,9 +37,15 @@ int main(int argc, char** argv) {
   const auto slash = binary.find_last_of('/');
   if (slash != std::string::npos) binary = binary.substr(slash + 1);
 
+  // Match --benchmark_out exactly (bare or =value): the old 15-char prefix
+  // test also matched --benchmark_out_format, so passing only the format
+  // flag silently suppressed the default JSON artifact.
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
   }
 
   std::vector<char*> args(argv, argv + argc);

@@ -116,6 +116,18 @@ struct SimStats {
   long long index_servers_scanned = 0;
   long long index_updates = 0;
 
+  // Deterministic parallel scheduling core (all zero when SimConfig::threads
+  // <= 1): sharded scans dispatched to the worker pool, shards and items
+  // across them, and the largest single shard (the imbalance bound — with
+  // contiguous even splits it stays within one item of items/shards).
+  // Deterministic for a fixed thread count but legitimately different
+  // across thread counts, so the equivalence suite compares every SimStats
+  // field EXCEPT these and wall_clock_seconds.
+  long long parallel_sections = 0;
+  long long parallel_shards = 0;
+  long long parallel_items = 0;
+  long long parallel_max_shard_items = 0;
+
   // Flight recorder (obs/recorder.h; all zero when SimConfig::recorder is
   // null): records appended, wire bytes they represent, ring evictions, and
   // the incremental hash over the full stream — the run's replay

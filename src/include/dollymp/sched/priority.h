@@ -18,6 +18,9 @@
 
 namespace dollymp {
 
+class ThreadPool;
+struct ShardStats;
+
 struct PriorityJobInput {
   double volume = 0.0;    ///< v_j (Eq. 10 / 14 / 16), in slots
   double length = 0.0;    ///< e_j (Eq. 14 / 17), in slots
@@ -33,6 +36,18 @@ struct PriorityResult {
 
 [[nodiscard]] PriorityResult compute_transient_priorities(
     const std::vector<PriorityJobInput>& jobs);
+
+/// Parallel-core overload: with a non-null `pool`, each doubling round's
+/// membership filter (e_j <= 2^l over all jobs) is sharded across the pool
+/// into per-shard candidate lists that are concatenated in ascending shard
+/// order — i.e. ascending job index, exactly the serial scan's order — before
+/// the (serial) knapsack solve.  The pre-pass reductions (total volume, max
+/// dominant/length) stay serial so floating-point summation order is
+/// untouched.  Bit-identical to the serial overload for any pool size; a
+/// null pool delegates to it outright.
+[[nodiscard]] PriorityResult compute_transient_priorities(
+    const std::vector<PriorityJobInput>& jobs, ThreadPool* pool,
+    ShardStats* shard_stats = nullptr);
 
 /// Weighted-flowtime variant (the objective of the capacity-augmentation
 /// literature the paper builds on, Fox & Korupolu [16]): jobs carry

@@ -156,6 +156,16 @@ struct SimConfig {
   FailureConfig failures;
   FaultConfig faults;
 
+  /// Worker threads for the deterministic parallel scheduling core: the
+  /// per-job priority recompute, the weighted placement scan and the
+  /// speculation sweep shard across a pool of this many threads, each with
+  /// a fixed-shard-order reduction so the decision stream (and the
+  /// flight-recorder hash) is bit-identical to the sequential run.  1 (the
+  /// default) keeps today's exact single-threaded path with no pool at all;
+  /// 0 selects hardware_concurrency.  Asserted by the paired-seed
+  /// equivalence suite and the parallel fuzzer.
+  int threads = 1;
+
   /// Maintain an incremental PlacementIndex over the cluster and expose it
   /// through SchedulerContext::placement_index(), so the placement helpers
   /// stop scanning every server per copy placed.  Placement decisions are

@@ -138,7 +138,8 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                       "work_lost_s", "retries", "quarantine", "clone_degr",
                       "attempts", "placed",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
-                      "idx_update", "rec", "rec_evict", "rec_hash", "wall_ms"});
+                      "idx_update", "par_sect", "par_shards", "par_widest", "rec",
+                      "rec_evict", "rec_hash", "wall_ms"});
   for (const auto& s : summaries) {
     const SimStats& st = s.stats;
     table.add_row({s.scheduler, std::to_string(st.scheduler_invocations),
@@ -168,6 +169,9 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.index_queries),
                    std::to_string(st.index_servers_scanned),
                    std::to_string(st.index_updates),
+                   std::to_string(st.parallel_sections),
+                   std::to_string(st.parallel_shards),
+                   std::to_string(st.parallel_max_shard_items),
                    std::to_string(st.recorder_records),
                    std::to_string(st.recorder_evictions),
                    format_recorder_hash(st),

@@ -4,11 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dollymp/common/thread_pool.h"
 #include "dollymp/sched/knapsack.h"
 
 namespace dollymp {
 
 PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>& jobs) {
+  return compute_transient_priorities(jobs, nullptr, nullptr);
+}
+
+PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>& jobs,
+                                            ThreadPool* pool, ShardStats* shard_stats) {
   PriorityResult result;
   result.priority.assign(jobs.size(), 0);
   if (jobs.empty()) return result;
@@ -34,6 +40,17 @@ PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>&
   g = std::max({g, 1, static_cast<int>(std::ceil(std::log2(std::max(1.0, max_length))))});
   g = std::min(g + 1, 62);
 
+  // Per-shard candidate buffers for the round filter, hoisted so the
+  // doubling rounds reuse their capacity.  Shard s filters the contiguous
+  // job range shard_range(s, ...); concatenating the shard lists in
+  // ascending shard order reproduces the serial ascending-index scan, so
+  // the knapsack sees the identical candidate sequence.
+  const std::size_t filter_shards = shard_count(pool, jobs.size());
+  std::vector<std::vector<double>> shard_weights(filter_shards);
+  std::vector<std::vector<std::size_t>> shard_members(filter_shards);
+  std::vector<double> weights;
+  std::vector<std::size_t> members;
+
   std::size_t assigned = 0;
   int l = 1;
   for (; l <= 62 && assigned < jobs.size(); ++l) {
@@ -41,13 +58,34 @@ PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>&
     // B_l = unassigned-or-assigned jobs with e_j <= 2^l; jobs already
     // assigned keep their class but still occupy budget in later rounds
     // per Algorithm 1 (the knapsack is re-solved over all of B_l).
-    std::vector<double> weights;
-    std::vector<std::size_t> members;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (jobs[i].length <= budget + 1e-12) {
-        weights.push_back(jobs[i].volume);
-        members.push_back(i);
+    weights.clear();
+    members.clear();
+    if (filter_shards < 2) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].length <= budget + 1e-12) {
+          weights.push_back(jobs[i].volume);
+          members.push_back(i);
+        }
       }
+    } else {
+      run_shards(pool, filter_shards, jobs.size(),
+                 [&](std::size_t s, std::size_t begin, std::size_t end) {
+                   auto& sw = shard_weights[s];
+                   auto& sm = shard_members[s];
+                   sw.clear();
+                   sm.clear();
+                   for (std::size_t i = begin; i < end; ++i) {
+                     if (jobs[i].length <= budget + 1e-12) {
+                       sw.push_back(jobs[i].volume);
+                       sm.push_back(i);
+                     }
+                   }
+                 });
+      for (std::size_t s = 0; s < filter_shards; ++s) {
+        weights.insert(weights.end(), shard_weights[s].begin(), shard_weights[s].end());
+        members.insert(members.end(), shard_members[s].begin(), shard_members[s].end());
+      }
+      if (shard_stats != nullptr) shard_stats->note(filter_shards, jobs.size());
     }
     if (members.empty()) continue;
     const KnapsackPick pick = knapsack_unit_profit(weights, budget);

@@ -10,6 +10,7 @@
 #include "dollymp/cluster/placement_index.h"
 #include "dollymp/common/distributions.h"
 #include "dollymp/common/logging.h"
+#include "dollymp/common/thread_pool.h"
 #include "dollymp/obs/recorder.h"
 #include "dollymp/sim/execution.h"
 #include "dollymp/sim/faults.h"
@@ -116,6 +117,16 @@ class Simulator::Impl final : public SchedulerContext {
       faults_.emplace(cluster_, config_.failures, config_.faults, config_.slot_seconds,
                       rng_failure_);
     }
+    // The deterministic parallel core's worker pool: threads == 1 (the
+    // default) keeps the exact sequential path with no pool; 0 resolves to
+    // hardware_concurrency inside ThreadPool.  A resolved single-worker
+    // pool is dropped again — one worker cannot shard, so the sharded call
+    // sites would run inline anyway and the thread would only idle.
+    if (config_.threads != 1) {
+      pool_.emplace(static_cast<std::size_t>(config_.threads));
+      if (pool_->size() < 2) pool_.reset();
+    }
+    if (index_) index_->set_parallelism(worker_pool(), &parallel_stats_);
   }
 
   SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
@@ -130,6 +141,8 @@ class Simulator::Impl final : public SchedulerContext {
   [[nodiscard]] PlacementIndex* placement_index() override {
     return index_ ? &*index_ : nullptr;
   }
+  [[nodiscard]] ThreadPool* worker_pool() override { return pool_ ? &*pool_ : nullptr; }
+  [[nodiscard]] ShardStats* shard_stats() override { return &parallel_stats_; }
   [[nodiscard]] Recorder* recorder() override { return rec_; }
 
   bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
@@ -282,6 +295,11 @@ class Simulator::Impl final : public SchedulerContext {
   /// healthy run.  Holds a reference to rng_failure_ above.
   std::optional<FaultEngine> faults_;
   Recorder* rec_;  ///< flight recorder, null unless SimConfig::recorder set
+  /// Worker pool of the parallel scheduling core (absent when
+  /// config_.threads resolves to a single thread) and the shard-count /
+  /// imbalance accumulator its sharded scans note into.
+  std::optional<ThreadPool> pool_;
+  ShardStats parallel_stats_;
 
   std::vector<JobRuntime> jobs_;
   std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
@@ -953,6 +971,10 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.stats.index_servers_scanned = index_->counters().servers_scanned;
     result_.stats.index_updates = index_->counters().updates;
   }
+  result_.stats.parallel_sections = parallel_stats_.sections;
+  result_.stats.parallel_shards = parallel_stats_.shards;
+  result_.stats.parallel_items = parallel_stats_.items;
+  result_.stats.parallel_max_shard_items = parallel_stats_.max_shard_items;
   if (rec_) {
     result_.stats.recorder_records = static_cast<long long>(rec_->records_written());
     result_.stats.recorder_bytes = static_cast<long long>(rec_->bytes_written());

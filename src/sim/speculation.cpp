@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "dollymp/common/thread_pool.h"
 #include "dollymp/obs/recorder.h"
 
 namespace dollymp {
@@ -42,12 +43,24 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
 
   // Resource budget for concurrently running backups.
   const Resources total = ctx.cluster().total_capacity();
-  double backup_norm_in_use = 0.0;
-  std::vector<Candidate> candidates;
-  // Earliest future overrun crossing among running tasks: the next slot at
-  // which this pass could act even if no other event lands.
-  SimTime next_crossing = kNever;
+  const SimTime now = ctx.now();
+  const double slot_seconds = ctx.slot_seconds();
 
+  // Scan units — one per (job, runnable phase) past the finished-fraction
+  // gate, in job/phase order.  The per-unit task walk is read-only, so the
+  // units shard across the worker pool; each shard collects its candidates,
+  // its budget contributions *in scan order*, and its earliest crossing.
+  // Concatenating shard results in ascending shard order reproduces the
+  // sequential scan exactly: candidates arrive in the same order the serial
+  // walk pushes them (so the stable-input sort below sees identical input),
+  // and the budget contributions are re-summed serially in that same order,
+  // keeping the floating-point accumulation bit-identical.  next_crossing
+  // is an integer min, safe under any merge order.
+  struct ScanUnit {
+    JobRuntime* job;
+    PhaseRuntime* phase;
+  };
+  std::vector<ScanUnit> units;
   for (JobRuntime* job : ctx.active_jobs()) {
     for (auto& phase : job->phases) {
       if (!phase.runnable()) continue;
@@ -55,32 +68,68 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
       const double finished_fraction =
           static_cast<double>(finished_tasks) / static_cast<double>(phase.spec->task_count);
       if (finished_fraction < config.min_finished_fraction) continue;
+      units.push_back({job, &phase});
+    }
+  }
 
-      for (auto& task : phase.tasks) {
-        if (task.finished || !task.running()) continue;
-        if (task.first_start == kNever) continue;
-        const int copies = task.total_copies();
-        if (copies > config.max_backups_per_task) {
-          // already backed up: its extra copies count against the budget
-          backup_norm_in_use +=
-              normalized_sum(task.demand, total) * static_cast<double>(copies - 1);
-          continue;
-        }
-        const double elapsed =
-            static_cast<double>(ctx.now() - task.first_start) * ctx.slot_seconds();
-        const double overrun = elapsed / phase.spec->theta_seconds;
-        if (overrun >= config.slow_factor) {
-          candidates.push_back({job, &phase, &task, overrun});
-        } else {
-          // Not yet a straggler: the only slot at which that can change
-          // with no intervening event is its threshold crossing.  (Tasks
-          // gated out by min_finished_fraction need no timer: the gate
-          // only opens at a completion, which invokes the scheduler.)
-          const SimTime cross = overrun_crossing_slot(
-              task, phase.spec->theta_seconds, ctx.slot_seconds(), config.slow_factor);
-          if (next_crossing == kNever || cross < next_crossing) next_crossing = cross;
+  struct ShardScan {
+    std::vector<Candidate> candidates;
+    std::vector<double> norm_contributions;  ///< budget charges, scan order
+    SimTime next_crossing = kNever;
+  };
+
+  const auto scan_unit = [&](const ScanUnit& unit, ShardScan& out) {
+    JobRuntime* job = unit.job;
+    PhaseRuntime& phase = *unit.phase;
+    for (auto& task : phase.tasks) {
+      if (task.finished || !task.running()) continue;
+      if (task.first_start == kNever) continue;
+      const int copies = task.total_copies();
+      if (copies > config.max_backups_per_task) {
+        // already backed up: its extra copies count against the budget
+        out.norm_contributions.push_back(normalized_sum(task.demand, total) *
+                                         static_cast<double>(copies - 1));
+        continue;
+      }
+      const double elapsed = static_cast<double>(now - task.first_start) * slot_seconds;
+      const double overrun = elapsed / phase.spec->theta_seconds;
+      if (overrun >= config.slow_factor) {
+        out.candidates.push_back({job, &phase, &task, overrun});
+      } else {
+        // Not yet a straggler: the only slot at which that can change
+        // with no intervening event is its threshold crossing.  (Tasks
+        // gated out by min_finished_fraction need no timer: the gate
+        // only opens at a completion, which invokes the scheduler.)
+        const SimTime cross = overrun_crossing_slot(task, phase.spec->theta_seconds,
+                                                    slot_seconds, config.slow_factor);
+        if (out.next_crossing == kNever || cross < out.next_crossing) {
+          out.next_crossing = cross;
         }
       }
+    }
+  };
+
+  ThreadPool* pool = ctx.worker_pool();
+  const std::size_t shards = shard_count(pool, units.size());
+  std::vector<ShardScan> scans(std::max<std::size_t>(shards, 1));
+  run_shards(pool, shards, units.size(),
+             [&](std::size_t s, std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) scan_unit(units[i], scans[s]);
+             });
+  if (ShardStats* stats = ctx.shard_stats()) stats->note(shards, units.size());
+
+  // Ordered merge: shard order == sequential scan order.
+  double backup_norm_in_use = 0.0;
+  std::vector<Candidate> candidates;
+  SimTime next_crossing = kNever;
+  for (const ShardScan& scan : scans) {
+    candidates.insert(candidates.end(), scan.candidates.begin(), scan.candidates.end());
+    for (const double contribution : scan.norm_contributions) {
+      backup_norm_in_use += contribution;
+    }
+    if (scan.next_crossing != kNever &&
+        (next_crossing == kNever || scan.next_crossing < next_crossing)) {
+      next_crossing = scan.next_crossing;
     }
   }
   if (next_crossing != kNever) ctx.request_wakeup(next_crossing);

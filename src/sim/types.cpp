@@ -55,6 +55,7 @@ void SimConfig::validate() const {
   require(max_copies_per_task >= 1, "SimConfig: max_copies_per_task must be >= 1");
   require(max_slots >= 1, "SimConfig: max_slots must be >= 1");
   require(sigma_factor >= 0.0, "SimConfig: sigma_factor must be >= 0");
+  require(threads >= 0, "SimConfig: threads must be >= 0 (0 = hardware concurrency)");
 
   // Mean repair/recovery delays that exceed the simulation horizon make the
   // run overwhelmingly likely to trip the max_slots safety valve with every

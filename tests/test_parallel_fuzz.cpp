@@ -1,0 +1,176 @@
+// Randomized differential fuzz for the deterministic parallel core.
+//
+// Each trial draws a random — but validate()-clean — SimConfig with fault
+// and resilience (quarantine) churn enabled at random rates, a random
+// workload, and a random thread count, then runs the scenario twice: once
+// sequential (threads = 1) and once parallel.  The parallel run must
+// satisfy the five chaos invariants (completion, no leaked allocations,
+// copy conservation, bounded degradation, replay determinism via the
+// stream comparison) AND produce a flight-recorder stream bit-identical to
+// the sequential run's.  On divergence the failure message decodes the
+// first differing record on both sides (DivergenceReport::to_string).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/rng.h"
+#include "dollymp/obs/replay.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/arrivals.h"
+#include "dollymp/workload/trace_model.h"
+
+namespace dollymp {
+namespace {
+
+struct FuzzScenario {
+  SimConfig config;
+  DollyMPConfig policy;
+  int threads = 2;
+  int jobs = 8;
+  double arrival_gap = 12.0;
+  std::uint64_t workload_seed = 0;
+};
+
+FuzzScenario draw_scenario(Rng& rng) {
+  FuzzScenario s;
+  s.config.slot_seconds = rng.chance(0.5) ? 5.0 : 2.0;
+  s.config.seed = rng.below(1u << 20) + 1;
+  s.config.background.enabled = false;
+  s.config.locality.enabled = rng.chance(0.3);
+  s.config.max_copies_per_task = static_cast<int>(rng.range(2, 4));
+  s.config.sigma_factor = rng.uniform(1.1, 2.0);
+
+  // Fault churn: each class independently, at rates hot enough to fire
+  // within the short horizon.
+  if (rng.chance(0.6)) {
+    s.config.failures.enabled = true;
+    s.config.failures.mean_time_to_failure_seconds = rng.uniform(300.0, 900.0);
+    s.config.failures.mean_repair_seconds = rng.uniform(50.0, 200.0);
+  }
+  if (rng.chance(0.4)) {
+    s.config.faults.rack.enabled = true;
+    s.config.faults.rack.time_to_failure.mean_seconds = rng.uniform(800.0, 2000.0);
+    s.config.faults.rack.repair.mean_seconds = rng.uniform(100.0, 300.0);
+  }
+  if (rng.chance(0.4)) {
+    s.config.faults.fail_slow.enabled = true;
+    s.config.faults.fail_slow.slowdown_factor = rng.uniform(2.0, 4.0);
+    s.config.faults.fail_slow.time_to_onset.mean_seconds = rng.uniform(300.0, 900.0);
+    s.config.faults.fail_slow.recovery.mean_seconds = rng.uniform(100.0, 400.0);
+  }
+  if (rng.chance(0.5)) {
+    s.config.faults.copy.enabled = true;
+    s.config.faults.copy.inter_fault.mean_seconds = rng.uniform(60.0, 240.0);
+  }
+
+  // Policy: DollyMP with a random clone budget; resilience (retry backoff +
+  // quarantine strikes) flips on for most trials so quarantine churn runs
+  // concurrently with the sharded scans.
+  s.policy.clone_budget = static_cast<int>(rng.range(0, 2));
+  s.policy.straggler_aware = rng.chance(0.5);
+  if (rng.chance(0.7)) {
+    s.policy.resilience.enabled = true;
+    s.policy.resilience.flap_threshold = rng.uniform(1.5, 3.0);
+  }
+
+  s.threads = static_cast<int>(rng.range(2, 8));
+  s.jobs = static_cast<int>(rng.range(6, 12));
+  s.arrival_gap = rng.uniform(8.0, 20.0);
+  s.workload_seed = rng.below(1u << 20);
+  return s;
+}
+
+std::vector<JobSpec> fuzz_workload(const FuzzScenario& s) {
+  TraceModelConfig model_config;
+  model_config.max_tasks_per_phase = 16;
+  TraceModel model(model_config, s.workload_seed);
+  auto jobs = model.sample_jobs(s.jobs);
+  assign_poisson_arrivals(jobs, s.arrival_gap, s.workload_seed + 1);
+  return jobs;
+}
+
+std::string describe(const FuzzScenario& s, int trial) {
+  std::string out = "trial " + std::to_string(trial) + ": seed=" +
+                    std::to_string(s.config.seed) + " threads=" +
+                    std::to_string(s.threads) + " jobs=" + std::to_string(s.jobs) +
+                    " clones=" + std::to_string(s.policy.clone_budget);
+  if (s.policy.straggler_aware) out += " straggler";
+  if (s.policy.resilience.enabled) out += " resilience";
+  if (s.config.failures.enabled) out += " crash";
+  if (s.config.faults.rack.enabled) out += " rack";
+  if (s.config.faults.fail_slow.enabled) out += " failslow";
+  if (s.config.faults.copy.enabled) out += " copyfault";
+  return out;
+}
+
+void run_trial(const FuzzScenario& s, int trial) {
+  const std::string label = describe(s, trial);
+  SCOPED_TRACE(label);
+  ASSERT_NO_THROW(s.config.validate());
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = fuzz_workload(s);
+  const auto run = [&](int threads, Recorder& rec) {
+    SimConfig config = s.config;
+    config.threads = threads;
+    config.recorder = &rec;
+    DollyMPScheduler scheduler(s.policy);
+    return simulate(cluster, config, jobs, scheduler);
+  };
+
+  Recorder sequential_rec;
+  const SimResult sequential = run(1, sequential_rec);
+  Recorder parallel_rec;
+  const SimResult parallel = run(s.threads, parallel_rec);
+
+  // Differential: the parallel stream must be bit-identical, record for
+  // record, to the sequential one; to_string() decodes the first divergent
+  // record on both sides.
+  const DivergenceReport diff =
+      compare_streams(sequential_rec.snapshot(), parallel_rec.snapshot());
+  ASSERT_TRUE(diff.identical) << diff.to_string();
+  EXPECT_EQ(sequential.stats.recorder_hash, parallel.stats.recorder_hash);
+
+  // Chaos invariant 1: every job completes.
+  ASSERT_EQ(parallel.jobs.size(), jobs.size());
+  for (const auto& j : parallel.jobs) {
+    EXPECT_GE(j.finish_seconds, j.arrival_seconds) << "job " << j.id;
+  }
+  // Invariant 2: no leaked allocations after the last job.
+  EXPECT_EQ(parallel.stats.leaked_cpu, 0.0);
+  EXPECT_EQ(parallel.stats.leaked_mem, 0.0);
+  EXPECT_EQ(parallel.stats.leaked_active_copies, 0);
+  // Invariant 3: copy conservation — every launch finishes or is killed.
+  EXPECT_EQ(parallel.total_copies_launched,
+            parallel.stats.copies_finished + parallel.stats.copies_killed);
+  // Invariant 4: bounded degradation versus the healthy sequential twin
+  // (catches livelock/runaway, not performance).
+  SimConfig healthy = s.config;
+  healthy.failures.enabled = false;
+  healthy.faults = FaultConfig{};
+  DollyMPScheduler healthy_scheduler(s.policy);
+  const SimResult baseline = simulate(cluster, healthy, jobs, healthy_scheduler);
+  EXPECT_LE(parallel.makespan_seconds, baseline.makespan_seconds * 50.0 + 1800.0);
+  // Invariant 5: replay determinism of the parallel config itself — a
+  // second parallel run reproduces the same stream.
+  SimConfig replay_config = s.config;
+  replay_config.threads = s.threads;
+  const DivergenceReport replay =
+      verify_replay(cluster, replay_config, jobs,
+                    [&s] { return std::make_unique<DollyMPScheduler>(s.policy); });
+  EXPECT_TRUE(replay.identical) << replay.to_string();
+}
+
+TEST(ParallelFuzz, RandomConfigsSequentialVsParallel) {
+  Rng rng(0xD011FA55F0225EEDULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    FuzzScenario s = draw_scenario(rng);
+    run_trial(s, trial);
+  }
+}
+
+}  // namespace
+}  // namespace dollymp
