@@ -168,10 +168,10 @@ DryRunContext::DryRunContext(Cluster cluster, std::vector<JobSpec> jobs,
       locality_(config.locality, cluster_),
       specs_(std::move(jobs)) {
   Rng rng(config.seed);
-  jobs_.reserve(specs_.size());
+  store_.reserve_for(specs_);
   for (const auto& spec : specs_) {
-    jobs_.push_back(materialize_job(spec, config_.slot_seconds, locality_, rng));
-    jobs_.back().arrived = true;
+    const std::size_t idx = store_.materialize(spec, config_.slot_seconds, locality_, rng);
+    jobs_[idx].arrived = true;
   }
   active_.reserve(jobs_.size());
   for (auto& job : jobs_) active_.push_back(&job);

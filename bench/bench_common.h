@@ -17,6 +17,7 @@
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/metrics/report.h"
 #include "dollymp/sched/scheduler.h"
+#include "dollymp/sim/runtime_store.h"
 #include "dollymp/sim/simulator.h"
 #include "dollymp/workload/apps.h"
 
@@ -101,13 +102,18 @@ class DryRunContext final : public SchedulerContext {
 
   [[nodiscard]] int placements() const { return placements_; }
 
+  /// The flat runtime store backing the dry run — exposed so micro benches
+  /// can report pool counters (allocations per round) alongside timings.
+  [[nodiscard]] const RuntimeStore& store() const { return store_; }
+
  private:
   Cluster cluster_;
   SimConfig config_;
   LocalityModel locality_;
   Rng rng_{7};
   std::vector<JobSpec> specs_;  ///< owned: JobRuntime::spec points in here
-  std::vector<JobRuntime> jobs_;
+  RuntimeStore store_;
+  std::vector<JobRuntime>& jobs_ = store_.jobs();
   std::vector<JobRuntime*> active_;
   std::optional<ThreadPool> pool_;
   ShardStats shard_stats_;

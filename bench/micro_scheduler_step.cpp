@@ -3,6 +3,9 @@
 // tab_overhead with a policy-by-policy comparison.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "bench_common.h"
 #include "dollymp/workload/trace_model.h"
 
@@ -38,6 +41,14 @@ void run_step(benchmark::State& state, const std::string& key) {
     ctx.reset_placements();
     state.ResumeTiming();
   }
+  // Allocations per round from the copy-slab pool: fresh extents are
+  // acquires - reuses.  After the first round warms the free lists, churn
+  // should reuse extents rather than allocate (the counter tends to 0).
+  const auto& slab = ctx.store().copy_slab().counters();
+  state.counters["alloc_per_step"] =
+      static_cast<double>(slab.acquires - slab.reuses) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["slab_blocks"] = static_cast<double>(slab.block_allocations);
 }
 
 // Same round, with the deterministic parallel core engaged: arg 1 is the

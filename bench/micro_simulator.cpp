@@ -4,6 +4,8 @@
 // reasonable wall-clock time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/workload/arrivals.h"
@@ -30,16 +32,23 @@ void BM_SimulatorStochastic(benchmark::State& state) {
   config.slot_seconds = 5.0;
   config.seed = 3;
   long long copies = 0;
+  SimStats stats{};
   for (auto _ : state) {
     DollyMPScheduler scheduler;
     const SimResult result = simulate(cluster, config, jobs, scheduler);
     copies = result.total_copies_launched;
+    stats = result.stats;
     benchmark::DoNotOptimize(result.total_flowtime());
   }
   state.counters["copies"] = static_cast<double>(copies);
   state.counters["copies/s"] = benchmark::Counter(
       static_cast<double>(copies) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
+  // Pool traffic per simulated slot: fresh copy-slab extents (acquires that
+  // missed the free lists) — the run's steady-state allocation rate.
+  state.counters["alloc_per_step"] =
+      static_cast<double>(stats.copy_slab_acquires - stats.copy_slab_reuses) /
+      static_cast<double>(std::max(1LL, stats.slots_visited));
 }
 BENCHMARK(BM_SimulatorStochastic)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 

@@ -1,6 +1,7 @@
 #include "dollymp/cluster/placement_index.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "dollymp/common/thread_pool.h"
 
@@ -37,7 +38,7 @@ PlacementIndex::PlacementIndex(const Cluster& cluster) : cluster_(&cluster) {
 
   int max_rack = -1;
   for (const auto& server : cluster.servers()) max_rack = std::max(max_rack, server.rack());
-  rack_members_.assign(static_cast<std::size_t>(max_rack + 1), {});
+  rack_classes_.assign(static_cast<std::size_t>(max_rack + 1), {});
 
   for (const auto& server : cluster.servers()) {
     const auto id = static_cast<std::size_t>(server.id());
@@ -55,9 +56,38 @@ PlacementIndex::PlacementIndex(const Cluster& cluster) : cluster_(&cluster) {
       classes_.push_back(std::move(rc));
     }
     class_of_[id] = cls;
-    rack_members_[static_cast<std::size_t>(server.rack())].push_back(server.id());
+    // Hierarchical level: bucket by (rack, class), first-seen class order
+    // within each rack.  Ascending server ids keep each bucket sorted.
+    auto& buckets = rack_classes_[static_cast<std::size_t>(server.rack())];
+    RackClassBucket* bucket = nullptr;
+    for (auto& b : buckets) {
+      if (b.cls == cls) {
+        bucket = &b;
+        break;
+      }
+    }
+    if (bucket == nullptr) {
+      buckets.push_back({cls, 0, {}});
+      bucket = &buckets.back();
+    }
+    bucket->members.push_back(server.id());
+  }
+  // Index descending so each insert appends at the tail of its group's
+  // descending member vector — O(1) instead of a full-vector shift.
+  for (std::size_t i = cluster.size(); i-- > 0;) {
+    const Server& server = cluster.server(i);
     if (!server.is_down()) index_server(server.id());
   }
+}
+
+PlacementIndex::RackClassBucket& PlacementIndex::bucket_of(ServerId id) {
+  const auto i = static_cast<std::size_t>(id);
+  const int rack = cluster_->server(i).rack();
+  for (auto& bucket : rack_classes_[static_cast<std::size_t>(rack)]) {
+    if (bucket.cls == class_of_[i]) return bucket;
+  }
+  // Unreachable: every server was bucketed at construction.
+  return rack_classes_[static_cast<std::size_t>(rack)].front();
 }
 
 std::int32_t PlacementIndex::group_for(ResourceClass& cls, const Resources& used) {
@@ -82,13 +112,20 @@ void PlacementIndex::add_member(ResourceClass& cls, std::int32_t gid, ServerId i
     }
     cls.active_head = gid;
   }
-  group.members.insert(std::lower_bound(group.members.begin(), group.members.end(), id),
+  // Members are sorted DESCENDING: the tie-break winner (lowest id) is
+  // back(), and — because queries prefer low ids — allocation churn
+  // concentrates at low ids, whose insert/erase shifts only the short
+  // low-id suffix.  Ascending order would memmove the entire million-entry
+  // idle group on every touch of its front.
+  group.members.insert(std::lower_bound(group.members.begin(), group.members.end(), id,
+                                        std::greater<ServerId>()),
                        id);
 }
 
 void PlacementIndex::remove_member(ResourceClass& cls, std::int32_t gid, ServerId id) {
   Group& group = cls.groups[static_cast<std::size_t>(gid)];
-  group.members.erase(std::lower_bound(group.members.begin(), group.members.end(), id));
+  group.members.erase(std::lower_bound(group.members.begin(), group.members.end(), id,
+                                       std::greater<ServerId>()));
   if (group.members.empty()) {
     // Unlink from the active list but keep the pool slot and the vector's
     // capacity: churn revisits the same used vectors, so steady-state
@@ -111,6 +148,7 @@ void PlacementIndex::index_server(ServerId id) {
   const std::int32_t gid = group_for(cls, cluster_->server(i).used());
   add_member(cls, gid, id);
   group_of_[i] = gid;
+  ++bucket_of(id).up_count;
 }
 
 void PlacementIndex::deindex_server(ServerId id) {
@@ -118,6 +156,7 @@ void PlacementIndex::deindex_server(ServerId id) {
   ResourceClass& cls = classes_[static_cast<std::size_t>(class_of_[i])];
   remove_member(cls, group_of_[i], id);
   group_of_[i] = kNoGroup;
+  --bucket_of(id).up_count;
 }
 
 void PlacementIndex::on_allocation_changed(ServerId id) {
@@ -168,7 +207,7 @@ ServerId PlacementIndex::best_fit(const Resources& demand) const {
       ++counters_.servers_scanned;
       if (!group_fits(group.used, demand, cls.capacity)) continue;
       const double score = demand.dot(group_free(cls.capacity, group.used));
-      const ServerId id = group.members.front();
+      const ServerId id = group.members.back();
       if (beats(score, id, best_score, best)) {
         best_score = score;
         best = id;
@@ -188,7 +227,7 @@ ServerId PlacementIndex::first_fit(const Resources& demand) const {
       const Group& group = cls.groups[static_cast<std::size_t>(gid)];
       ++counters_.servers_scanned;
       if (!group_fits(group.used, demand, cls.capacity)) continue;
-      const ServerId id = group.members.front();
+      const ServerId id = group.members.back();
       if (best == kInvalidServer || id < best) best = id;
     }
   }
@@ -221,15 +260,25 @@ ServerId PlacementIndex::locality_aware(const LocalityModel& locality,
         seen = cluster_->server(static_cast<std::size_t>(block.replicas[q])).rack() == rack;
       }
       if (seen) continue;
-      for (const ServerId id : rack_members_[static_cast<std::size_t>(rack)]) {
-        ++counters_.servers_scanned;
-        const Server& server = cluster_->server(static_cast<std::size_t>(id));
-        if (!server.can_fit(demand)) continue;
-        if (locality.classify(block, id) != LocalityLevel::kRack) continue;
-        const double score = demand.dot(server.free());
-        if (beats(score, id, best_rack_score, best_rack)) {
-          best_rack_score = score;
-          best_rack = id;
+      // Hierarchical walk: a bucket whose class cannot hold the demand, or
+      // whose members are all down/quarantined, is pruned whole — every
+      // pruned member would have failed can_fit, and `beats` makes the
+      // remaining enumeration order irrelevant.
+      for (const auto& bucket : rack_classes_[static_cast<std::size_t>(rack)]) {
+        if (bucket.up_count == 0) continue;
+        if (!demand.fits_within(classes_[static_cast<std::size_t>(bucket.cls)].capacity)) {
+          continue;
+        }
+        for (const ServerId id : bucket.members) {
+          ++counters_.servers_scanned;
+          const Server& server = cluster_->server(static_cast<std::size_t>(id));
+          if (!server.can_fit(demand)) continue;
+          if (locality.classify(block, id) != LocalityLevel::kRack) continue;
+          const double score = demand.dot(server.free());
+          if (beats(score, id, best_rack_score, best_rack)) {
+            best_rack_score = score;
+            best_rack = id;
+          }
         }
       }
     }
@@ -264,7 +313,7 @@ ServerId PlacementIndex::weighted_best_fit(const Resources& demand,
         const Group& group = cls.groups[static_cast<std::size_t>(gid)];
         ++counters_.servers_scanned;
         if (!group_fits(group.used, demand, cls.capacity)) continue;
-        consider(group.members.front(),
+        consider(group.members.back(),
                  demand.dot(group_free(cls.capacity, group.used)));
       }
     }

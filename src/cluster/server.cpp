@@ -4,12 +4,49 @@
 
 namespace dollymp {
 
+void ServerTable::reserve(std::size_t servers) {
+  capacity_.reserve(servers);
+  used_.reserve(servers);
+  base_speed_.reserve(servers);
+  slow_factor_.reserve(servers);
+  rack_.reserve(servers);
+  running_copies_.reserve(servers);
+  model_.reserve(servers);
+  flags_.reserve(servers);
+}
+
+std::uint16_t ServerTable::intern_model(const std::string& model) {
+  // Linear scan: inventories use a handful of machine shapes, so this
+  // beats hashing and keeps the table a plain vector.
+  for (std::size_t i = 0; i < model_names_.size(); ++i) {
+    if (model_names_[i] == model) return static_cast<std::uint16_t>(i);
+  }
+  if (model_names_.size() >= 65535) {
+    throw std::length_error("ServerTable: too many distinct server models");
+  }
+  model_names_.push_back(model);
+  return static_cast<std::uint16_t>(model_names_.size() - 1);
+}
+
+ServerId ServerTable::add(const ServerSpec& spec) {
+  const ServerId id = static_cast<ServerId>(capacity_.size());
+  capacity_.push_back(spec.capacity);
+  used_.emplace_back();
+  base_speed_.push_back(spec.base_speed);
+  slow_factor_.push_back(1.0);
+  rack_.push_back(spec.rack);
+  running_copies_.push_back(0);
+  model_.push_back(intern_model(spec.model));
+  flags_.push_back(0);
+  return id;
+}
+
 bool Server::allocate(const Resources& demand) {
   if (!demand.non_negative()) {
     throw std::invalid_argument("Server::allocate: negative demand");
   }
   if (!can_fit(demand)) return false;
-  used_ += demand;
+  table_->used_[row()] += demand;
   return true;
 }
 
@@ -17,8 +54,15 @@ void Server::release(const Resources& demand) {
   if (!demand.non_negative()) {
     throw std::invalid_argument("Server::release: negative demand");
   }
-  used_ -= demand;
-  used_ = used_.clamped();
+  Resources& used = table_->used_[row()];
+  // Releasing more than is allocated means double-release or a mismatched
+  // demand vector — a layout bug that the clamp below would otherwise
+  // silently absorb.  The epsilon tolerates float noise from fractional
+  // demands (which the clamp exists to tidy).
+  DMP_DEBUG_CHECK(used.cpu - demand.cpu >= -1e-6 && used.mem - demand.mem >= -1e-6,
+                  "Server::release: allocation counter underflow");
+  used -= demand;
+  used = used.clamped();
 }
 
 }  // namespace dollymp

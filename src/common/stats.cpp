@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -154,6 +155,21 @@ std::string Histogram::render(std::size_t width) const {
 
 double quantile_of(std::vector<double> samples, double q) {
   return Cdf(std::move(samples)).quantile(q);
+}
+
+long long process_peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    long long kb = 0;
+    std::istringstream fields(line.substr(6));
+    fields >> kb;
+    return kb * 1024;
+  }
+#endif
+  return 0;
 }
 
 }  // namespace dollymp

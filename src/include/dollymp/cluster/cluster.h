@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,15 @@ struct ServerGroup {
 
 class Cluster {
  public:
-  Cluster() = default;
+  Cluster();
   explicit Cluster(const std::vector<ServerGroup>& groups);
+  // The server table lives behind a unique_ptr so Server views stay valid
+  // across Cluster moves; copies deep-copy the table and rebind the views
+  // (the simulator copies the prototype cluster per run).
+  Cluster(const Cluster& other);
+  Cluster& operator=(const Cluster& other);
+  Cluster(Cluster&&) noexcept = default;
+  Cluster& operator=(Cluster&&) noexcept = default;
 
   [[nodiscard]] std::size_t size() const { return servers_.size(); }
   [[nodiscard]] bool empty() const { return servers_.empty(); }
@@ -40,7 +48,13 @@ class Cluster {
 
   [[nodiscard]] int rack_count() const { return rack_count_; }
 
+  /// The struct-of-arrays hot-state storage behind the Server views.
+  [[nodiscard]] ServerTable& table() { return *table_; }
+  [[nodiscard]] const ServerTable& table() const { return *table_; }
+
   void add_server(ServerSpec spec);
+  /// Pre-size the table (large inventories build reallocation-free).
+  void reserve(std::size_t servers);
   void reset_allocations();
 
   // ----- standard inventories ---------------------------------------------
@@ -59,7 +73,10 @@ class Cluster {
 
   /// Full-scale trace inventory (Section 6.3): the paper replays Google
   /// traces on >30,000 servers.  Four machine shapes over racks of 48 —
-  /// feasible to simulate thanks to the incremental PlacementIndex.
+  /// feasible to simulate thanks to the incremental PlacementIndex, and
+  /// (with the struct-of-arrays ServerTable) cheap to build at 300K and
+  /// 1,000,000 servers for the ROADMAP's million-server target (see
+  /// bench/scale_step.cpp).
   static Cluster google_trace(std::size_t servers = 30'000);
 
   /// Single server with the given (normalized) capacity — the transient
@@ -70,7 +87,8 @@ class Cluster {
   static Cluster uniform(std::size_t servers, Resources capacity, double base_speed = 1.0);
 
  private:
-  std::vector<Server> servers_;
+  std::unique_ptr<ServerTable> table_;
+  std::vector<Server> servers_;  ///< views into table_, one per row
   Resources total_;
   int rack_count_ = 0;
 };

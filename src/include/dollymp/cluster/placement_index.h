@@ -18,15 +18,22 @@
 //     with 30,000 servers under churn.  All members of a group expose
 //     value-identical free vectors, hence identical fit answers and
 //     identical best-fit scores: one evaluation per group decides every
-//     member at once, and the group's lowest id (members.front(), kept
-//     sorted) is the tie-break winner for the whole group.
+//     member at once, and the group's lowest id (members.back() — members are
+//     kept sorted descending, so low-id churn shifts only a short suffix)
+//     is the tie-break winner for the whole group.
 //   * Groups are pooled per class and found through an insert-only map from
 //     used vector to pool slot.  A drained group is unlinked from the
 //     active list but keeps its slot and its members vector's capacity, so
 //     steady-state maintenance — allocation churn revisiting the same used
 //     vectors — performs no heap allocation.
-//   * Static per-rack member lists serve the rack-local pass of
-//     locality_aware_server.
+//   * A hierarchical rack -> capacity-class level serves the rack-local
+//     pass of locality_aware_server: each rack holds one member bucket per
+//     resource class present in it, with an up-count.  A demand that
+//     exceeds a bucket's class capacity — or a bucket whose members are all
+//     down/quarantined — skips the whole bucket without touching a server.
+//     Pruning is bit-identical to the flat per-rack scan because every
+//     pruned server would have failed can_fit, and the winner comparator
+//     is enumeration-order independent.
 //
 // Determinism contract: every query reproduces the corresponding linear scan
 // *bit for bit*.  Group membership is exact value equality of used(), and
@@ -136,7 +143,7 @@ class PlacementIndex {
   /// Up servers of one class whose used() vectors are value-identical.
   struct Group {
     Resources used;
-    std::vector<ServerId> members;  ///< ascending; capacity kept when drained
+    std::vector<ServerId> members;  ///< descending; capacity kept when drained
     std::int32_t prev = kNoGroup;   ///< active-list links (empty => unlinked)
     std::int32_t next = kNoGroup;
   };
@@ -163,7 +170,18 @@ class PlacementIndex {
   std::vector<std::int32_t> group_of_;  // server -> pool slot; kNoGroup = down
   std::vector<double> multiplier_;
   int nonneutral_ = 0;  // count of multipliers != 1.0 (0 => groups collapse)
-  std::vector<std::vector<ServerId>> rack_members_;  // rack -> ids ascending
+
+  /// One capacity class's members within one rack: the hierarchical
+  /// rack -> class level.  Member lists are static (built once, ascending);
+  /// only the up-count changes as servers fail/recover/quarantine.
+  struct RackClassBucket {
+    std::int32_t cls = -1;
+    std::uint32_t up_count = 0;     ///< members currently indexed (placeable)
+    std::vector<ServerId> members;  ///< ascending ids
+  };
+  std::vector<std::vector<RackClassBucket>> rack_classes_;  // rack -> buckets
+  /// The (rack, class) bucket holding `id` (built at construction).
+  [[nodiscard]] RackClassBucket& bucket_of(ServerId id);
   mutable Counters counters_;
 
   /// One fitting group of the weighted member walk: the group plus its

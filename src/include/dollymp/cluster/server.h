@@ -5,11 +5,21 @@
 // static per-server base speed factor and (ii) with a pluggable background
 // slowdown process (see background_load.h).  A copy placed on server s at
 // time t runs at s.effective_speed(t) times nominal rate.
+//
+// Data layout: since the struct-of-arrays overhaul, per-server hot state
+// (capacity, used, speed, flags, counters) lives in contiguous parallel
+// arrays inside ServerTable, and Server is a 16-byte {table, id} view with
+// the same accessor surface the object layout had.  Model labels are
+// interned — one std::string per distinct machine shape, servers hold a
+// 16-bit id — so building a million-server inventory allocates a handful
+// of strings, not a million.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "dollymp/common/debug_check.h"
 #include "dollymp/common/resources.h"
 
 namespace dollymp {
@@ -17,7 +27,8 @@ namespace dollymp {
 using ServerId = std::int32_t;
 inline constexpr ServerId kInvalidServer = -1;
 
-/// Immutable description of a server model.
+/// Immutable description of a server model (construction-time only; the
+/// hot state never stores one).
 struct ServerSpec {
   Resources capacity;      ///< (C_i cores, M_i GB) of Eq. (5).
   double base_speed = 1.0; ///< >0; 1.0 is a "normal" node, >1 is a fast node.
@@ -25,42 +36,104 @@ struct ServerSpec {
   std::string model;       ///< human-readable label, e.g. "xeon-24c".
 };
 
-/// Mutable allocation state of a single server inside a simulation.
+class Server;
+
+/// Struct-of-arrays storage for every server's hot state.  Cluster owns
+/// exactly one; Server views index into it.
+class ServerTable {
+ public:
+  ServerTable() = default;
+
+  void reserve(std::size_t servers);
+
+  /// Append a row; interns the model label.  Returns the new server's id
+  /// (== row index).
+  ServerId add(const ServerSpec& spec);
+
+  [[nodiscard]] std::size_t size() const { return capacity_.size(); }
+
+  /// Interned model labels: one string per distinct model.
+  [[nodiscard]] std::uint16_t intern_model(const std::string& model);
+  [[nodiscard]] const std::string& model_name(std::uint16_t model_id) const {
+    return model_names_[model_id];
+  }
+  [[nodiscard]] std::size_t distinct_models() const { return model_names_.size(); }
+
+  /// Bytes of hot-state storage (the interned label table is a handful of
+  /// strings and not counted).  Feeds the bytes-per-server scale gate.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return capacity_.capacity() * sizeof(Resources) + used_.capacity() * sizeof(Resources) +
+           base_speed_.capacity() * sizeof(double) +
+           slow_factor_.capacity() * sizeof(double) +
+           rack_.capacity() * sizeof(std::int32_t) +
+           running_copies_.capacity() * sizeof(std::int32_t) +
+           model_.capacity() * sizeof(std::uint16_t) +
+           flags_.capacity() * sizeof(std::uint8_t);
+  }
+
+ private:
+  friend class Server;
+
+  static constexpr std::uint8_t kDown = 1u << 0;
+  static constexpr std::uint8_t kQuarantined = 1u << 1;
+
+  std::vector<Resources> capacity_;
+  std::vector<Resources> used_;
+  std::vector<double> base_speed_;
+  std::vector<double> slow_factor_;
+  std::vector<std::int32_t> rack_;
+  std::vector<std::int32_t> running_copies_;
+  std::vector<std::uint16_t> model_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::string> model_names_;
+};
+
+/// View over one ServerTable row: the mutable allocation state of a single
+/// server inside a simulation.  Copying a Server copies the view, not the
+/// row.
 class Server {
  public:
-  Server(ServerId id, ServerSpec spec) : id_(id), spec_(std::move(spec)) {}
+  Server(ServerTable* table, ServerId id) : table_(table), id_(id) {}
 
   [[nodiscard]] ServerId id() const { return id_; }
-  [[nodiscard]] const ServerSpec& spec() const { return spec_; }
-  [[nodiscard]] const Resources& capacity() const { return spec_.capacity; }
-  [[nodiscard]] const Resources& used() const { return used_; }
-  [[nodiscard]] Resources free() const { return (spec_.capacity - used_).clamped(); }
-  [[nodiscard]] int rack() const { return spec_.rack; }
+  [[nodiscard]] const Resources& capacity() const { return table_->capacity_[row()]; }
+  [[nodiscard]] const Resources& used() const { return table_->used_[row()]; }
+  [[nodiscard]] Resources free() const { return (capacity() - used()).clamped(); }
+  [[nodiscard]] int rack() const { return table_->rack_[row()]; }
+  [[nodiscard]] double base_speed() const { return table_->base_speed_[row()]; }
+  [[nodiscard]] std::uint16_t model_id() const { return table_->model_[row()]; }
+  [[nodiscard]] const std::string& model() const {
+    return table_->model_name(model_id());
+  }
 
   /// True when `demand` fits in the remaining capacity and the server is
   /// up and not quarantined.
   [[nodiscard]] bool can_fit(const Resources& demand) const {
-    return !down_ && !quarantined_ && (used_ + demand).fits_within(spec_.capacity);
+    const auto i = row();
+    return table_->flags_[i] == 0 &&
+           (table_->used_[i] + demand).fits_within(table_->capacity_[i]);
   }
 
   /// Failure-injection state: a down server accepts no allocations (its
   /// running copies are killed by the simulator when it goes down).
-  void set_down(bool down) { down_ = down; }
-  [[nodiscard]] bool is_down() const { return down_; }
+  void set_down(bool down) { set_flag(ServerTable::kDown, down); }
+  [[nodiscard]] bool is_down() const { return (table_->flags_[row()] & ServerTable::kDown) != 0; }
 
   /// Resilience-policy state: a quarantined server is up (running copies
   /// keep running) but accepts no new placements until probation releases
   /// it.  Set via SchedulerContext::set_server_quarantined, which also
   /// keeps the PlacementIndex candidacy in sync.
-  void set_quarantined(bool quarantined) { quarantined_ = quarantined; }
-  [[nodiscard]] bool is_quarantined() const { return quarantined_; }
+  void set_quarantined(bool quarantined) { set_flag(ServerTable::kQuarantined, quarantined); }
+  [[nodiscard]] bool is_quarantined() const {
+    return (table_->flags_[row()] & ServerTable::kQuarantined) != 0;
+  }
 
   /// Fail-slow ("gray failure") state: new copies launched on this server
   /// take slow_factor times longer while > 1.  1.0 means healthy; the
   /// simulator multiplies copy durations by this, so the healthy path is
   /// bit-exact (x * 1.0 == x for finite x).
-  void set_slow_factor(double factor) { slow_factor_ = factor; }
-  [[nodiscard]] double slow_factor() const { return slow_factor_; }
+  void set_slow_factor(double factor) { table_->slow_factor_[row()] = factor; }
+  [[nodiscard]] double slow_factor() const { return table_->slow_factor_[row()]; }
 
   /// Reserve resources; returns false (and changes nothing) if they do not
   /// fit.  The simulator is the only caller, so all capacity accounting
@@ -71,27 +144,35 @@ class Server {
   void release(const Resources& demand);
 
   /// Running-copy counters (for utilization reporting).
-  void note_copy_started() { ++running_copies_; }
-  void note_copy_finished() { --running_copies_; }
-  [[nodiscard]] int running_copies() const { return running_copies_; }
+  void note_copy_started() { ++table_->running_copies_[row()]; }
+  void note_copy_finished() {
+    DMP_DEBUG_CHECK(table_->running_copies_[row()] > 0,
+                    "Server::note_copy_finished: running-copy counter underflow");
+    --table_->running_copies_[row()];
+  }
+  [[nodiscard]] int running_copies() const { return table_->running_copies_[row()]; }
 
   /// Reset allocation state (between simulation runs).
   void reset() {
-    used_ = {};
-    running_copies_ = 0;
-    down_ = false;
-    quarantined_ = false;
-    slow_factor_ = 1.0;
+    const auto i = row();
+    table_->used_[i] = {};
+    table_->running_copies_[i] = 0;
+    table_->flags_[i] = 0;
+    table_->slow_factor_[i] = 1.0;
   }
 
  private:
+  [[nodiscard]] std::size_t row() const { return static_cast<std::size_t>(id_); }
+  void set_flag(std::uint8_t bit, bool on) {
+    if (on) {
+      table_->flags_[row()] |= bit;
+    } else {
+      table_->flags_[row()] &= static_cast<std::uint8_t>(~bit);
+    }
+  }
+
+  ServerTable* table_;
   ServerId id_;
-  ServerSpec spec_;
-  Resources used_;
-  int running_copies_ = 0;
-  bool down_ = false;
-  bool quarantined_ = false;
-  double slow_factor_ = 1.0;
 };
 
 }  // namespace dollymp

@@ -1,0 +1,41 @@
+// Debug invariant checks that stay live under the sanitizer CI jobs.
+//
+// The ASan/TSan workflows build RelWithDebInfo, which defines NDEBUG and
+// compiles plain assert() out — exactly the builds where a layout bug
+// (double release, copy-counter underflow) should fail loudly.  So
+// DMP_DEBUG_CHECK is active whenever NDEBUG is unset OR a sanitizer is
+// detected, and compiles to nothing in plain release builds, keeping the
+// hot path free of branches there.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(NDEBUG)
+#define DMP_DEBUG_CHECKS_ENABLED 1
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DMP_DEBUG_CHECKS_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DMP_DEBUG_CHECKS_ENABLED 1
+#endif
+#endif
+
+#ifndef DMP_DEBUG_CHECKS_ENABLED
+#define DMP_DEBUG_CHECKS_ENABLED 0
+#endif
+
+#if DMP_DEBUG_CHECKS_ENABLED
+#define DMP_DEBUG_CHECK(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "DMP_DEBUG_CHECK failed at %s:%d: %s\n  %s\n",      \
+                   __FILE__, __LINE__, #cond, msg);                            \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+#else
+#define DMP_DEBUG_CHECK(cond, msg) \
+  do {                             \
+  } while (0)
+#endif

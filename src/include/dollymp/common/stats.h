@@ -95,4 +95,8 @@ class Histogram {
 /// Quantile of an unsorted sample (copies + sorts; convenience for tests).
 [[nodiscard]] double quantile_of(std::vector<double> samples, double q);
 
+/// Process peak resident-set size in bytes (Linux /proc/self/status VmHWM);
+/// 0 when unavailable.  Feeds the scale gate's RSS ceiling and SimStats.
+[[nodiscard]] long long process_peak_rss_bytes();
+
 }  // namespace dollymp

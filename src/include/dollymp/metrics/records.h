@@ -156,6 +156,21 @@ struct SimStats {
   double leaked_mem = 0.0;        ///< cluster memory still allocated at run end
   long long leaked_active_copies = 0;  ///< copies still marked active at run end
 
+  // Data-layout accounting (struct-of-arrays overhaul): copy-slab extent
+  // traffic (acquires vs free-list reuses and fresh block allocations —
+  // steady state should reuse, not allocate), the flat runtime-store and
+  // server-table footprints, and the derived bytes-per-server figure the
+  // scale gate tracks.  Deterministic for a fixed workload, except
+  // peak_rss_bytes (a process-wide high-water mark), which the
+  // equivalence suite excludes like wall_clock_seconds.
+  long long copy_slab_acquires = 0;
+  long long copy_slab_reuses = 0;
+  long long copy_slab_blocks = 0;
+  long long runtime_store_bytes = 0;   ///< flat arrays + slab, capacity-accounted
+  long long server_table_bytes = 0;    ///< struct-of-arrays server hot state
+  double bytes_per_server = 0.0;       ///< server_table_bytes / cluster size
+  long long peak_rss_bytes = 0;        ///< /proc VmHWM at run end (0 if unavailable)
+
   double wall_clock_seconds = 0.0;  ///< host time spent inside run()
 
   [[nodiscard]] long long events_processed() const {

@@ -18,8 +18,10 @@ namespace dollymp {
 
 /// Apply the environment to a base duration: server base speed (server
 /// heterogeneity), data-locality fetch penalty and the background-load
-/// slowdown at launch time.
-[[nodiscard]] double scale_copy_seconds(double base_seconds, const Server& server,
+/// slowdown at launch time.  Takes the speed scalar rather than a Server
+/// so the model is usable without a cluster (and the hot path reads the
+/// ServerTable speed array once).
+[[nodiscard]] double scale_copy_seconds(double base_seconds, double server_base_speed,
                                         double locality_penalty, double background_slowdown);
 
 /// Seconds -> whole slots, at least 1 (a copy occupies its resources for at

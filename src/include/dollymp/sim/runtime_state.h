@@ -3,6 +3,17 @@
 // SchedulerContext; the simulator is the only mutator (schedulers observe
 // and request placements).
 //
+// Data layout: since the struct-of-arrays overhaul, these classes are VIEW
+// holders.  The actual storage lives in flat parallel arrays owned by
+// RuntimeStore (sim/runtime_store.h) — all PhaseRuntime records
+// contiguous, all TaskRuntime records contiguous, all duration-pool
+// samples contiguous, copy records pooled in a CopySlab.  JobRuntime::
+// phases, PhaseRuntime::tasks and PhaseRuntime::duration_pool are RtSpan
+// windows into those arrays, and TaskRuntime::copies is a slab-backed
+// CopyList; the accessor surface (indexing, iteration, size, pointer
+// difference against data()) is unchanged, so scheduler and metrics code
+// is layout-agnostic.
+//
 // Non-clairvoyance: CopyRuntime::finish is the simulator's private
 // realization of the copy's random duration.  Scheduler implementations
 // must not read it (they only know theta/sigma, as the paper's AM does);
@@ -10,32 +21,60 @@
 // system, to keep the state inspectable by tests and metrics.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dollymp/cluster/locality.h"
 #include "dollymp/common/distributions.h"
 #include "dollymp/job/effective.h"
 #include "dollymp/job/job.h"
+#include "dollymp/sim/copy_slab.h"
 #include "dollymp/sim/types.h"
 
 namespace dollymp {
 
-/// One running (or finished/killed) copy of a task.
-struct CopyRuntime {
-  ServerId server = kInvalidServer;
-  SimTime start = kNever;
-  SimTime finish = kNever;      ///< predicted completion slot (see header note)
-  LocalityLevel locality = LocalityLevel::kNode;
-  bool active = false;          ///< currently occupying resources
-  bool killed = false;          ///< terminated because a sibling finished first
-  double base_seconds = 0.0;    ///< sampled duration before slot rounding
+/// Non-owning window into one of RuntimeStore's flat arrays.  Deliberately
+/// minimal: the vector read surface the runtime-state consumers use, plus
+/// clear() (drop-the-elements semantics — storage stays with the store).
+template <typename T>
+class RtSpan {
+ public:
+  RtSpan() = default;
+
+  /// Rebind the window (RuntimeStore does this on materialization and
+  /// after any flat-array growth; tests bind hand-held backing vectors).
+  void assign(T* data, std::size_t size) {
+    data_ = data;
+    size_ = static_cast<std::uint32_t>(size);
+  }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  /// Forget the elements.  The storage belongs to the store and is not
+  /// reclaimed — used by tests exercising empty-state error paths.
+  void clear() { size_ = 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
 };
 
 class TaskRuntime {
  public:
   TaskRef ref;
   Resources demand;
-  std::vector<CopyRuntime> copies;
+  CopyList copies;              ///< slab-backed; see sim/copy_slab.h
   BlockPlacement block;         ///< input block replica placement
 
   bool finished = false;
@@ -65,7 +104,7 @@ class PhaseRuntime {
   PhaseIndex index = 0;
   const PhaseSpec* spec = nullptr;
 
-  std::vector<TaskRuntime> tasks;
+  RtSpan<TaskRuntime> tasks;
   int remaining_tasks = 0;     ///< n_j^k(t) of Eq. (16)
   int unfinished_parents = 0;  ///< runnable when 0 (Eq. 7)
   bool has_children = false;   ///< some phase consumes this one's output
@@ -79,7 +118,7 @@ class PhaseRuntime {
 
   /// Pre-sampled base durations (seconds), one per task; clones re-draw
   /// uniformly from this pool (Section 6.3's clone rule).
-  std::vector<double> duration_pool;
+  RtSpan<double> duration_pool;
   /// Speedup function h_j^k fitted from (theta, sigma) (Eq. 3).
   SpeedupFunction speedup{2.0};
 
@@ -97,7 +136,7 @@ class JobRuntime {
   SimTime finish_slot = kNever;
   SimTime first_start = kNever;
 
-  std::vector<PhaseRuntime> phases;
+  RtSpan<PhaseRuntime> phases;
   int remaining_phases = 0;
 
   // Aggregate accounting for the metrics module.
@@ -146,11 +185,5 @@ class JobRuntime {
   mutable double length_cache_sigma_ = 0.0;
   mutable double length_cache_value_ = 0.0;
 };
-
-/// Build the runtime skeleton for a job: samples the per-phase duration
-/// pools (Pareto fitted to theta/sigma; degenerate to constant when sigma
-/// is 0) and the input-block replica placements.
-[[nodiscard]] JobRuntime materialize_job(const JobSpec& spec, double slot_seconds,
-                                         const LocalityModel& locality, Rng& rng);
 
 }  // namespace dollymp

@@ -139,7 +139,8 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                       "attempts", "placed",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
                       "idx_update", "par_sect", "par_shards", "par_widest", "rec",
-                      "rec_evict", "rec_hash", "wall_ms"});
+                      "rec_evict", "rec_hash", "slab_acq", "slab_reuse",
+                      "slab_blk", "B/server", "rss_mb", "wall_ms"});
   for (const auto& s : summaries) {
     const SimStats& st = s.stats;
     table.add_row({s.scheduler, std::to_string(st.scheduler_invocations),
@@ -175,6 +176,12 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.recorder_records),
                    std::to_string(st.recorder_evictions),
                    format_recorder_hash(st),
+                   std::to_string(st.copy_slab_acquires),
+                   std::to_string(st.copy_slab_reuses),
+                   std::to_string(st.copy_slab_blocks),
+                   ConsoleTable::format_double(st.bytes_per_server, 0),
+                   ConsoleTable::format_double(
+                       static_cast<double>(st.peak_rss_bytes) / (1024.0 * 1024.0), 0),
                    ConsoleTable::format_double(st.wall_clock_seconds * 1e3, 1)});
   }
   return table.render();

@@ -1,0 +1,96 @@
+#include "dollymp/sim/copy_slab.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "dollymp/common/debug_check.h"
+
+namespace dollymp {
+
+std::uint32_t CopySlab::capacity_class(std::uint32_t n) {
+  std::uint32_t cls = 0;
+  while ((1u << cls) < n) ++cls;
+  return cls;
+}
+
+CopySlab::Extent CopySlab::acquire(std::uint32_t min_capacity) {
+  if (min_capacity == 0) min_capacity = 1;
+  if (min_capacity > kBlockCopies) {
+    throw std::length_error("CopySlab: extent larger than a block");
+  }
+  const std::uint32_t cls = capacity_class(min_capacity);
+  const std::uint32_t capacity = 1u << cls;
+  ++counters_.acquires;
+  if (cls < free_.size() && !free_[cls].empty()) {
+    CopyRuntime* data = free_[cls].back();
+    free_[cls].pop_back();
+    ++counters_.reuses;
+    return {data, capacity};
+  }
+  // Carve from the bump block; start a fresh block when the remainder is
+  // short.  Extents are pow2-sized and blocks are a pow2 multiple, so a
+  // fresh block never leaves a gap — the remainder check only fires when
+  // mixed extent sizes fragment the tail, and the skipped slots are
+  // reclaimed implicitly when the whole slab clears.
+  if (bump_block_ >= blocks_.size() || bump_used_ + capacity > kBlockCopies) {
+    if (bump_block_ < blocks_.size()) bump_block_ = blocks_.size();
+    blocks_.push_back(std::make_unique<CopyRuntime[]>(kBlockCopies));
+    ++counters_.block_allocations;
+    counters_.copies_capacity += kBlockCopies;
+    bump_block_ = blocks_.size() - 1;
+    bump_used_ = 0;
+  }
+  CopyRuntime* data = blocks_[bump_block_].get() + bump_used_;
+  bump_used_ += capacity;
+  return {data, capacity};
+}
+
+void CopySlab::release(Extent extent) {
+  if (extent.data == nullptr) return;
+  DMP_DEBUG_CHECK(extent.capacity > 0 && (extent.capacity & (extent.capacity - 1)) == 0,
+                  "CopySlab::release: capacity must be the pow2 acquire() returned");
+  const std::uint32_t cls = capacity_class(extent.capacity);
+  if (cls >= free_.size()) free_.resize(cls + 1);
+  free_[cls].push_back(extent.data);
+}
+
+void CopySlab::clear() {
+  blocks_.clear();
+  free_.clear();
+  bump_block_ = 0;
+  bump_used_ = 0;
+  counters_.copies_capacity = 0;
+}
+
+void CopyList::push_back(const CopyRuntime& copy) {
+  if (size_ == capacity_) {
+    DMP_DEBUG_CHECK(slab_ != nullptr, "CopyList: push_back before bind()");
+    const std::uint32_t want = capacity_ == 0 ? 2 : capacity_ * 2;
+    CopySlab::Extent next = slab_->acquire(want);
+    if (size_ > 0) std::memcpy(next.data, data_, size_ * sizeof(CopyRuntime));
+    if (data_ != nullptr) slab_->release({data_, capacity_});
+    data_ = next.data;
+    capacity_ = next.capacity;
+  }
+  data_[size_++] = copy;
+}
+
+void CopyList::reserve(std::size_t n) {
+  if (n <= capacity_) return;
+  DMP_DEBUG_CHECK(slab_ != nullptr, "CopyList: reserve before bind()");
+  CopySlab::Extent next = slab_->acquire(static_cast<std::uint32_t>(n));
+  if (size_ > 0) std::memcpy(next.data, data_, size_ * sizeof(CopyRuntime));
+  if (data_ != nullptr) slab_->release({data_, capacity_});
+  data_ = next.data;
+  capacity_ = next.capacity;
+}
+
+void CopyList::release_storage() {
+  if (data_ == nullptr) return;
+  slab_->release({data_, capacity_});
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+}
+
+}  // namespace dollymp

@@ -10,16 +10,18 @@ double sample_copy_base_seconds(const PhaseRuntime& phase, int task_index,
   const auto& pool = phase.duration_pool;
   if (pool.empty()) throw std::logic_error("execution: empty duration pool");
   if (is_first_copy) {
-    return pool.at(static_cast<std::size_t>(task_index));
+    if (static_cast<std::size_t>(task_index) >= pool.size()) {
+      throw std::out_of_range("execution: task index outside duration pool");
+    }
+    return pool[static_cast<std::size_t>(task_index)];
   }
   return pool[rng.below(pool.size())];
 }
 
-double scale_copy_seconds(double base_seconds, const Server& server,
+double scale_copy_seconds(double base_seconds, double server_base_speed,
                           double locality_penalty, double background_slowdown) {
-  const double speed = server.spec().base_speed;
-  if (speed <= 0.0) throw std::logic_error("execution: server speed must be > 0");
-  return base_seconds * locality_penalty * background_slowdown / speed;
+  if (server_base_speed <= 0.0) throw std::logic_error("execution: server speed must be > 0");
+  return base_seconds * locality_penalty * background_slowdown / server_base_speed;
 }
 
 SimTime seconds_to_slots(double seconds, double slot_seconds) {

@@ -1,8 +1,6 @@
 #include "dollymp/sim/runtime_state.h"
 
 #include <algorithm>
-#include <cmath>
-#include <stdexcept>
 
 namespace dollymp {
 
@@ -64,62 +62,6 @@ bool JobRuntime::has_runnable_work() const {
     }
   }
   return false;
-}
-
-JobRuntime materialize_job(const JobSpec& spec, double slot_seconds,
-                           const LocalityModel& locality, Rng& rng) {
-  if (slot_seconds <= 0.0) throw std::invalid_argument("materialize_job: slot_seconds > 0");
-  spec.validate();
-
-  JobRuntime job;
-  job.spec = &spec;
-  job.id = spec.id;
-  job.arrival = static_cast<SimTime>(std::llround(spec.arrival_seconds / slot_seconds));
-  job.phases.resize(spec.phases.size());
-  job.remaining_phases = static_cast<int>(spec.phases.size());
-
-  for (std::size_t k = 0; k < spec.phases.size(); ++k) {
-    const PhaseSpec& ps = spec.phases[k];
-    PhaseRuntime& phase = job.phases[k];
-    phase.index = static_cast<PhaseIndex>(k);
-    phase.spec = &ps;
-    phase.remaining_tasks = ps.task_count;
-    phase.unscheduled_tasks = ps.task_count;
-    phase.unfinished_parents = static_cast<int>(ps.parents.size());
-    for (const auto parent : ps.parents) {
-      job.phases[static_cast<std::size_t>(parent)].has_children = true;
-    }
-    phase.speedup = SpeedupFunction::from_stats(ps.theta_seconds, ps.sigma_seconds);
-
-    // Pre-sample the phase's duration pool.  With sigma == 0 the pool is
-    // constant theta; otherwise Pareto fitted to (theta, sigma), matching
-    // how the paper derives the speedup function from the same fit.  The
-    // pool holds at least kMinPoolSize entries so that clones of tasks in
-    // tiny phases still re-draw an independent duration (a literal 1-entry
-    // pool would pin every clone to its original's time and make cloning a
-    // single-task job a no-op, contradicting the paper's Fig. 2 example).
-    constexpr int kMinPoolSize = 16;
-    const int pool_size = std::max(ps.task_count, kMinPoolSize);
-    phase.duration_pool.reserve(static_cast<std::size_t>(pool_size));
-    if (ps.sigma_seconds <= 0.0) {
-      phase.duration_pool.assign(static_cast<std::size_t>(pool_size), ps.theta_seconds);
-    } else {
-      const ParetoDist dist =
-          ParetoDist::fit(ps.theta_seconds, ps.sigma_seconds / ps.theta_seconds);
-      for (int i = 0; i < pool_size; ++i) {
-        phase.duration_pool.push_back(dist.sample(rng));
-      }
-    }
-
-    phase.tasks.resize(static_cast<std::size_t>(ps.task_count));
-    for (int i = 0; i < ps.task_count; ++i) {
-      TaskRuntime& task = phase.tasks[static_cast<std::size_t>(i)];
-      task.ref = TaskRef{spec.id, static_cast<PhaseIndex>(k), i};
-      task.demand = ps.demand;
-      task.block = locality.place_block(rng);
-    }
-  }
-  return job;
 }
 
 }  // namespace dollymp

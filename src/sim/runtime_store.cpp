@@ -1,0 +1,161 @@
+#include "dollymp/sim/runtime_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dollymp {
+
+namespace {
+
+/// Pool size for a phase: at least kMinPoolSize entries so that clones of
+/// tasks in tiny phases still re-draw an independent duration (a literal
+/// 1-entry pool would pin every clone to its original's time and make
+/// cloning a single-task job a no-op, contradicting the paper's Fig. 2
+/// example).
+constexpr int kMinPoolSize = 16;
+
+int pool_size_for(const PhaseSpec& ps) { return std::max(ps.task_count, kMinPoolSize); }
+
+}  // namespace
+
+void RuntimeStore::reserve_for(const std::vector<JobSpec>& specs) {
+  std::size_t n_phases = 0;
+  std::size_t n_tasks = 0;
+  std::size_t n_pool = 0;
+  for (const auto& spec : specs) {
+    n_phases += spec.phases.size();
+    for (const auto& ps : spec.phases) {
+      n_tasks += static_cast<std::size_t>(ps.task_count);
+      n_pool += static_cast<std::size_t>(pool_size_for(ps));
+    }
+  }
+  jobs_.reserve(jobs_.size() + specs.size());
+  job_extents_.reserve(job_extents_.size() + specs.size());
+  phases_.reserve(phases_.size() + n_phases);
+  phase_extents_.reserve(phase_extents_.size() + n_phases);
+  tasks_.reserve(tasks_.size() + n_tasks);
+  durations_.reserve(durations_.size() + n_pool);
+}
+
+std::size_t RuntimeStore::materialize(const JobSpec& spec, double slot_seconds,
+                                      const LocalityModel& locality, Rng& rng) {
+  if (slot_seconds <= 0.0) throw std::invalid_argument("materialize: slot_seconds > 0");
+  spec.validate();
+
+  const PhaseRuntime* phases_before = phases_.data();
+  const TaskRuntime* tasks_before = tasks_.data();
+  const double* durations_before = durations_.data();
+
+  const std::size_t job_index = jobs_.size();
+  jobs_.emplace_back();
+  JobExtent job_extent;
+  job_extent.phase_begin = static_cast<std::uint32_t>(phases_.size());
+  job_extent.phase_count = static_cast<std::uint32_t>(spec.phases.size());
+
+  {
+    JobRuntime& job = jobs_.back();
+    job.spec = &spec;
+    job.id = spec.id;
+    job.arrival = static_cast<SimTime>(std::llround(spec.arrival_seconds / slot_seconds));
+    job.remaining_phases = static_cast<int>(spec.phases.size());
+  }
+
+  for (std::size_t k = 0; k < spec.phases.size(); ++k) {
+    const PhaseSpec& ps = spec.phases[k];
+    phases_.emplace_back();
+    PhaseRuntime& phase = phases_.back();
+    PhaseExtent extent;
+    phase.index = static_cast<PhaseIndex>(k);
+    phase.spec = &ps;
+    phase.remaining_tasks = ps.task_count;
+    phase.unscheduled_tasks = ps.task_count;
+    phase.unfinished_parents = static_cast<int>(ps.parents.size());
+    for (const auto parent : ps.parents) {
+      phases_[job_extent.phase_begin + static_cast<std::size_t>(parent)].has_children = true;
+    }
+    phase.speedup = SpeedupFunction::from_stats(ps.theta_seconds, ps.sigma_seconds);
+
+    // Pre-sample the phase's duration pool into the shared flat array.
+    // With sigma == 0 the pool is constant theta; otherwise Pareto fitted
+    // to (theta, sigma), matching how the paper derives the speedup
+    // function from the same fit.
+    const int pool_size = pool_size_for(ps);
+    extent.pool_begin = static_cast<std::uint32_t>(durations_.size());
+    extent.pool_count = static_cast<std::uint32_t>(pool_size);
+    if (ps.sigma_seconds <= 0.0) {
+      durations_.insert(durations_.end(), static_cast<std::size_t>(pool_size),
+                        ps.theta_seconds);
+    } else {
+      const ParetoDist dist =
+          ParetoDist::fit(ps.theta_seconds, ps.sigma_seconds / ps.theta_seconds);
+      for (int i = 0; i < pool_size; ++i) {
+        durations_.push_back(dist.sample(rng));
+      }
+    }
+
+    extent.task_begin = static_cast<std::uint32_t>(tasks_.size());
+    extent.task_count = static_cast<std::uint32_t>(ps.task_count);
+    for (int i = 0; i < ps.task_count; ++i) {
+      tasks_.emplace_back();
+      TaskRuntime& task = tasks_.back();
+      task.ref = TaskRef{spec.id, static_cast<PhaseIndex>(k), i};
+      task.demand = ps.demand;
+      task.copies.bind(&slab_);
+      task.block = locality.place_block(rng);
+    }
+    phase_extents_.push_back(extent);
+  }
+  job_extents_.push_back(job_extent);
+
+  if (phases_.data() != phases_before || tasks_.data() != tasks_before ||
+      durations_.data() != durations_before) {
+    rebind_views();
+  } else {
+    // No relocation: bind just the new job's spans.
+    JobRuntime& job = jobs_[job_index];
+    job.phases.assign(phases_.data() + job_extent.phase_begin, job_extent.phase_count);
+    for (std::size_t k = 0; k < job_extent.phase_count; ++k) {
+      PhaseRuntime& phase = phases_[job_extent.phase_begin + k];
+      const PhaseExtent& extent = phase_extents_[job_extent.phase_begin + k];
+      phase.tasks.assign(tasks_.data() + extent.task_begin, extent.task_count);
+      phase.duration_pool.assign(durations_.data() + extent.pool_begin, extent.pool_count);
+    }
+  }
+  return job_index;
+}
+
+void RuntimeStore::rebind_views() {
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].phases.assign(phases_.data() + job_extents_[j].phase_begin,
+                           job_extents_[j].phase_count);
+  }
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    phases_[p].tasks.assign(tasks_.data() + phase_extents_[p].task_begin,
+                            phase_extents_[p].task_count);
+    phases_[p].duration_pool.assign(durations_.data() + phase_extents_[p].pool_begin,
+                                    phase_extents_[p].pool_count);
+  }
+}
+
+std::size_t RuntimeStore::memory_bytes() const {
+  return jobs_.capacity() * sizeof(JobRuntime) +
+         phases_.capacity() * sizeof(PhaseRuntime) +
+         tasks_.capacity() * sizeof(TaskRuntime) +
+         durations_.capacity() * sizeof(double) +
+         job_extents_.capacity() * sizeof(JobExtent) +
+         phase_extents_.capacity() * sizeof(PhaseExtent) + slab_.memory_bytes();
+}
+
+void RuntimeStore::clear() {
+  // Task CopyLists hold slab extents; drop them before the slab's blocks.
+  tasks_.clear();
+  jobs_.clear();
+  phases_.clear();
+  durations_.clear();
+  job_extents_.clear();
+  phase_extents_.clear();
+  slab_.clear();
+}
+
+}  // namespace dollymp

@@ -10,10 +10,12 @@
 #include "dollymp/cluster/placement_index.h"
 #include "dollymp/common/distributions.h"
 #include "dollymp/common/logging.h"
+#include "dollymp/common/stats.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/obs/recorder.h"
 #include "dollymp/sim/execution.h"
 #include "dollymp/sim/faults.h"
+#include "dollymp/sim/runtime_store.h"
 
 namespace dollymp {
 
@@ -301,7 +303,12 @@ class Simulator::Impl final : public SchedulerContext {
   std::optional<ThreadPool> pool_;
   ShardStats parallel_stats_;
 
-  std::vector<JobRuntime> jobs_;
+  /// Struct-of-arrays backing store for all job/phase/task/copy state; the
+  /// jobs_ reference below preserves the historical vector-of-jobs surface
+  /// (indexing, `&job - jobs_.data()` event payloads) over its flat jobs
+  /// array.
+  RuntimeStore store_;
+  std::vector<JobRuntime>& jobs_ = store_.jobs();
   std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
   std::size_t next_arrival_ = 0;
   std::vector<JobRuntime*> active_;
@@ -393,7 +400,7 @@ bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& t
     // factor is exactly 1.0, so this is bit-identical when faults are off.
     const double seconds =
         scale_copy_seconds(
-            base, server, locality_.penalty(copy.locality),
+            base, server.base_speed(), locality_.penalty(copy.locality),
             background_.slowdown(static_cast<std::size_t>(server_id),
                                  static_cast<double>(now_) * config_.slot_seconds)) *
         server.slow_factor();
@@ -540,6 +547,13 @@ void Simulator::Impl::complete_job(JobRuntime& job) {
   trace(TraceEv::kJobCompleted, job.id);
   if (scheduler_ != nullptr) scheduler_->on_job_completed(*this, job);
   --jobs_remaining_;
+  // Every phase is complete, so every copy has ended: hand the job's copy
+  // extents back to the slab for the next arrival to reuse.  Stale heap
+  // events referencing these copies are screened out by the finished-job
+  // guard in drain_completions.
+  for (auto& phase : job.phases) {
+    for (auto& task : phase.tasks) task.copies.release_storage();
+  }
 }
 
 void Simulator::Impl::handle_copy_finish(JobRuntime& job, PhaseRuntime& phase,
@@ -823,6 +837,14 @@ void Simulator::Impl::drain_completions() {
       continue;
     }
     JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
+    if (job.finished) {
+      // The job's copy extents were recycled at completion; every event
+      // still in flight for it was already stale (inactive copy or moved-on
+      // generation), so count it and move on without touching copy storage.
+      ++(e.copy >= 0 ? result_.stats.events_copy_finish
+                     : result_.stats.events_work_finish);
+      continue;
+    }
     PhaseRuntime& phase = job.phases[static_cast<std::size_t>(e.phase)];
     TaskRuntime& task = phase.tasks[static_cast<std::size_t>(e.task)];
     if (e.copy >= 0) {
@@ -852,11 +874,11 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
   result_.scheduler = scheduler.name();
   result_.slot_seconds = config_.slot_seconds;
 
-  jobs_.clear();
-  jobs_.reserve(specs.size());
+  store_.clear();
+  store_.reserve_for(specs);  // exact: materialization below never relocates
   for (const auto& spec : specs) {
     validate_placeable(spec);
-    jobs_.push_back(materialize_job(spec, config_.slot_seconds, locality_, rng_workload_));
+    (void)store_.materialize(spec, config_.slot_seconds, locality_, rng_workload_);
   }
   jobs_remaining_ = static_cast<int>(jobs_.size());
 
@@ -970,6 +992,19 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.stats.index_queries = index_->counters().queries;
     result_.stats.index_servers_scanned = index_->counters().servers_scanned;
     result_.stats.index_updates = index_->counters().updates;
+  }
+  {
+    const CopySlab::Counters& slab = store_.copy_slab().counters();
+    result_.stats.copy_slab_acquires = static_cast<long long>(slab.acquires);
+    result_.stats.copy_slab_reuses = static_cast<long long>(slab.reuses);
+    result_.stats.copy_slab_blocks = static_cast<long long>(slab.block_allocations);
+    result_.stats.runtime_store_bytes = static_cast<long long>(store_.memory_bytes());
+    result_.stats.server_table_bytes = static_cast<long long>(cluster_.table().memory_bytes());
+    result_.stats.bytes_per_server =
+        cluster_.empty() ? 0.0
+                         : static_cast<double>(result_.stats.server_table_bytes) /
+                               static_cast<double>(cluster_.size());
+    result_.stats.peak_rss_bytes = process_peak_rss_bytes();
   }
   result_.stats.parallel_sections = parallel_stats_.sections;
   result_.stats.parallel_shards = parallel_stats_.shards;

@@ -1,0 +1,145 @@
+// Shared construction code for the data-layout equivalence gate.
+//
+// The struct-of-arrays overhaul (RuntimeStore / CopySlab / ServerTable)
+// must not change a single scheduling decision: the acceptance bar is
+// bit-identical flight-recorder streams against the pre-refactor
+// object-per-entity layout.  This header builds the paired-seed matrix —
+// 9 policies x {paper30, 3K google-trace} x faults on/off — and both the
+// golden-hash generator (run against the old layout) and the permanent
+// regression test (run against every future build) include it, so the two
+// sides are guaranteed to construct the same runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/obs/replay.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/carbyne.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/drf.h"
+#include "dollymp/sched/hopper.h"
+#include "dollymp/sched/simple_priority.h"
+#include "dollymp/sched/tetris.h"
+#include "dollymp/sim/simulator.h"
+#include "dollymp/workload/arrivals.h"
+
+namespace dollymp::layout_golden {
+
+struct PolicyEntry {
+  const char* name;
+  SchedulerFactory factory;
+};
+
+inline std::vector<PolicyEntry> all_policies() {
+  std::vector<PolicyEntry> policies;
+  policies.push_back({"capacity", [] { return std::make_unique<CapacityScheduler>(); }});
+  policies.push_back({"drf", [] { return std::make_unique<DrfScheduler>(); }});
+  policies.push_back({"tetris", [] { return std::make_unique<TetrisScheduler>(); }});
+  policies.push_back({"carbyne", [] { return std::make_unique<CarbyneScheduler>(); }});
+  policies.push_back({"srpt", [] {
+                        SimplePriorityConfig config;
+                        config.rule = SimplePriorityRule::kSrpt;
+                        return std::make_unique<SimplePriorityScheduler>(config);
+                      }});
+  policies.push_back({"svf", [] {
+                        SimplePriorityConfig config;
+                        config.rule = SimplePriorityRule::kSvf;
+                        return std::make_unique<SimplePriorityScheduler>(config);
+                      }});
+  policies.push_back({"hopper", [] { return std::make_unique<HopperScheduler>(); }});
+  policies.push_back({"dollymp0", [] {
+                        DollyMPConfig config;
+                        config.clone_budget = 0;
+                        return std::make_unique<DollyMPScheduler>(config);
+                      }});
+  policies.push_back({"dollymp2", [] {
+                        DollyMPConfig config;
+                        config.clone_budget = 2;
+                        return std::make_unique<DollyMPScheduler>(config);
+                      }});
+  return policies;
+}
+
+/// Small heterogeneous workload for the paper30 inventory (the test_replay
+/// shape: high-sigma phases so cloning and speculation fire).
+inline std::vector<JobSpec> paper_workload() {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 8, {1, 1}, 20.0, 30.0));
+  }
+  assign_poisson_arrivals(jobs, 15.0, 109);
+  return jobs;
+}
+
+/// Wider-demand workload for the 3K-server google-trace inventory: task
+/// counts and demand vectors cycle so every machine shape participates.
+inline std::vector<JobSpec> trace_workload() {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 12; ++i) {
+    const int tasks = 16 + 8 * (i % 4);
+    const Resources demand =
+        (i % 3 == 0) ? Resources{2, 8} : (i % 3 == 1) ? Resources{4, 16} : Resources{8, 24};
+    const double theta = 30.0 + 15.0 * (i % 5);
+    jobs.push_back(JobSpec::single_phase(i, tasks, demand, theta, theta * 1.2));
+  }
+  assign_poisson_arrivals(jobs, 20.0, 211);
+  return jobs;
+}
+
+inline SimConfig matrix_config(bool faults) {
+  SimConfig config;
+  config.slot_seconds = 1.0;
+  config.seed = 42;
+  if (faults) {
+    config.failures.enabled = true;
+    config.failures.mean_time_to_failure_seconds = 400.0;
+    config.failures.mean_repair_seconds = 60.0;
+    config.faults.fail_slow.enabled = true;
+    config.faults.fail_slow.slowdown_factor = 3.0;
+    config.faults.fail_slow.time_to_onset.mean_seconds = 500.0;
+    config.faults.fail_slow.recovery.mean_seconds = 250.0;
+    config.faults.copy.enabled = true;
+    config.faults.copy.inter_fault.mean_seconds = 90.0;
+  }
+  return config;
+}
+
+struct MatrixRun {
+  std::string label;
+  std::uint64_t hash = 0;
+  std::uint64_t records = 0;
+};
+
+/// Every run of the paired-seed matrix, in fixed order.  `runner` receives
+/// (label, cluster, config, jobs, factory) and returns the stream hash and
+/// record count.
+template <typename Runner>
+std::vector<MatrixRun> run_matrix(Runner&& runner) {
+  std::vector<MatrixRun> out;
+  const Cluster paper = Cluster::paper30();
+  const Cluster trace = Cluster::google_trace(3000);
+  const auto paper_jobs = paper_workload();
+  const auto trace_jobs = trace_workload();
+  for (const auto& policy : all_policies()) {
+    for (const bool faults : {false, true}) {
+      for (const bool big : {false, true}) {
+        MatrixRun run;
+        run.label = std::string(policy.name) + (big ? "/google3k" : "/paper30") +
+                    (faults ? "/faults" : "/healthy");
+        const auto [hash, records] =
+            runner(big ? trace : paper, matrix_config(faults),
+                   big ? trace_jobs : paper_jobs, policy.factory);
+        run.hash = hash;
+        run.records = records;
+        out.push_back(std::move(run));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dollymp::layout_golden

@@ -5,8 +5,17 @@
 namespace dollymp {
 namespace {
 
+/// Servers are views into a ServerTable since the struct-of-arrays
+/// overhaul; a single-row cluster is the smallest way to stand one up.
+Cluster one_server(ServerSpec spec) {
+  Cluster cluster;
+  cluster.add_server(std::move(spec));
+  return cluster;
+}
+
 TEST(Server, AllocateRelease) {
-  Server s(0, ServerSpec{{8, 16}, 1.0, 0, "test"});
+  Cluster c = one_server(ServerSpec{{8, 16}, 1.0, 0, "test"});
+  Server& s = c.server(0);
   EXPECT_TRUE(s.allocate({4, 8}));
   EXPECT_EQ(s.used(), Resources(4, 8));
   EXPECT_EQ(s.free(), Resources(4, 8));
@@ -17,20 +26,23 @@ TEST(Server, AllocateRelease) {
 }
 
 TEST(Server, RejectsNegativeDemand) {
-  Server s(0, ServerSpec{{8, 16}, 1.0, 0, ""});
+  Cluster c = one_server(ServerSpec{{8, 16}, 1.0, 0, ""});
+  Server& s = c.server(0);
   EXPECT_THROW(s.allocate({-1, 0}), std::invalid_argument);
   EXPECT_THROW(s.release({0, -1}), std::invalid_argument);
 }
 
 TEST(Server, AllocFailureLeavesStateUnchanged) {
-  Server s(0, ServerSpec{{4, 4}, 1.0, 0, ""});
+  Cluster c = one_server(ServerSpec{{4, 4}, 1.0, 0, ""});
+  Server& s = c.server(0);
   EXPECT_TRUE(s.allocate({3, 3}));
   EXPECT_FALSE(s.allocate({2, 0}));
   EXPECT_EQ(s.used(), Resources(3, 3));
 }
 
 TEST(Server, ReleaseClampsFloatNoise) {
-  Server s(0, ServerSpec{{1, 1}, 1.0, 0, ""});
+  Cluster c = one_server(ServerSpec{{1, 1}, 1.0, 0, ""});
+  Server& s = c.server(0);
   ASSERT_TRUE(s.allocate({0.3, 0.3}));
   s.release({0.3, 0.3});
   EXPECT_TRUE(s.free().fits_within({1, 1}));
@@ -38,7 +50,8 @@ TEST(Server, ReleaseClampsFloatNoise) {
 }
 
 TEST(Server, CopyCounters) {
-  Server s(0, ServerSpec{{8, 8}, 1.0, 0, ""});
+  Cluster c = one_server(ServerSpec{{8, 8}, 1.0, 0, ""});
+  Server& s = c.server(0);
   s.note_copy_started();
   s.note_copy_started();
   EXPECT_EQ(s.running_copies(), 2);
@@ -80,7 +93,7 @@ TEST(Cluster, Paper30Inventory) {
     if (s.capacity().cpu == 24.0) {
       ++powerful;
       EXPECT_DOUBLE_EQ(s.capacity().mem, 48.0);
-      EXPECT_GT(s.spec().base_speed, 1.0);
+      EXPECT_GT(s.base_speed(), 1.0);
     }
   }
   EXPECT_EQ(powerful, 2);

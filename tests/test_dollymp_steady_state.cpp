@@ -22,6 +22,7 @@
 #include "dollymp/job/job.h"
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/sim/runtime_state.h"
+#include "dollymp/sim/runtime_store.h"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -66,10 +67,11 @@ class FakeContext final : public SchedulerContext {
         locality_(config.locality, cluster_),
         specs_(std::move(jobs)) {
     Rng rng(config_.seed);
-    jobs_.reserve(specs_.size());
+    store_.reserve_for(specs_);
     for (const auto& spec : specs_) {
-      jobs_.push_back(materialize_job(spec, config_.slot_seconds, locality_, rng));
-      jobs_.back().arrived = true;
+      const std::size_t idx =
+          store_.materialize(spec, config_.slot_seconds, locality_, rng);
+      jobs_[idx].arrived = true;
     }
     active_.reserve(jobs_.size());
     for (auto& job : jobs_) {
@@ -147,7 +149,8 @@ class FakeContext final : public SchedulerContext {
   LocalityModel locality_;
   Rng rng_{7};
   std::vector<JobSpec> specs_;
-  std::vector<JobRuntime> jobs_;
+  RuntimeStore store_;
+  std::vector<JobRuntime>& jobs_ = store_.jobs();
   std::vector<JobRuntime*> active_;
   std::optional<PlacementIndex> index_;
 };

@@ -7,9 +7,29 @@
 #include <set>
 
 #include "dollymp/sim/runtime_state.h"
+#include "dollymp/sim/runtime_store.h"
 
 namespace dollymp {
 namespace {
+
+/// Hand-built runtimes need backing storage now that PhaseRuntime holds a
+/// span and TaskRuntime a slab-backed copy list.
+CopySlab& test_slab() {
+  static CopySlab slab;
+  return slab;
+}
+
+TaskRuntime make_task() {
+  TaskRuntime task;
+  task.copies.bind(&test_slab());
+  return task;
+}
+
+void set_pool(PhaseRuntime& phase, std::vector<double> values) {
+  static std::vector<std::unique_ptr<std::vector<double>>> pools;  // keep alive
+  pools.push_back(std::make_unique<std::vector<double>>(std::move(values)));
+  phase.duration_pool.assign(pools.back()->data(), pools.back()->size());
+}
 
 PhaseRuntime make_phase(double theta, double sigma, int tasks) {
   static std::vector<std::unique_ptr<PhaseSpec>> specs;  // keep specs alive
@@ -24,13 +44,13 @@ PhaseRuntime make_phase(double theta, double sigma, int tasks) {
   PhaseRuntime phase;
   phase.spec = &spec;
   phase.speedup = SpeedupFunction::from_stats(theta, sigma);
-  phase.duration_pool.assign(static_cast<std::size_t>(std::max(tasks, 16)), theta);
+  set_pool(phase, std::vector<double>(static_cast<std::size_t>(std::max(tasks, 16)), theta));
   return phase;
 }
 
 TEST(Execution, FirstCopyUsesOwnPoolEntry) {
   PhaseRuntime phase = make_phase(10.0, 0.0, 4);
-  phase.duration_pool = {11.0, 12.0, 13.0, 14.0};
+  set_pool(phase, {11.0, 12.0, 13.0, 14.0});
   Rng rng(1);
   for (int i = 0; i < 4; ++i) {
     EXPECT_DOUBLE_EQ(sample_copy_base_seconds(phase, i, /*is_first_copy=*/true, rng),
@@ -40,7 +60,7 @@ TEST(Execution, FirstCopyUsesOwnPoolEntry) {
 
 TEST(Execution, ClonesDrawFromPool) {
   PhaseRuntime phase = make_phase(10.0, 0.0, 4);
-  phase.duration_pool = {11.0, 12.0, 13.0, 14.0};
+  set_pool(phase, {11.0, 12.0, 13.0, 14.0});
   Rng rng(2);
   std::set<double> drawn;
   for (int i = 0; i < 200; ++i) {
@@ -66,16 +86,17 @@ TEST(Execution, MaterializedPoolHasMinimumSize) {
   Cluster cluster = Cluster::uniform(4, {8, 8});
   const LocalityModel locality({}, cluster);
   Rng rng(4);
-  const JobRuntime runtime = materialize_job(job, 1.0, locality, rng);
+  RuntimeStore store;
+  const JobRuntime& runtime = store.jobs()[store.materialize(job, 1.0, locality, rng)];
   EXPECT_GE(runtime.phases[0].duration_pool.size(), 16u);
 }
 
 TEST(Execution, ScaleCopySeconds) {
-  const Server fast(0, ServerSpec{{8, 8}, 2.0, 0, "fast"});
   // base 10 s, 1.1x locality penalty, 1.5x background contention, 2x speed.
-  EXPECT_DOUBLE_EQ(scale_copy_seconds(10.0, fast, 1.1, 1.5), 10.0 * 1.1 * 1.5 / 2.0);
-  const Server slow(1, ServerSpec{{8, 8}, 0.5, 0, "slow"});
-  EXPECT_DOUBLE_EQ(scale_copy_seconds(10.0, slow, 1.0, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(scale_copy_seconds(10.0, /*server_base_speed=*/2.0, 1.1, 1.5),
+                   10.0 * 1.1 * 1.5 / 2.0);
+  EXPECT_DOUBLE_EQ(scale_copy_seconds(10.0, /*server_base_speed=*/0.5, 1.0, 1.0), 20.0);
+  EXPECT_THROW((void)scale_copy_seconds(10.0, 0.0, 1.0, 1.0), std::logic_error);
 }
 
 TEST(Execution, SecondsToSlots) {
@@ -89,7 +110,7 @@ TEST(Execution, SecondsToSlots) {
 
 TEST(Execution, WorkAccrualSingleCopy) {
   PhaseRuntime phase = make_phase(10.0, 0.0, 1);
-  TaskRuntime task;
+  TaskRuntime task = make_task();
   task.copies.push_back({0, 0, kNever, LocalityLevel::kNode, true, false, 0.0});
   task.work_updated_at = 0;
   accrue_work(task, phase, 4, 1.0);
@@ -104,7 +125,7 @@ TEST(Execution, WorkAccrualWithClones) {
   // alpha = 3 -> h(2) = 1.25.
   const double sigma = 10.0 / std::sqrt(3.0);
   PhaseRuntime phase = make_phase(10.0, sigma, 1);
-  TaskRuntime task;
+  TaskRuntime task = make_task();
   task.copies.push_back({0, 0, kNever, LocalityLevel::kNode, true, false, 0.0});
   task.copies.push_back({1, 0, kNever, LocalityLevel::kNode, true, false, 0.0});
   task.work_updated_at = 0;
@@ -123,7 +144,7 @@ TEST(Execution, NoWorkWithoutCopies) {
 
 TEST(Execution, PredictWorkFinish) {
   PhaseRuntime phase = make_phase(10.0, 0.0, 1);
-  TaskRuntime task;
+  TaskRuntime task = make_task();
   task.copies.push_back({0, 0, kNever, LocalityLevel::kNode, true, false, 0.0});
   task.work_updated_at = 0;
   EXPECT_EQ(predict_work_finish(task, phase, 0, 1.0), 10);

@@ -104,7 +104,9 @@ TEST(Failures, SpeculativeBaselineSurvivesFailures) {
 }
 
 TEST(Failures, DownServerRefusesPlacement) {
-  Server server(0, ServerSpec{{8, 16}, 1.0, 0, "s"});
+  Cluster cluster;
+  cluster.add_server(ServerSpec{{8, 16}, 1.0, 0, "s"});
+  Server& server = cluster.server(0);
   EXPECT_TRUE(server.can_fit({1, 1}));
   server.set_down(true);
   EXPECT_TRUE(server.is_down());

@@ -141,6 +141,16 @@ void expect_stats_equal(const SimStats& a, const SimStats& b, const std::string&
   DMP_EXPECT_FIELD(leaked_cpu);
   DMP_EXPECT_FIELD(leaked_mem);
   DMP_EXPECT_FIELD(leaked_active_copies);
+  // Layout counters: the same decisions must drive the same slab traffic
+  // and store footprint regardless of thread count.  peak_rss_bytes is
+  // excluded like wall_clock_seconds (host-dependent, monotone per
+  // process).
+  DMP_EXPECT_FIELD(copy_slab_acquires);
+  DMP_EXPECT_FIELD(copy_slab_reuses);
+  DMP_EXPECT_FIELD(copy_slab_blocks);
+  DMP_EXPECT_FIELD(runtime_store_bytes);
+  DMP_EXPECT_FIELD(server_table_bytes);
+  DMP_EXPECT_FIELD(bytes_per_server);
 #undef DMP_EXPECT_FIELD
 }
 

@@ -122,7 +122,9 @@ TEST(Resilience, ShouldDeferUntilReleaseSlot) {
 TEST(Resilience, RunningTaskGetsNoBackoff) {
   FakeResilienceContext ctx(Cluster::uniform(4, {8, 16}));
   ResiliencePolicy policy(enabled_config(), ctx.cluster().size());
+  static CopySlab slab;  // backing storage for the hand-built copy list
   TaskRuntime task = orphan_task();
+  task.copies.bind(&slab);
   CopyRuntime copy;
   copy.active = true;
   task.copies.push_back(copy);  // a surviving copy: not orphaned

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "dollymp/sched/scheduler.h"
+#include "dollymp/sim/runtime_store.h"
 
 namespace dollymp {
 namespace {
@@ -66,7 +67,8 @@ TEST(JobActiveAllocation, SumsActiveCopiesOnly) {
   Cluster cluster = Cluster::uniform(2, {8, 16});
   const LocalityModel locality({}, cluster);
   Rng rng(1);
-  JobRuntime job = materialize_job(spec, 1.0, locality, rng);
+  RuntimeStore store;
+  JobRuntime& job = store.jobs()[store.materialize(spec, 1.0, locality, rng)];
   EXPECT_EQ(job_active_allocation(job), Resources(0, 0));
   EXPECT_EQ(job_active_allocation_scan(job), Resources(0, 0));
   // Fake two active copies on task 0 and one inactive on task 1, keeping
@@ -85,7 +87,8 @@ TEST(NextUnscheduledTask, WalksAndSticks) {
   Cluster cluster = Cluster::uniform(1, {8, 8});
   const LocalityModel locality({}, cluster);
   Rng rng(2);
-  JobRuntime job = materialize_job(spec, 1.0, locality, rng);
+  RuntimeStore store;
+  JobRuntime& job = store.jobs()[store.materialize(spec, 1.0, locality, rng)];
   PhaseRuntime& phase = job.phases[0];
   EXPECT_EQ(next_unscheduled_task(phase), &phase.tasks[0]);
   // Simulate scheduling task 0.

@@ -1,0 +1,31 @@
+// One-shot generator for the layout-equivalence golden table: runs the
+// paired-seed matrix against the *current* build and prints each run's
+// flight-recorder stream hash.  Compiled and run by hand against the
+// pre-refactor layout; the output is embedded in
+// tests/test_layout_equivalence.cpp.
+#include <cstdio>
+#include <utility>
+
+#include "../tests/layout_golden_matrix.h"
+#include "dollymp/obs/recorder.h"
+
+int main() {
+  using namespace dollymp;
+  const auto runs = layout_golden::run_matrix(
+      [](const Cluster& cluster, const SimConfig& config,
+         const std::vector<JobSpec>& jobs,
+         const SchedulerFactory& factory) -> std::pair<std::uint64_t, std::uint64_t> {
+        Recorder rec;
+        SimConfig run = config;
+        run.recorder = &rec;
+        auto sched = factory();
+        (void)simulate(cluster, run, jobs, *sched);
+        return {rec.hash(), rec.records_written()};
+      });
+  for (const auto& run : runs) {
+    std::printf("    {\"%s\", 0x%016llxULL, %lluULL},\n", run.label.c_str(),
+                static_cast<unsigned long long>(run.hash),
+                static_cast<unsigned long long>(run.records));
+  }
+  return 0;
+}
