@@ -118,6 +118,14 @@ struct ShardStats {
   long long items = 0;            ///< items the sections covered
   long long max_shard_items = 0;  ///< largest single shard (imbalance bound)
 
+  // Scratch-arena traffic of the sharded passes: every acquire either ran
+  // entirely inside retained capacity (a reuse) or had to grow at least one
+  // buffer.  Steady state must be all reuses — the shard-merge glue's
+  // zero-allocation claim, asserted by the steady-state tests.
+  long long arena_acquires = 0;
+  long long arena_reuses = 0;
+  long long arena_grows = 0;
+
   void note(std::size_t shards_used, std::size_t n) {
     if (shards_used < 2) return;  // ran inline: not a parallel section
     ++sections;
@@ -125,6 +133,17 @@ struct ShardStats {
     items += static_cast<long long>(n);
     const auto widest = static_cast<long long>((n + shards_used - 1) / shards_used);
     max_shard_items = std::max(max_shard_items, widest);
+  }
+
+  /// One scratch-arena acquisition: `grew` says whether any backing buffer
+  /// had to allocate (capacity grew) to serve it.
+  void note_arena(bool grew) {
+    ++arena_acquires;
+    if (grew) {
+      ++arena_grows;
+    } else {
+      ++arena_reuses;
+    }
   }
 };
 

@@ -1,0 +1,168 @@
+// Sharded event heap with a loser-tree merge frontier.
+//
+// The simulator's single std::priority_queue serializes every push/pop
+// through one comparison tree whose depth grows with the *total* number of
+// pending events — at trace scale (hundreds of thousands of in-flight
+// completions and fault timers) each operation walks log2(N) cache-cold
+// levels.  ShardedEventHeap splits the pending set into K per-shard binary
+// min-heaps keyed by a pure function of the event's payload (server range
+// for machine/fault events, job range for completions — the same
+// contiguous partition shard_range() produces), and merges the K shard
+// minima through a tournament tree (the winner-storing variant of a loser
+// tree — see adjust() for why winners): pop touches one shallow shard heap
+// of ~N/K events plus log2(K) tournament nodes, and the K frontier events
+// stay hot in cache.
+//
+// Ordering proof sketch (docs/ALGORITHMS.md §18): the event comparator is a
+// total order, so the global minimum of the pending set equals the minimum
+// over the per-shard minima — which is exactly what the tournament tree
+// maintains.  Two events that compare equal are field-identical (every
+// payload field participates in the comparator), and the shard key is a
+// pure function of those fields, so equal events always land in the same
+// shard and their pop order is immaterial.  Hence pop order is identical to
+// the single-heap order for every K, which is why the 36 golden
+// flight-stream hashes pin K = 8 (the default) against the K = 1 history.
+//
+// Not thread-safe; the simulator pushes and pops from the event loop thread
+// only.  The win is cache locality and shallower sift paths, not
+// parallelism — determinism is non-negotiable here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dollymp {
+
+/// Shard for an event with payload `server` / `job_index` out of `shards`
+/// shards over a fleet of `servers` machines and `jobs` jobs.  Machine and
+/// fault events (server >= 0, rack index for rack events) map by server
+/// range, completions (job_index >= 0) by job range — both using the exact
+/// inverse of shard_range(), so shard s receives the events of the entities
+/// shard_range(s, shards, n) covers.  Everything else (timer wakeups, the
+/// cluster-wide copy-fault timer) lands in shard 0.  Pure in its arguments:
+/// equal events always map to the same shard.
+[[nodiscard]] std::size_t event_shard_for(std::int32_t server, std::int32_t job_index,
+                                          std::size_t shards, std::size_t servers,
+                                          std::size_t jobs);
+
+/// K binary min-heaps + a tournament tree over their minima.  `Event` needs
+/// `operator>` defining a strict total order (the simulator's SimEvent
+/// contract).  pop order reproduces a single std::priority_queue with
+/// std::greater<> bit for bit, for any K (see file comment).
+template <typename Event>
+class ShardedEventHeap {
+ public:
+  ShardedEventHeap() { reset(1); }  // valid (empty, single-shard) from birth
+
+  /// Drop every pending event and re-partition into `shards` heaps.
+  /// Per-shard storage capacity is kept when the shard count is unchanged,
+  /// so back-to-back runs reuse their arenas.
+  void reset(std::size_t shards) {
+    if (shards == 0) shards = 1;
+    std::size_t leaves = 1;
+    while (leaves < shards) leaves *= 2;
+    if (heaps_.size() == leaves) {
+      for (auto& h : heaps_) h.clear();
+    } else {
+      // Padded to a power of two: pad leaves own permanently-empty heaps so
+      // the tournament needs no sentinel special-casing.
+      heaps_.assign(leaves, {});
+    }
+    shards_ = shards;
+    leaves_ = leaves;
+    node_.assign(leaves, 0);
+    size_ = 0;
+    rebuild();
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push(const Event& event, std::size_t shard) {
+    auto& heap = heaps_[shard];
+    heap.push_back(event);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    ++size_;
+    adjust(shard);
+  }
+
+  /// The global minimum: the tournament's winner shard's front.
+  [[nodiscard]] const Event& top() const {
+    return heaps_[static_cast<std::size_t>(node_[0])].front();
+  }
+
+  void pop() {
+    const auto winner = static_cast<std::size_t>(node_[0]);
+    auto& heap = heaps_[winner];
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+    --size_;
+    adjust(winner);
+  }
+
+ private:
+  /// True when shard `a`'s frontier event precedes shard `b`'s.  An empty
+  /// shard is +infinity; exact ties (possible only between field-identical
+  /// events, which never spread across shards) and empty-vs-empty break to
+  /// the lower shard index, keeping the tournament a strict total order.
+  [[nodiscard]] bool leaf_less(std::int32_t a, std::int32_t b) const {
+    const auto& ha = heaps_[static_cast<std::size_t>(a)];
+    const auto& hb = heaps_[static_cast<std::size_t>(b)];
+    if (ha.empty() || hb.empty()) {
+      if (ha.empty() && hb.empty()) return a < b;
+      return hb.empty();
+    }
+    if (ha.front() > hb.front()) return false;
+    if (hb.front() > ha.front()) return true;
+    return a < b;
+  }
+
+  /// Winner of tree position m: leaves are their own winners, internal
+  /// nodes cache theirs in node_.
+  [[nodiscard]] std::int32_t child_winner(std::size_t m) const {
+    return m >= leaves_ ? static_cast<std::int32_t>(m - leaves_) : node_[m];
+  }
+
+  /// Recompute the tournament path from leaf `shard` to the root after that
+  /// shard's frontier changed: each node on the path replays its match from
+  /// its children's current winners — O(log K), and sound for a change at
+  /// *any* leaf.  (The classic loser-tree replay, one comparison per level
+  /// against the stored loser, is only sound when the changed leaf is the
+  /// current winner: push() touches arbitrary shards, and a decreased
+  /// non-winner leaf can then evict the reigning winner from the tree
+  /// entirely.  Storing winners costs one extra load per level and has no
+  /// such restriction — see docs/ALGORITHMS.md §18.)
+  void adjust(std::size_t shard) {
+    for (std::size_t n = (shard + leaves_) / 2; n >= 1; n /= 2) {
+      const std::int32_t left = child_winner(2 * n);
+      const std::int32_t right = child_winner(2 * n + 1);
+      node_[n] = leaf_less(left, right) ? left : right;
+    }
+    node_[0] = leaves_ == 1 ? 0 : node_[1];
+  }
+
+  /// Full bottom-up tournament build (reset only).
+  void rebuild() {
+    if (leaves_ == 1) {
+      node_[0] = 0;
+      return;
+    }
+    for (std::size_t n = leaves_ - 1; n >= 1; --n) {
+      const std::int32_t left = child_winner(2 * n);
+      const std::int32_t right = child_winner(2 * n + 1);
+      node_[n] = leaf_less(left, right) ? left : right;
+    }
+    node_[0] = node_[1];
+  }
+
+  std::vector<std::vector<Event>> heaps_;  ///< leaves_ heaps; pads stay empty
+  std::vector<std::int32_t> node_;  ///< node_[0] = root winner, node_[n] = subtree winners
+  std::size_t shards_ = 1;
+  std::size_t leaves_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dollymp

@@ -32,7 +32,9 @@ void Recorder::dump(std::ostream& os) const {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'M', 'P', 'T', 'R', 'C', '0', '1'};
+constexpr char kMagic[8] = {'D', 'M', 'P', 'T', 'R', 'C', '0', '2'};
+/// Legacy header without the threads_resolved field; still readable.
+constexpr char kMagicV1[8] = {'D', 'M', 'P', 'T', 'R', 'C', '0', '1'};
 
 // Field-by-field packing: the in-memory struct has padding, so raw memcpy
 // of the whole struct would serialize (and hash) indeterminate bytes.
@@ -55,11 +57,12 @@ T take(const char*& p, const char* end) {
 }  // namespace
 
 void save_log(const std::string& path, const std::vector<TraceRecord>& records,
-              double slot_seconds) {
+              double slot_seconds, long long threads_resolved) {
   std::string blob;
-  blob.reserve(sizeof(kMagic) + 16 + records.size() * kTraceRecordWireBytes);
+  blob.reserve(sizeof(kMagic) + 24 + records.size() * kTraceRecordWireBytes);
   blob.append(kMagic, sizeof(kMagic));
   put(blob, slot_seconds);
+  put(blob, static_cast<std::int64_t>(threads_resolved));
   put(blob, static_cast<std::uint64_t>(records.size()));
   for (const auto& r : records) {
     put(blob, r.seq);
@@ -85,13 +88,17 @@ TraceLog load_log(const std::string& path) {
   std::string blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   const char* p = blob.data();
   const char* end = p + blob.size();
-  if (blob.size() < sizeof(kMagic) ||
-      std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+  const bool v2 = blob.size() >= sizeof(kMagic) &&
+                  std::memcmp(p, kMagic, sizeof(kMagic)) == 0;
+  const bool v1 = !v2 && blob.size() >= sizeof(kMagicV1) &&
+                  std::memcmp(p, kMagicV1, sizeof(kMagicV1)) == 0;
+  if (!v2 && !v1) {
     throw std::runtime_error("load_log: " + path + " is not a dollymp trace log");
   }
   p += sizeof(kMagic);
   TraceLog log;
   log.slot_seconds = take<double>(p, end);
+  if (v2) log.threads_resolved = take<std::int64_t>(p, end);
   const auto count = take<std::uint64_t>(p, end);
   if ((end - p) != static_cast<std::ptrdiff_t>(count * kTraceRecordWireBytes)) {
     throw std::runtime_error("load_log: " + path + " has a corrupt record section");

@@ -33,7 +33,7 @@ void CapacityScheduler::schedule(SchedulerContext& ctx) {
     }
     if (head_blocked) break;
   }
-  run_speculation_pass(ctx, config_.speculation);
+  run_speculation_pass(ctx, config_.speculation, &spec_scratch_);
 }
 
 }  // namespace dollymp

@@ -125,7 +125,8 @@ void DollyMPScheduler::recompute_priorities(SchedulerContext& ctx) {
              });
   ShardStats* stats = ctx.shard_stats();
   if (stats != nullptr) stats->note(shards, jobs.size());
-  const PriorityResult result = compute_transient_priorities(inputs_, pool, stats);
+  const PriorityResult result =
+      compute_transient_priorities(inputs_, pool, stats, &prio_scratch_);
 
   // Open a new epoch: every pre-existing entry becomes stale at once, then
   // the active jobs are written fresh.  Equivalent to clearing and refilling

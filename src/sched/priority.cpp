@@ -9,12 +9,32 @@
 
 namespace dollymp {
 
+std::size_t PriorityScratch::capacity_bytes() const {
+  std::size_t bytes = shard_weights.capacity() * sizeof(std::vector<double>) +
+                      shard_members.capacity() * sizeof(std::vector<std::size_t>) +
+                      weights.capacity() * sizeof(double) +
+                      members.capacity() * sizeof(std::size_t);
+  for (const auto& v : shard_weights) bytes += v.capacity() * sizeof(double);
+  for (const auto& v : shard_members) bytes += v.capacity() * sizeof(std::size_t);
+  return bytes;
+}
+
 PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>& jobs) {
   return compute_transient_priorities(jobs, nullptr, nullptr);
 }
 
 PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>& jobs,
                                             ThreadPool* pool, ShardStats* shard_stats) {
+  return compute_transient_priorities(jobs, pool, shard_stats, nullptr);
+}
+
+PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>& jobs,
+                                            ThreadPool* pool, ShardStats* shard_stats,
+                                            PriorityScratch* scratch) {
+  PriorityScratch local;
+  PriorityScratch& arena = scratch != nullptr ? *scratch : local;
+  const std::size_t capacity_before = arena.capacity_bytes();
+
   PriorityResult result;
   result.priority.assign(jobs.size(), 0);
   if (jobs.empty()) return result;
@@ -40,16 +60,19 @@ PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>&
   g = std::max({g, 1, static_cast<int>(std::ceil(std::log2(std::max(1.0, max_length))))});
   g = std::min(g + 1, 62);
 
-  // Per-shard candidate buffers for the round filter, hoisted so the
-  // doubling rounds reuse their capacity.  Shard s filters the contiguous
+  // Per-shard candidate buffers for the round filter, served from the
+  // arena so the doubling rounds — and, with a caller-owned scratch, every
+  // later recompute — reuse their capacity.  Shard s filters the contiguous
   // job range shard_range(s, ...); concatenating the shard lists in
   // ascending shard order reproduces the serial ascending-index scan, so
   // the knapsack sees the identical candidate sequence.
   const std::size_t filter_shards = shard_count(pool, jobs.size());
-  std::vector<std::vector<double>> shard_weights(filter_shards);
-  std::vector<std::vector<std::size_t>> shard_members(filter_shards);
-  std::vector<double> weights;
-  std::vector<std::size_t> members;
+  if (arena.shard_weights.size() < filter_shards) arena.shard_weights.resize(filter_shards);
+  if (arena.shard_members.size() < filter_shards) arena.shard_members.resize(filter_shards);
+  auto& shard_weights = arena.shard_weights;
+  auto& shard_members = arena.shard_members;
+  auto& weights = arena.weights;
+  auto& members = arena.members;
 
   std::size_t assigned = 0;
   int l = 1;
@@ -104,6 +127,11 @@ PriorityResult compute_transient_priorities(const std::vector<PriorityJobInput>&
   // vs. length scaling) go to the last class + 1.
   for (auto& p : result.priority) {
     if (p == 0) p = result.rounds + 1;
+  }
+  // Arena accounting: a caller-retained scratch that served a parallel pass
+  // counts as one acquisition, grown iff any backing buffer allocated.
+  if (scratch != nullptr && shard_stats != nullptr && filter_shards >= 2) {
+    shard_stats->note_arena(arena.capacity_bytes() > capacity_before);
   }
   return result;
 }

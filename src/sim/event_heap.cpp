@@ -1,0 +1,24 @@
+#include "dollymp/sim/event_heap.h"
+
+namespace dollymp {
+
+std::size_t event_shard_for(std::int32_t server, std::int32_t job_index,
+                            std::size_t shards, std::size_t servers,
+                            std::size_t jobs) {
+  if (shards <= 1) return 0;
+  // The exact inverse of shard_range(s, shards, n): entity i belongs to
+  // shard ((i + 1) * shards - 1) / n, the unique s with
+  // s*n/shards <= i < (s+1)*n/shards.  Rack events carry the rack index in
+  // the server field — racks number fewer than servers, so the clamp below
+  // only guards degenerate single-entity universes.
+  const auto place = [shards](std::size_t i, std::size_t n) {
+    if (n == 0) return std::size_t{0};
+    i = std::min(i, n - 1);
+    return ((i + 1) * shards - 1) / n;
+  };
+  if (server >= 0) return place(static_cast<std::size_t>(server), servers);
+  if (job_index >= 0) return place(static_cast<std::size_t>(job_index), jobs);
+  return 0;  // timer wakeups and the cluster-wide copy-fault timer
+}
+
+}  // namespace dollymp

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
-#include <queue>
 #include <stdexcept>
 
 #include "dollymp/cluster/background_load.h"
@@ -13,6 +12,7 @@
 #include "dollymp/common/stats.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/obs/recorder.h"
+#include "dollymp/sim/event_heap.h"
 #include "dollymp/sim/execution.h"
 #include "dollymp/sim/faults.h"
 #include "dollymp/sim/runtime_store.h"
@@ -128,7 +128,10 @@ class Simulator::Impl final : public SchedulerContext {
       pool_.emplace(static_cast<std::size_t>(config_.threads));
       if (pool_->size() < 2) pool_.reset();
     }
-    if (index_) index_->set_parallelism(worker_pool(), &parallel_stats_);
+    if (index_) {
+      index_->set_parallelism(worker_pool(), &parallel_stats_);
+      index_->set_batching(config_.batch_placement);
+    }
   }
 
   SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
@@ -208,7 +211,11 @@ class Simulator::Impl final : public SchedulerContext {
     return splitmix64(s);
   }
 
-  void push_event(const SimEvent& event) { events_.push(event); }
+  void push_event(const SimEvent& event) {
+    events_.push(event, event_shard_for(event.server, event.job_index,
+                                        events_.shard_count(), cluster_.size(),
+                                        jobs_.size()));
+  }
   void push_completion(SimTime slot, const JobRuntime& job, PhaseIndex phase,
                        std::int32_t task, std::int32_t copy, std::uint32_t generation) {
     SimEvent e;
@@ -312,9 +319,10 @@ class Simulator::Impl final : public SchedulerContext {
   std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
   std::size_t next_arrival_ = 0;
   std::vector<JobRuntime*> active_;
-  /// The one event heap: completions, failures, repairs and timer wakeups
-  /// in a single deterministic total order.
-  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>> events_;
+  /// The event heap: completions, failures, repairs and timer wakeups in a
+  /// single deterministic total order, sharded by server/job range behind a
+  /// loser-tree merge frontier (sim/event_heap.h).
+  ShardedEventHeap<SimEvent> events_;
   std::size_t pending_timer_count_ = 0;
   SimTime pending_timer_slot_ = kNever;  ///< dedupe: last timer slot still queued
 
@@ -893,7 +901,7 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
                    });
   next_arrival_ = 0;
   active_.clear();
-  events_ = {};
+  events_.reset(static_cast<std::size_t>(config_.event_shards));
   pending_timer_count_ = 0;
   pending_timer_slot_ = kNever;
   now_ = 0;
@@ -992,6 +1000,8 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
     result_.stats.index_queries = index_->counters().queries;
     result_.stats.index_servers_scanned = index_->counters().servers_scanned;
     result_.stats.index_updates = index_->counters().updates;
+    result_.stats.index_batch_hits = index_->counters().batch_hits;
+    result_.stats.index_batch_rebuilds = index_->counters().batch_rebuilds;
   }
   {
     const CopySlab::Counters& slab = store_.copy_slab().counters();
@@ -1010,6 +1020,12 @@ SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& sch
   result_.stats.parallel_shards = parallel_stats_.shards;
   result_.stats.parallel_items = parallel_stats_.items;
   result_.stats.parallel_max_shard_items = parallel_stats_.max_shard_items;
+  result_.stats.parallel_arena_acquires = parallel_stats_.arena_acquires;
+  result_.stats.parallel_arena_reuses = parallel_stats_.arena_reuses;
+  result_.stats.parallel_arena_grows = parallel_stats_.arena_grows;
+  result_.stats.threads_configured = config_.threads;
+  result_.stats.threads_resolved =
+      pool_ ? static_cast<long long>(pool_->size()) : 1;
   if (rec_) {
     result_.stats.recorder_records = static_cast<long long>(rec_->records_written());
     result_.stats.recorder_bytes = static_cast<long long>(rec_->bytes_written());

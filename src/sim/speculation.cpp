@@ -11,12 +11,9 @@ namespace dollymp {
 
 namespace {
 
-struct Candidate {
-  JobRuntime* job;
-  PhaseRuntime* phase;
-  TaskRuntime* task;
-  double overrun;  ///< elapsed / theta, larger = more overdue
-};
+using Candidate = SpeculationScratch::Candidate;
+using ScanUnit = SpeculationScratch::ScanUnit;
+using ShardScan = SpeculationScratch::ShardScan;
 
 /// Earliest slot at which `task` satisfies the overrun predicate
 /// elapsed / theta >= slow_factor, i.e. the slot this pass would first
@@ -38,8 +35,28 @@ SimTime overrun_crossing_slot(const TaskRuntime& task, double theta_seconds,
 
 }  // namespace
 
+std::size_t SpeculationScratch::capacity_bytes() const {
+  std::size_t bytes = units.capacity() * sizeof(ScanUnit) +
+                      scans.capacity() * sizeof(ShardScan) +
+                      candidates.capacity() * sizeof(Candidate);
+  for (const auto& s : scans) {
+    bytes += s.candidates.capacity() * sizeof(Candidate) +
+             s.norm_contributions.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
 int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config) {
+  return run_speculation_pass(ctx, config, nullptr);
+}
+
+int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config,
+                         SpeculationScratch* scratch) {
   if (!config.enabled) return 0;
+
+  SpeculationScratch local;
+  SpeculationScratch& arena = scratch != nullptr ? *scratch : local;
+  const std::size_t capacity_before = arena.capacity_bytes();
 
   // Resource budget for concurrently running backups.
   const Resources total = ctx.cluster().total_capacity();
@@ -56,11 +73,8 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
   // and the budget contributions are re-summed serially in that same order,
   // keeping the floating-point accumulation bit-identical.  next_crossing
   // is an integer min, safe under any merge order.
-  struct ScanUnit {
-    JobRuntime* job;
-    PhaseRuntime* phase;
-  };
-  std::vector<ScanUnit> units;
+  auto& units = arena.units;
+  units.clear();
   for (JobRuntime* job : ctx.active_jobs()) {
     for (auto& phase : job->phases) {
       if (!phase.runnable()) continue;
@@ -71,12 +85,6 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
       units.push_back({job, &phase});
     }
   }
-
-  struct ShardScan {
-    std::vector<Candidate> candidates;
-    std::vector<double> norm_contributions;  ///< budget charges, scan order
-    SimTime next_crossing = kNever;
-  };
 
   const auto scan_unit = [&](const ScanUnit& unit, ShardScan& out) {
     JobRuntime* job = unit.job;
@@ -111,18 +119,29 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
 
   ThreadPool* pool = ctx.worker_pool();
   const std::size_t shards = shard_count(pool, units.size());
-  std::vector<ShardScan> scans(std::max<std::size_t>(shards, 1));
+  const std::size_t scan_slots = std::max<std::size_t>(shards, 1);
+  auto& scans = arena.scans;
+  if (scans.size() < scan_slots) scans.resize(scan_slots);
+  for (std::size_t s = 0; s < scan_slots; ++s) {
+    scans[s].candidates.clear();
+    scans[s].norm_contributions.clear();
+    scans[s].next_crossing = kNever;
+  }
   run_shards(pool, shards, units.size(),
              [&](std::size_t s, std::size_t begin, std::size_t end) {
                for (std::size_t i = begin; i < end; ++i) scan_unit(units[i], scans[s]);
              });
   if (ShardStats* stats = ctx.shard_stats()) stats->note(shards, units.size());
 
-  // Ordered merge: shard order == sequential scan order.
+  // Ordered merge: shard order == sequential scan order.  (Only the first
+  // scan_slots entries were written; an arena reused across passes may
+  // retain more slots than this pass dispatched.)
   double backup_norm_in_use = 0.0;
-  std::vector<Candidate> candidates;
+  auto& candidates = arena.candidates;
+  candidates.clear();
   SimTime next_crossing = kNever;
-  for (const ShardScan& scan : scans) {
+  for (std::size_t s = 0; s < scan_slots; ++s) {
+    const ShardScan& scan = scans[s];
     candidates.insert(candidates.end(), scan.candidates.begin(), scan.candidates.end());
     for (const double contribution : scan.norm_contributions) {
       backup_norm_in_use += contribution;
@@ -158,6 +177,13 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
     r.aux = (static_cast<std::int64_t>(candidates.size()) << 16) |
             static_cast<std::int64_t>(launched & 0xFFFF);
     rec->append(r);
+  }
+  // Arena accounting: a caller-retained scratch that served a parallel pass
+  // counts as one acquisition, grown iff any backing buffer allocated.
+  if (scratch != nullptr && shards >= 2) {
+    if (ShardStats* stats = ctx.shard_stats()) {
+      stats->note_arena(arena.capacity_bytes() > capacity_before);
+    }
   }
   return launched;
 }

@@ -1,0 +1,155 @@
+// Unit differential for the sharded event heap (sim/event_heap.h): the
+// tournament-tree merge over per-shard binary heaps must reproduce a single
+// std::priority_queue's pop order exactly, for every shard count, as long
+// as the shard key is pure in the compared fields (equal-comparing events
+// co-shard).  Also pins event_shard_for as the exact inverse of
+// shard_range.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "dollymp/common/thread_pool.h"
+#include "dollymp/sim/event_heap.h"
+
+namespace dollymp {
+namespace {
+
+/// Miniature event with the same ordering shape as the simulator's: a time
+/// plus tie-break fields, compared with a strict total order so that
+/// equal-comparing events are field-identical.
+struct MiniEvent {
+  std::int64_t time;
+  std::int32_t key;  ///< shard-pure field (stands in for server/job_index)
+  std::int32_t kind;
+
+  bool operator>(const MiniEvent& other) const {
+    if (time != other.time) return time > other.time;
+    if (key != other.key) return key > other.key;
+    return kind > other.kind;
+  }
+};
+
+std::vector<MiniEvent> random_events(std::size_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> time(0, 200);  // dense: many ties
+  std::uniform_int_distribution<std::int32_t> key(0, 499);
+  std::uniform_int_distribution<std::int32_t> kind(0, 6);
+  std::vector<MiniEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back({time(rng), key(rng), kind(rng)});
+  }
+  return events;
+}
+
+TEST(EventHeap, PopOrderMatchesPriorityQueueForEveryShardCount) {
+  const std::size_t entities = 500;
+  for (const std::size_t shards : {1u, 2u, 3u, 7u, 8u, 64u}) {
+    std::priority_queue<MiniEvent, std::vector<MiniEvent>, std::greater<>> reference;
+    ShardedEventHeap<MiniEvent> heap;
+    heap.reset(shards);
+    EXPECT_EQ(heap.shard_count(), shards);
+    for (const MiniEvent& e : random_events(4000, 77)) {
+      reference.push(e);
+      heap.push(e, event_shard_for(e.key, -1, heap.shard_count(), entities, 0));
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+    while (!reference.empty()) {
+      const MiniEvent expected = reference.top();
+      reference.pop();
+      const MiniEvent actual = heap.top();
+      heap.pop();
+      // Strict total order: equal-comparing events are field-identical, so
+      // field equality is the right assertion.
+      ASSERT_EQ(actual.time, expected.time) << "shards=" << shards;
+      ASSERT_EQ(actual.key, expected.key) << "shards=" << shards;
+      ASSERT_EQ(actual.kind, expected.kind) << "shards=" << shards;
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TEST(EventHeap, InterleavedPushPopStaysOrdered) {
+  std::priority_queue<MiniEvent, std::vector<MiniEvent>, std::greater<>> reference;
+  ShardedEventHeap<MiniEvent> heap;
+  heap.reset(8);
+  std::mt19937 rng(5);
+  const auto events = random_events(2000, 6);
+  std::size_t next = 0;
+  // Event-loop shape: drain a few, then push the next burst (often at
+  // times at or before the current frontier).
+  while (next < events.size() || !heap.empty()) {
+    std::uniform_int_distribution<int> burst(1, 5);
+    for (int i = burst(rng); i > 0 && next < events.size(); --i, ++next) {
+      reference.push(events[next]);
+      heap.push(events[next], event_shard_for(events[next].key, -1, 8, 500, 0));
+    }
+    for (int i = burst(rng); i > 0 && !heap.empty(); --i) {
+      const MiniEvent expected = reference.top();
+      reference.pop();
+      const MiniEvent actual = heap.top();
+      heap.pop();
+      ASSERT_EQ(actual.time, expected.time);
+      ASSERT_EQ(actual.key, expected.key);
+      ASSERT_EQ(actual.kind, expected.kind);
+    }
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+TEST(EventHeap, ResetKeepsWorkingAcrossShardCountChanges) {
+  ShardedEventHeap<MiniEvent> heap;  // default: single shard
+  heap.push({5, 0, 0}, 0);
+  EXPECT_EQ(heap.top().time, 5);
+  heap.reset(4);  // drops content
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  heap.push({9, 1, 0}, 3);
+  heap.push({2, 2, 0}, 1);
+  EXPECT_EQ(heap.top().time, 2);
+  heap.pop();
+  EXPECT_EQ(heap.top().time, 9);
+  heap.pop();
+  EXPECT_TRUE(heap.empty());
+}
+
+// event_shard_for must be the exact inverse of shard_range: entity i lands
+// in the unique shard whose [begin, end) contains i.  Exhaustive over small
+// sizes including non-dividing shard counts.
+TEST(EventHeap, ShardKeyInvertsShardRange) {
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 30u, 97u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u, 64u}) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t got =
+            event_shard_for(static_cast<std::int32_t>(i), -1, shards, n, 0);
+        ASSERT_LT(got, shards);
+        const auto [begin, end] = shard_range(got, shards, n);
+        ASSERT_GE(i, begin) << "n=" << n << " shards=" << shards;
+        ASSERT_LT(i, end) << "n=" << n << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(EventHeap, ShardKeyRouting) {
+  // server >= 0 wins over job_index; both negative -> shard 0 (timers).
+  EXPECT_EQ(event_shard_for(-1, -1, 8, 100, 100), 0u);
+  EXPECT_EQ(event_shard_for(0, -1, 8, 100, 0), 0u);
+  // Out-of-range entity ids clamp instead of indexing past the partition
+  // (rack indices ride in the server field and can exceed the server count).
+  EXPECT_EQ(event_shard_for(1000, -1, 8, 100, 0), 7u);
+  // Single shard short-circuits.
+  EXPECT_EQ(event_shard_for(42, -1, 1, 100, 0), 0u);
+  // job_index keying used when server is invalid.
+  const std::size_t by_job = event_shard_for(-1, 50, 8, 100, 100);
+  const auto [begin, end] = shard_range(by_job, 8, 100);
+  EXPECT_GE(50u, begin);
+  EXPECT_LT(50u, end);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -24,6 +24,7 @@
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/sched/drf.h"
 #include "dollymp/sched/hopper.h"
+#include "dollymp/sched/priority.h"
 #include "dollymp/sched/simple_priority.h"
 #include "dollymp/sched/tetris.h"
 #include "dollymp/workload/arrivals.h"
@@ -96,9 +97,15 @@ RunOutput run_once(const Cluster& cluster, SimConfig config,
 }
 
 /// Equality over every SimStats field that describes the simulated world.
-/// Excluded by design: parallel_* (shard geometry differs across thread
-/// counts) and wall_clock_seconds (host time).
-void expect_stats_equal(const SimStats& a, const SimStats& b, const std::string& label) {
+/// Excluded by design: parallel_* including the arena counters (shard
+/// geometry and scratch traffic differ across thread counts),
+/// threads_configured/threads_resolved (the knob itself), and
+/// wall_clock_seconds/peak_rss_bytes (host time/memory).  `include_batch`
+/// turns off the batched-placement counters for comparisons that
+/// deliberately vary SimConfig::batch_placement — the decisions must still
+/// match, but hit/rebuild counts only exist on the batched side.
+void expect_stats_equal(const SimStats& a, const SimStats& b, const std::string& label,
+                        bool include_batch = true) {
 #define DMP_EXPECT_FIELD(field) EXPECT_EQ(a.field, b.field) << label << ": " #field
   DMP_EXPECT_FIELD(scheduler_invocations);
   DMP_EXPECT_FIELD(slots_visited);
@@ -123,8 +130,17 @@ void expect_stats_equal(const SimStats& a, const SimStats& b, const std::string&
   DMP_EXPECT_FIELD(rejected_invalid_server);
   DMP_EXPECT_FIELD(rejected_no_capacity);
   DMP_EXPECT_FIELD(index_queries);
-  DMP_EXPECT_FIELD(index_servers_scanned);
   DMP_EXPECT_FIELD(index_updates);
+  if (include_batch) {
+    // Thread-count-independent: the batch cache is keyed by demand and pool
+    // generation, both products of the simulated world alone.  The scanned
+    // counter is also gated here: batching walks cached group lists, so the
+    // number of servers touched differs from the unbatched walk even though
+    // the chosen servers are identical.
+    DMP_EXPECT_FIELD(index_servers_scanned);
+    DMP_EXPECT_FIELD(index_batch_hits);
+    DMP_EXPECT_FIELD(index_batch_rebuilds);
+  }
   DMP_EXPECT_FIELD(recorder_records);
   DMP_EXPECT_FIELD(recorder_bytes);
   DMP_EXPECT_FIELD(recorder_evictions);
@@ -170,6 +186,8 @@ void run_matrix(const Cluster& cluster, const std::vector<JobSpec>& jobs,
       ASSERT_FALSE(reference.stream.empty()) << policy.name;
       EXPECT_EQ(reference.stats.parallel_sections, 0)
           << policy.name << ": sequential run must not dispatch shards";
+      EXPECT_EQ(reference.stats.parallel_arena_acquires, 0)
+          << policy.name << ": sequential run must not touch the parallel arenas";
       for (const int threads : {2, 4, 8}) {
         const std::string label = std::string(inventory) + "/" + policy.name +
                                   (faults ? "/faults" : "/healthy") + "/threads=" +
@@ -257,6 +275,132 @@ TEST(ParallelEquivalence, WeightedBestFitUnitSerialVsSharded) {
   }
   EXPECT_GT(stats.sections, 0);
   EXPECT_EQ(serial.counters().servers_scanned, sharded.counters().servers_scanned);
+}
+
+// Tentpole differentials: the sharded event heap (SimConfig::event_shards)
+// and batched placement (SimConfig::batch_placement) must be invisible in
+// the record stream — for every policy, shard count, thread count and fault
+// setting the run is bit-identical to the default-config reference.
+void run_heap_batch_matrix(const Cluster& cluster, const std::vector<JobSpec>& jobs,
+                           const char* inventory, const std::vector<PolicyEntry>& policies) {
+  struct Variant {
+    int event_shards;
+    bool batch;
+    int threads;
+  };
+  // Shard counts bracketing the default 8 (including the degenerate single
+  // heap and the validation cap 64), crossed with thread counts 1..8, plus
+  // the unbatched walk serial and heavily threaded.
+  const Variant variants[] = {{1, true, 1},  {2, true, 2},  {4, true, 4},
+                              {64, true, 8}, {8, false, 1}, {8, false, 8}};
+  for (const auto& policy : policies) {
+    for (const bool faults : {false, true}) {
+      SimConfig config;
+      config.slot_seconds = 1.0;
+      config.seed = 42;
+      if (faults) {
+        config.failures.enabled = true;
+        config.failures.mean_time_to_failure_seconds = 400.0;
+        config.failures.mean_repair_seconds = 60.0;
+      }
+      // Reference: default event_shards/batch_placement, sequential.
+      const RunOutput reference = run_once(cluster, config, jobs, policy.factory, 1);
+      ASSERT_FALSE(reference.stream.empty()) << policy.name;
+      for (const Variant& v : variants) {
+        const std::string label = std::string(inventory) + "/" + policy.name +
+                                  (faults ? "/faults" : "/healthy") + "/shards=" +
+                                  std::to_string(v.event_shards) +
+                                  (v.batch ? "/batch" : "/nobatch") + "/threads=" +
+                                  std::to_string(v.threads);
+        SimConfig vconfig = config;
+        vconfig.event_shards = v.event_shards;
+        vconfig.batch_placement = v.batch;
+        const RunOutput variant = run_once(cluster, vconfig, jobs, policy.factory, v.threads);
+        const DivergenceReport report = compare_streams(reference.stream, variant.stream);
+        EXPECT_TRUE(report.identical) << label << "\n" << report.to_string();
+        expect_stats_equal(reference.stats, variant.stats, label, v.batch);
+        if (!v.batch) {
+          EXPECT_EQ(variant.stats.index_batch_hits, 0) << label;
+          EXPECT_EQ(variant.stats.index_batch_rebuilds, 0) << label;
+        }
+        EXPECT_EQ(reference.makespan, variant.makespan) << label;
+        EXPECT_EQ(reference.total_flowtime, variant.total_flowtime) << label;
+        EXPECT_EQ(reference.copies, variant.copies) << label;
+      }
+    }
+  }
+}
+
+// event_shards {1,2,4,64} x batch on/off x threads {1,2,4,8} x 9 policies x
+// faults on/off on the paper's 30-node inventory.
+TEST(ParallelEquivalence, HeapShardsAndBatchingPaper30EveryPolicy) {
+  run_heap_batch_matrix(Cluster::paper30(), matrix_workload(9, 8), "paper30",
+                        all_policies());
+}
+
+// The same differential at trace scale, where the placement index (and so
+// the batch cache) actually carries the load.  A policy subset keeps the
+// runtime bounded; the full policy sweep runs on paper30 above.
+TEST(ParallelEquivalence, HeapShardsAndBatchingGoogleTrace3K) {
+  std::vector<PolicyEntry> subset;
+  for (auto& policy : all_policies()) {
+    if (std::string(policy.name) == "capacity" || std::string(policy.name) == "tetris" ||
+        std::string(policy.name) == "dollymp2") {
+      subset.push_back(policy);
+    }
+  }
+  run_heap_batch_matrix(Cluster::google_trace(3000), matrix_workload(11, 6), "google3k",
+                        subset);
+}
+
+// The priority oracle's scratch arena reaches steady state: after the first
+// acquisition sized the buffers, later recomputes must run entirely inside
+// retained capacity (zero allocations in the shard-merge glue).
+TEST(ParallelEquivalence, PriorityScratchSteadyStateStopsGrowing) {
+  ThreadPool pool(4);
+  ShardStats stats;
+  PriorityScratch scratch;
+  std::vector<PriorityJobInput> inputs;
+  for (int i = 0; i < 200; ++i) {
+    PriorityJobInput in;
+    in.volume = 1.0 + 0.25 * static_cast<double>(i % 17);
+    in.length = 2.0 + static_cast<double>(i % 29);
+    in.dominant = 0.01 * static_cast<double>(i % 50);
+    inputs.push_back(in);
+  }
+  const PriorityResult first = compute_transient_priorities(inputs, &pool, &stats, &scratch);
+  EXPECT_EQ(stats.arena_acquires, 1);
+  const long long warmup_grows = stats.arena_grows;
+  for (int pass = 0; pass < 10; ++pass) {
+    const PriorityResult again = compute_transient_priorities(inputs, &pool, &stats, &scratch);
+    EXPECT_EQ(again.priority, first.priority) << "arena must not change the answer";
+  }
+  EXPECT_EQ(stats.arena_acquires, 11);
+  EXPECT_EQ(stats.arena_grows, warmup_grows) << "steady state must not allocate";
+  EXPECT_EQ(stats.arena_reuses, stats.arena_acquires - stats.arena_grows);
+  EXPECT_GE(stats.arena_reuses, 10);
+}
+
+// End-to-end: a threaded run drives the owner-held arenas (DollyMP's
+// priority scratch, Capacity's speculation scratch) into reuse-dominated
+// steady state, surfaced through SimStats.
+TEST(ParallelEquivalence, SimulationArenasAreReuseDominated) {
+  const Cluster cluster = Cluster::paper30();
+  const auto jobs = matrix_workload(7, 24);
+  SimConfig config;
+  config.slot_seconds = 1.0;
+  config.seed = 13;
+  const SchedulerFactory factory = [] {
+    DollyMPConfig dc;
+    dc.clone_budget = 2;
+    return std::make_unique<DollyMPScheduler>(dc);
+  };
+  const RunOutput out = run_once(cluster, config, jobs, factory, 4);
+  EXPECT_GT(out.stats.parallel_arena_acquires, 0) << "threaded run must use the arenas";
+  EXPECT_EQ(out.stats.parallel_arena_acquires,
+            out.stats.parallel_arena_reuses + out.stats.parallel_arena_grows);
+  EXPECT_GT(out.stats.parallel_arena_reuses, out.stats.parallel_arena_grows)
+      << "steady state must be reuse-dominated";
 }
 
 // threads=0 resolves to hardware concurrency; whatever that is on the host,

@@ -145,13 +145,33 @@ TEST(TraceLog, SaveLoadRoundTrip) {
     records.push_back(r);
   }
   const std::string path = ::testing::TempDir() + "dollymp_trace_roundtrip.dmptrc";
-  save_log(path, records, 2.5);
+  save_log(path, records, 2.5, 4);
   const TraceLog loaded = load_log(path);
   EXPECT_DOUBLE_EQ(loaded.slot_seconds, 2.5);
+  EXPECT_EQ(loaded.threads_resolved, 4);
   ASSERT_EQ(loaded.records.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(loaded.records[i], records[i]) << "record " << i;
   }
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, ReadsLegacyV1Header) {
+  // A DMPTRC01 file has no threads_resolved field: slot_seconds is followed
+  // directly by the record count.  Hand-assemble an empty one.
+  const std::string path = ::testing::TempDir() + "dollymp_trace_legacy.dmptrc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("DMPTRC01", 8);
+    const double slot_seconds = 3.0;
+    out.write(reinterpret_cast<const char*>(&slot_seconds), sizeof(slot_seconds));
+    const std::uint64_t count = 0;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  const TraceLog loaded = load_log(path);
+  EXPECT_DOUBLE_EQ(loaded.slot_seconds, 3.0);
+  EXPECT_EQ(loaded.threads_resolved, 1) << "legacy files default to serial";
+  EXPECT_TRUE(loaded.records.empty());
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,136 @@
+// Experiment sweep driver (common/experiment.h): grid shape, preset
+// catalogue, confidence intervals, and the headline determinism contract —
+// the rendered JSON is byte-identical whatever thread count ran the grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dollymp/common/experiment.h"
+#include "dollymp/common/thread_pool.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/tetris.h"
+#include "dollymp/workload/arrivals.h"
+
+namespace dollymp {
+namespace {
+
+std::vector<JobSpec> sweep_workload(unsigned seed, int jobs_count) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < jobs_count; ++i) {
+    jobs.push_back(JobSpec::single_phase(i, 6, {1, 1}, 20.0, 30.0));
+  }
+  assign_poisson_arrivals(jobs, 12.0, seed + 100);
+  return jobs;
+}
+
+SweepSpec make_spec() {
+  SweepSpec spec;
+  spec.cluster = Cluster::paper30();
+  spec.base.slot_seconds = 1.0;
+  spec.base.seed = 3;
+  spec.jobs = sweep_workload(3, 10);
+  spec.policies.push_back({"dollymp2", [] {
+                             DollyMPConfig config;
+                             config.clone_budget = 2;
+                             return std::make_unique<DollyMPScheduler>(config);
+                           }});
+  spec.policies.push_back({"capacity", [] { return std::make_unique<CapacityScheduler>(); }});
+  spec.fault_presets.push_back(make_fault_preset("healthy"));
+  spec.fault_presets.push_back(make_fault_preset("crash"));
+  spec.seeds = {3, 4, 5};
+  return spec;
+}
+
+TEST(Sweep, GridShapeAndCellOrder) {
+  const SweepResult result = run_sweep(make_spec());
+  EXPECT_EQ(result.replications, 2u * 2u * 3u);
+  ASSERT_EQ(result.cells.size(), 4u);
+  // Policy-major, preset-minor.
+  EXPECT_EQ(result.cells[0].policy, "dollymp2");
+  EXPECT_EQ(result.cells[0].fault, "healthy");
+  EXPECT_EQ(result.cells[1].policy, "dollymp2");
+  EXPECT_EQ(result.cells[1].fault, "crash");
+  EXPECT_EQ(result.cells[2].policy, "capacity");
+  EXPECT_EQ(result.cells[2].fault, "healthy");
+  EXPECT_EQ(result.cells[3].policy, "capacity");
+  EXPECT_EQ(result.cells[3].fault, "crash");
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.replications, 3u) << cell.policy << "/" << cell.fault;
+    EXPECT_EQ(cell.total_flowtime_seconds.count(), 3u);
+    EXPECT_GT(cell.flowtime_seconds.count(), 0u);
+    EXPECT_GT(cell.total_flowtime_seconds.mean(), 0.0);
+  }
+}
+
+// The headline contract: same grid, any parallelism, identical JSON bytes.
+TEST(Sweep, JsonBytesIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = make_spec();
+  const std::string serial = render_sweep_json(run_sweep(spec, nullptr));
+  for (const std::size_t workers : {2u, 4u}) {
+    ThreadPool pool(workers);
+    const std::string parallel = render_sweep_json(run_sweep(spec, &pool));
+    EXPECT_EQ(serial, parallel) << "workers=" << workers;
+  }
+  EXPECT_NE(serial.find("\"schema\":\"dollymp-sweep-v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"policy\":\"dollymp2\""), std::string::npos);
+  EXPECT_NE(serial.find("ci95_lo"), std::string::npos);
+  EXPECT_NE(serial.find("running_time_cdf"), std::string::npos);
+  // No wall-clock / host / thread fields may leak into the document.
+  EXPECT_EQ(serial.find("wall"), std::string::npos);
+  EXPECT_EQ(serial.find("thread"), std::string::npos);
+}
+
+TEST(Sweep, EmptyPresetAndSeedListsFallBackToBase) {
+  SweepSpec spec = make_spec();
+  spec.fault_presets.clear();
+  spec.seeds.clear();
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.replications, 2u);  // 2 policies x 1 preset x 1 seed
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].fault, "base");
+  EXPECT_EQ(result.cells[0].replications, 1u);
+}
+
+TEST(Sweep, EmptyPolicyListThrows) {
+  SweepSpec spec = make_spec();
+  spec.policies.clear();
+  EXPECT_THROW((void)run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Sweep, FaultPresetCatalogue) {
+  EXPECT_FALSE(make_fault_preset("healthy").failures.enabled);
+  EXPECT_TRUE(make_fault_preset("crash").failures.enabled);
+  EXPECT_TRUE(make_fault_preset("rack").faults.rack.enabled);
+  EXPECT_TRUE(make_fault_preset("failslow").faults.fail_slow.enabled);
+  EXPECT_TRUE(make_fault_preset("copyfault").faults.copy.enabled);
+  const SweepFaultPreset all = make_fault_preset("all");
+  EXPECT_TRUE(all.failures.enabled);
+  EXPECT_TRUE(all.faults.rack.enabled);
+  EXPECT_TRUE(all.faults.fail_slow.enabled);
+  EXPECT_TRUE(all.faults.copy.enabled);
+  EXPECT_THROW((void)make_fault_preset("meteor"), std::invalid_argument);
+}
+
+TEST(Sweep, MeanCi95Math) {
+  RunningStats stats;
+  for (const double v : {10.0, 12.0, 14.0, 16.0}) stats.add(v);
+  const MeanCi ci = mean_ci95(stats);
+  EXPECT_EQ(ci.n, 4u);
+  EXPECT_DOUBLE_EQ(ci.mean, 13.0);
+  const double half = 1.96 * ci.sd / 2.0;  // sqrt(4) = 2
+  EXPECT_DOUBLE_EQ(ci.lo, 13.0 - half);
+  EXPECT_DOUBLE_EQ(ci.hi, 13.0 + half);
+
+  RunningStats one;
+  one.add(5.0);
+  const MeanCi degenerate = mean_ci95(one);
+  EXPECT_DOUBLE_EQ(degenerate.lo, 5.0);
+  EXPECT_DOUBLE_EQ(degenerate.hi, 5.0);
+}
+
+}  // namespace
+}  // namespace dollymp

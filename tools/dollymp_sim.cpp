@@ -457,7 +457,8 @@ int main(int argc, char** argv) {
               << " (open at https://ui.perfetto.dev)\n";
   }
   if (recorder != nullptr && !opt.log_out.empty()) {
-    save_log(opt.log_out, recorder->snapshot(), config.slot_seconds);
+    save_log(opt.log_out, recorder->snapshot(), config.slot_seconds,
+             result.stats.threads_resolved);
     std::cout << "wrote flight log (" << recorder->records_written() << " records) to "
               << opt.log_out << "\n";
   }
