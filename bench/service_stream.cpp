@@ -1,0 +1,167 @@
+// Service-mode acceptance bench: streaming ingest throughput, snapshot and
+// restore latency at the 30K-server trace scale, and the memory gate the
+// streaming design exists for — resident spec/store footprint must track
+// LIVE jobs, not total arrivals, over a stream many times longer than the
+// peak live-job population.
+//
+// Emitted as BENCH_service_stream.json (micro_main):
+//
+//   * BM_ServiceIngest — arrivals/sec through a full Session pump
+//     (ArrivalSource sampling + core ingest + event-loop progress) on the
+//     30K google-trace fleet.
+//   * BM_ServiceSnapshot / BM_ServiceRestore — checkpoint() file write and
+//     Session::restore() latency for a warm mid-run session.
+//   * BM_ServiceMemoryGate — runs a long stream whose total arrivals exceed
+//     the peak live-job count by >= 10x, sampling retained specs and store
+//     bytes each window; fails (SkipWithError, exit 1 via micro_main) if
+//     late-stream retention drifts more than 10% above the mid-stream
+//     steady state — i.e. if memory follows arrivals instead of live jobs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dollymp/common/state_io.h"
+#include "dollymp/service/session.h"
+
+using namespace dollymp;
+using namespace dollymp::bench;
+
+namespace {
+
+constexpr std::size_t kServers = 30000;
+
+ServiceConfig stream_config() {
+  ServiceConfig config;
+  config.policy = "dollymp2";
+  config.sim.seed = 17;
+  config.arrivals.rate_per_second = 4.0;
+  config.arrivals.mean_input_gb = 1.0;
+  config.arrivals.seed = 17;
+  return config;
+}
+
+std::string bench_temp(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+void BM_ServiceIngest(benchmark::State& state) {
+  const Cluster cluster = Cluster::google_trace(kServers);
+  const SimTime horizon = state.range(0);
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    Session session(cluster, stream_config());
+    session.run_until(horizon);
+    ingested = session.totals().jobs_ingested;
+    benchmark::DoNotOptimize(session.stream_hash());
+  }
+  state.counters["jobs"] = static_cast<double>(ingested);
+  state.counters["arrivals/s"] = benchmark::Counter(
+      static_cast<double>(ingested), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ServiceSnapshot(benchmark::State& state) {
+  const Cluster cluster = Cluster::google_trace(kServers);
+  Session session(cluster, stream_config());
+  session.run_until(state.range(0));
+  const std::string path = bench_temp("BENCH_service_stream.ckpt");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    session.checkpoint(path);
+    bytes = read_state_file(path).size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["snapshot_mb"] = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  state.counters["live_jobs"] = static_cast<double>(session.live_jobs());
+}
+
+void BM_ServiceRestore(benchmark::State& state) {
+  const Cluster cluster = Cluster::google_trace(kServers);
+  const ServiceConfig config = stream_config();
+  Session session(cluster, config);
+  session.run_until(state.range(0));
+  const std::string path = bench_temp("BENCH_service_stream.ckpt");
+  session.checkpoint(path);
+  std::uint64_t hash = 0;
+  for (auto _ : state) {
+    auto restored = Session::restore(cluster, config, path);
+    hash = restored->stream_hash();
+    benchmark::DoNotOptimize(hash);
+  }
+  if (hash != session.stream_hash()) {
+    state.SkipWithError("restored stream hash does not match the checkpoint point");
+  }
+}
+
+/// The gate.  Uses the paper30 cluster so a long stream stays cheap: the
+/// point is arrival volume vs. retention, not fleet scale.
+void BM_ServiceMemoryGate(benchmark::State& state) {
+  for (auto _ : state) {
+    ServiceConfig config = stream_config();
+    config.arrivals.rate_per_second = 0.25;
+    Session session(Cluster::paper30(), config);
+
+    // Sample cadence (200 slots) is deliberately coprime-ish to the pump
+    // chunk (256 slots) so the samples sweep the segment-reap cycle instead
+    // of aliasing onto one phase of it.
+    constexpr SimTime kWindow = 200;
+    constexpr int kWindows = 64;
+    std::size_t peak_live = 0;
+    std::vector<std::size_t> retained;
+    std::vector<std::size_t> store_bytes;
+    for (int i = 0; i < kWindows; ++i) {
+      session.run_until(static_cast<SimTime>(i + 1) * kWindow);
+      peak_live = std::max(peak_live, static_cast<std::size_t>(session.live_jobs()));
+      retained.push_back(session.specs_retained());
+      store_bytes.push_back(session.store_memory_bytes());
+    }
+    const auto total = static_cast<std::size_t>(session.totals().jobs_ingested);
+    state.counters["jobs_total"] = static_cast<double>(total);
+    state.counters["peak_live"] = static_cast<double>(peak_live);
+    state.counters["retained_last"] = static_cast<double>(retained.back());
+    state.counters["store_mb_last"] =
+        static_cast<double>(store_bytes.back()) / (1024.0 * 1024.0);
+
+    // The stream must dwarf the live population for the gate to mean
+    // anything: >= 10x more total arrivals than peak live jobs.
+    if (total < 10 * std::max<std::size_t>(1, peak_live)) {
+      state.SkipWithError("stream too short: total arrivals < 10x peak live jobs");
+      return;
+    }
+    // Steady state once the recycled-slot shape vocabulary has saturated:
+    // compare the third quarter of the stream against the last quarter.
+    // The late windows must not drift above the steady state by more than
+    // 10% — flat memory while arrivals keep coming.
+    auto mean_of = [](const std::vector<std::size_t>& v, int from, int to) {
+      double sum = 0.0;
+      for (int i = from; i < to; ++i) sum += static_cast<double>(v[static_cast<std::size_t>(i)]);
+      return sum / std::max(1, to - from);
+    };
+    const double mid_retained = mean_of(retained, kWindows / 2, 3 * kWindows / 4);
+    const double late_retained = mean_of(retained, 3 * kWindows / 4, kWindows);
+    const double mid_store = mean_of(store_bytes, kWindows / 2, 3 * kWindows / 4);
+    const double late_store = mean_of(store_bytes, 3 * kWindows / 4, kWindows);
+    state.counters["retained_drift"] = late_retained / std::max(1.0, mid_retained);
+    state.counters["store_drift"] = late_store / std::max(1.0, mid_store);
+    if (late_retained > 1.1 * std::max(1.0, mid_retained)) {
+      state.SkipWithError("retained specs drifted >10% — memory tracks arrivals");
+      return;
+    }
+    if (late_store > 1.1 * std::max(1.0, mid_store)) {
+      state.SkipWithError("store bytes drifted >10% — memory tracks arrivals");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServiceIngest)->Arg(600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceSnapshot)->Arg(600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceRestore)->Arg(600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceMemoryGate)->Unit(benchmark::kMillisecond);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dollymp/common/state_io.h"
+
 namespace dollymp {
 
 BackgroundLoadProcess::BackgroundLoadProcess(BackgroundLoadConfig config,
@@ -37,6 +39,30 @@ void BackgroundLoadProcess::renew(State& s, double now) {
     } else {
       s.slowdown = 1.0;
     }
+  }
+}
+
+void BackgroundLoadProcess::save_state(StateWriter& w) const {
+  w.u64(states_.size());
+  for (const State& s : states_) {
+    w.f64(s.until_seconds);
+    w.f64(s.slowdown);
+    const auto& rs = s.rng.state();
+    for (const std::uint64_t word : rs) w.u64(word);
+  }
+}
+
+void BackgroundLoadProcess::load_state(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != states_.size()) {
+    throw std::runtime_error("snapshot: background-load server count mismatch");
+  }
+  for (State& s : states_) {
+    s.until_seconds = r.f64();
+    s.slowdown = r.f64();
+    std::array<std::uint64_t, 4> rs{};
+    for (std::uint64_t& word : rs) word = r.u64();
+    s.rng.set_state(rs);
   }
 }
 

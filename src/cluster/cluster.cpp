@@ -38,6 +38,21 @@ Cluster& Cluster::operator=(const Cluster& other) {
   return *this;
 }
 
+void Cluster::save_state(StateWriter& w) const { table_->save_state(w); }
+
+void Cluster::load_state(StateReader& r) {
+  table_->load_state(r);
+  servers_.clear();
+  servers_.reserve(table_->size());
+  total_ = {};
+  rack_count_ = 0;
+  for (std::size_t i = 0; i < table_->size(); ++i) {
+    servers_.emplace_back(table_.get(), static_cast<ServerId>(i));
+    total_ += servers_.back().capacity();
+    rack_count_ = std::max(rack_count_, servers_.back().rack() + 1);
+  }
+}
+
 void Cluster::add_server(ServerSpec spec) {
   rack_count_ = std::max(rack_count_, spec.rack + 1);
   total_ += spec.capacity;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dollymp/common/state_io.h"
+
 namespace dollymp {
 
 void ServerTable::reserve(std::size_t servers) {
@@ -39,6 +41,40 @@ ServerId ServerTable::add(const ServerSpec& spec) {
   model_.push_back(intern_model(spec.model));
   flags_.push_back(0);
   return id;
+}
+
+void ServerTable::save_state(StateWriter& w) const {
+  w.pod_vec(capacity_);
+  w.pod_vec(used_);
+  w.pod_vec(base_speed_);
+  w.pod_vec(slow_factor_);
+  w.pod_vec(rack_);
+  w.pod_vec(running_copies_);
+  w.pod_vec(model_);
+  w.pod_vec(flags_);
+  w.u64(model_names_.size());
+  for (const std::string& name : model_names_) w.str(name);
+}
+
+void ServerTable::load_state(StateReader& r) {
+  r.pod_vec(capacity_);
+  r.pod_vec(used_);
+  r.pod_vec(base_speed_);
+  r.pod_vec(slow_factor_);
+  r.pod_vec(rack_);
+  r.pod_vec(running_copies_);
+  r.pod_vec(model_);
+  r.pod_vec(flags_);
+  const std::uint64_t names = r.u64();
+  model_names_.clear();
+  model_names_.reserve(names);
+  for (std::uint64_t i = 0; i < names; ++i) model_names_.push_back(r.str());
+  const std::size_t n = capacity_.size();
+  if (used_.size() != n || base_speed_.size() != n || slow_factor_.size() != n ||
+      rack_.size() != n || running_copies_.size() != n || model_.size() != n ||
+      flags_.size() != n) {
+    throw std::runtime_error("snapshot: server-table column length mismatch");
+  }
 }
 
 bool Server::allocate(const Resources& demand) {

@@ -1,0 +1,141 @@
+#include "dollymp/common/state_io.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dollymp {
+
+namespace {
+
+constexpr std::size_t kMagicLen = 9;  // "DMPCKPT01" without the NUL
+
+[[nodiscard]] std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = kStateHashSeed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kStateHashPrime;
+  }
+  return h;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> StateWriter::finish() {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMagicLen + 4 + 8 + buf_.size() + 8);
+  out.insert(out.end(), kStateMagic, kStateMagic + kMagicLen);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(kStateVersion >> (8 * i)));
+  }
+  put_u64(out, buf_.size());
+  out.insert(out.end(), buf_.begin(), buf_.end());
+  put_u64(out, fnv1a(buf_.data(), buf_.size()));
+  buf_.clear();
+  return out;
+}
+
+StateReader::StateReader(const std::uint8_t* data, std::size_t size) : data_(data) {
+  const std::size_t header = kMagicLen + 4 + 8;
+  if (size < header + 8) {
+    throw std::runtime_error("snapshot: truncated (shorter than the DMPCKPT01 envelope)");
+  }
+  if (std::memcmp(data, kStateMagic, kMagicLen) != 0) {
+    throw std::runtime_error("snapshot: bad magic (not a DMPCKPT01 snapshot)");
+  }
+  const std::uint32_t version = get_u32(data + kMagicLen);
+  if (version != kStateVersion) {
+    throw std::runtime_error("snapshot: unsupported DMPCKPT01 version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t payload = get_u64(data + kMagicLen + 4);
+  if (header + payload + 8 != size) {
+    throw std::runtime_error("snapshot: truncated or trailing bytes (payload length " +
+                             std::to_string(payload) + " does not match file size " +
+                             std::to_string(size) + ")");
+  }
+  const std::uint64_t stored = get_u64(data + header + payload);
+  const std::uint64_t computed = fnv1a(data + header, payload);
+  if (stored != computed) {
+    throw std::runtime_error("snapshot: payload hash mismatch (corrupted snapshot)");
+  }
+  pos_ = header;
+  end_ = header + payload;
+}
+
+std::string StateReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void StateReader::section(std::uint32_t tag) {
+  const std::uint32_t got = u32();
+  if (got != (0x5EC70000u ^ tag)) {
+    throw std::runtime_error("snapshot: expected section tag " + std::to_string(tag) +
+                             ", stream is out of sync");
+  }
+}
+
+void StateReader::expect_done() const {
+  if (pos_ != end_) {
+    throw std::runtime_error("snapshot: " + std::to_string(end_ - pos_) +
+                             " unread payload byte(s) after the last field");
+  }
+}
+
+void StateReader::need(std::size_t n) const {
+  if (end_ - pos_ < n) {
+    throw std::runtime_error("snapshot: truncated payload (field overruns the envelope)");
+  }
+}
+
+void StateReader::check_record_size(std::uint32_t stored, std::size_t expected) {
+  if (stored != expected) {
+    throw std::runtime_error("snapshot: record size " + std::to_string(stored) +
+                             " does not match this build's layout (" +
+                             std::to_string(expected) + ")");
+  }
+}
+
+void write_state_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("snapshot: cannot open " + path + " for write");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int rc = std::fclose(f);
+  if (written != bytes.size() || rc != 0) {
+    throw std::runtime_error("snapshot: short write to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_state_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("snapshot: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) throw std::runtime_error("snapshot: short read from " + path);
+  return bytes;
+}
+
+}  // namespace dollymp

@@ -20,6 +20,9 @@
 
 namespace dollymp {
 
+class StateWriter;
+class StateReader;
+
 struct BackgroundLoadConfig {
   bool enabled = true;
   double mean_interval_seconds = 120.0;  ///< mean time between load renewals
@@ -43,6 +46,12 @@ class BackgroundLoadProcess {
   [[nodiscard]] const BackgroundLoadConfig& config() const { return config_; }
 
   void reset(std::uint64_t seed);
+
+  /// Checkpoint/restore: the per-server segment boundaries, current
+  /// slowdowns and RNG positions — the full process state, so restored
+  /// queries continue the exact realization.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   struct State {

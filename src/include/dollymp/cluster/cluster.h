@@ -57,6 +57,12 @@ class Cluster {
   void reserve(std::size_t servers);
   void reset_allocations();
 
+  /// Checkpoint/restore: delegate to ServerTable::save_state/load_state and
+  /// rebuild the Server views plus the derived totals, so a snapshot alone
+  /// reconstructs the cluster in a fresh process.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
   // ----- standard inventories ---------------------------------------------
 
   /// The paper's private 30-node cluster (Section 6.1): 2 servers with 24

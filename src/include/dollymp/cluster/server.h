@@ -24,6 +24,9 @@
 
 namespace dollymp {
 
+class StateWriter;
+class StateReader;
+
 using ServerId = std::int32_t;
 inline constexpr ServerId kInvalidServer = -1;
 
@@ -58,6 +61,14 @@ class ServerTable {
     return model_names_[model_id];
   }
   [[nodiscard]] std::size_t distinct_models() const { return model_names_.size(); }
+
+  /// Checkpoint/restore: the full table — immutable spec columns (capacity,
+  /// speed, rack, model + interned labels) *and* mutable hot state (used,
+  /// slow factor, copy counters, flags) — so a snapshot is self-contained
+  /// and a fresh process can rebuild the cluster without re-running the
+  /// inventory builder.  load_state overwrites every column.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   /// Bytes of hot-state storage (the interned label table is a handful of
   /// strings and not counted).  Feeds the bytes-per-server scale gate.

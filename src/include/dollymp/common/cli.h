@@ -1,0 +1,43 @@
+// Shared command-line plumbing for the dollymp_* tools.
+//
+// Every driver (dollymp_sim, dollymp_chaos, dollymp_sweep, dollymp_service)
+// speaks the same flag dialect: `--flag value` and `--flag=value` are
+// interchangeable, and an unknown flag is rejected with a did-you-mean
+// suggestion computed over the tool's known-flag list instead of a bare
+// "unknown option".  The helpers here are the one implementation of that
+// dialect; the tools keep their own flag dispatch (the flag sets differ)
+// but share normalization, value splitting and the rejection message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dollymp::cli {
+
+/// argv[1..] with every `--flag=value` expanded into `--flag` `value`, so a
+/// dispatch loop only ever sees the space-separated spelling.  Lone `=`
+/// inside non-flag arguments (file names, cluster specs) is left alone.
+[[nodiscard]] std::vector<std::string> normalize_args(int argc, char** argv);
+
+/// Split on a separator (cluster specs like google:300, fault specs like
+/// MTBF:REPAIR).  An empty text yields one empty part, matching getline.
+[[nodiscard]] std::vector<std::string> split(const std::string& text, char sep);
+
+/// Levenshtein edit distance, the did-you-mean metric.
+[[nodiscard]] std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The known flag closest to `flag`, or "" when nothing is plausibly close
+/// (distance must be <= max(2, |flag|/3) — "--hlep" suggests "--help",
+/// random typos suggest nothing).  Ties break toward the earlier entry so
+/// suggestion order is deterministic.
+[[nodiscard]] std::string closest_flag(const std::string& flag,
+                                       const std::vector<std::string>& known);
+
+/// Full rejection line for an unrecognized flag: `unknown option --hlep
+/// (did you mean --help?)`, with the suggestion clause dropped when
+/// closest_flag finds nothing.
+[[nodiscard]] std::string unknown_flag_message(const std::string& flag,
+                                               const std::vector<std::string>& known);
+
+}  // namespace dollymp::cli

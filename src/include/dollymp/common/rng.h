@@ -76,6 +76,12 @@ class Rng {
     return Rng(splitmix64(sm));
   }
 
+  /// Stream-position capture for checkpoint/restore: the full 256-bit
+  /// xoshiro state.  set_state(state()) reproduces the draw sequence
+  /// exactly, which is what makes restored runs bit-identical.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -24,6 +24,9 @@
 
 namespace dollymp {
 
+class StateWriter;
+class StateReader;
+
 struct ServerScorerConfig {
   /// EWMA forgetting factor in (0, 1]; higher adapts faster.
   double ewma_alpha = 0.25;
@@ -58,6 +61,12 @@ class ServerScorer {
   }
 
   void reset();
+
+  /// Checkpoint/restore of the learned estimates (state_io framing).
+  /// load_state resizes to the serialized server count, so a
+  /// default-sized instance can be restored directly.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   struct State {

@@ -80,6 +80,19 @@ class Recorder {
     hash_ = kTraceHashSeed;
   }
 
+  /// Checkpoint/restore: resume the incremental stream at a saved position.
+  /// Retained records are dropped (they were evicted-by-restore); the next
+  /// append continues the sequence numbering and hash chain exactly where
+  /// the snapshot left it, so the restored run's stream hash stays equal to
+  /// the uninterrupted run's.
+  void restore_stream(std::uint64_t records_written, std::uint64_t hash) {
+    buffer_.clear();
+    head_ = 0;
+    records_written_ = records_written;
+    evictions_ = 0;
+    hash_ = hash;
+  }
+
  private:
   std::size_t capacity_;
   std::vector<TraceRecord> buffer_;

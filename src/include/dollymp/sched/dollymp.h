@@ -81,6 +81,14 @@ class DollyMPScheduler final : public Scheduler {
   void on_server_failed(SchedulerContext& ctx, ServerId server) override;
   void on_server_repaired(SchedulerContext& ctx, ServerId server) override;
 
+  /// Checkpoint the decision-relevant state: the cached priority classes
+  /// (refreshed only on arrivals, so they cannot be recomputed after a
+  /// restore without changing decisions), the learned server scores and
+  /// the resilience ledgers.  load_state expects a fresh instance of the
+  /// same config after reset().
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   /// The embedded resilience policy (null unless config().resilience.enabled).
   [[nodiscard]] const ResiliencePolicy* resilience() const {
     return resilience_ ? &*resilience_ : nullptr;

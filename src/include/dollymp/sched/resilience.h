@@ -105,6 +105,13 @@ class ResiliencePolicy {
   [[nodiscard]] int degraded_clone_budget(const SchedulerContext& ctx,
                                           int configured) const;
 
+  // ---- checkpoint/restore --------------------------------------------------
+  /// Serialize backoff holds, strike ledgers and quarantine terms so a
+  /// restored run replays identically.  load_state resizes the per-server
+  /// vectors to the serialized fleet size.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
   // ---- introspection (tests) ----------------------------------------------
   [[nodiscard]] int quarantined_count() const { return quarantined_count_; }
   [[nodiscard]] int down_count() const { return down_count_; }

@@ -29,6 +29,8 @@ namespace dollymp {
 
 class PlacementIndex;
 class Recorder;
+class StateReader;
+class StateWriter;
 class ThreadPool;
 struct ShardStats;
 
@@ -185,6 +187,16 @@ class Scheduler {
 
   /// A fail-slow server recovered to full speed.
   virtual void on_server_restored(SchedulerContext& /*ctx*/, ServerId /*server*/) {}
+
+  /// Checkpoint/restore: serialize any policy state that influences future
+  /// decisions (priority caches, learned scores, backoff/quarantine
+  /// bookkeeping) so a restored run replays bit-identically.  The defaults
+  /// are correct for stateless policies — everything they decide is a pure
+  /// function of the observable runtime state.  Stateful policies override
+  /// both; load_state is called after reset() on a freshly constructed
+  /// instance of the same policy/configuration.
+  virtual void save_state(StateWriter& /*w*/) const {}
+  virtual void load_state(StateReader& /*r*/) {}
 };
 
 // ---- shared helpers used by several policies -------------------------------

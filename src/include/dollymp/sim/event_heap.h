@@ -103,6 +103,20 @@ class ShardedEventHeap {
     adjust(winner);
   }
 
+  /// Visit every pending event in unspecified (internal heap-array) order —
+  /// the checkpoint writer's enumeration.  Restoring by re-pushing the
+  /// visited events reproduces the exact pop order regardless of the
+  /// enumeration or the original internal layout: the comparator is a total
+  /// order over all payload fields, so the pending *set* determines the pop
+  /// sequence (the §18 argument that makes the shard count a pure cache
+  /// knob makes snapshots layout-free too).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& heap : heaps_) {
+      for (const Event& e : heap) fn(e);
+    }
+  }
+
  private:
   /// True when shard `a`'s frontier event precedes shard `b`'s.  An empty
   /// shard is +infinity; exact ties (possible only between field-identical

@@ -33,6 +33,9 @@
 
 namespace dollymp {
 
+class StateWriter;
+class StateReader;
+
 enum class FaultClass : std::uint8_t {
   kCrash = 0,
   kRack = 1,
@@ -106,6 +109,12 @@ class FaultEngine {
   [[nodiscard]] const std::vector<ServerId>& rack_members(int rack) const {
     return rack_members_[static_cast<std::size_t>(rack)];
   }
+
+  /// Checkpoint/restore: the down-source mask is the engine's only mutable
+  /// state (the failure RNG is owned by the simulator and restored there;
+  /// rack membership is derived from the cluster topology).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   [[nodiscard]] SimTime delay_slots(const FaultDelaySpec& spec);

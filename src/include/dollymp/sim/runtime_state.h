@@ -145,6 +145,14 @@ class JobRuntime {
   double resource_seconds = 0.0;  ///< sum over copies: normalized demand x runtime
   int tasks_with_clones = 0;
 
+  // Service-mode bookkeeping.  pending_events counts in-flight heap events
+  // referencing this job slot — recycling waits for the last one to drain,
+  // so no event ever pops against a reused slot.  ingest_seq is the
+  // streaming ingestion sequence number, a stable identity across JobId
+  // reuse.  Both are inert in batch runs.
+  std::int32_t pending_events = 0;
+  std::int64_t ingest_seq = 0;
+
   /// Snapshot for the Eq. (16)/(17) recomputation.
   [[nodiscard]] JobProgress progress() const;
 

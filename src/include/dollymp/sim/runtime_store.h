@@ -30,11 +30,15 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 #include "dollymp/sim/runtime_state.h"
 
 namespace dollymp {
+
+class StateWriter;
+class StateReader;
 
 class RuntimeStore {
  public:
@@ -70,6 +74,32 @@ class RuntimeStore {
   /// Drop everything (flat arrays, slab, extents).
   void clear();
 
+  /// Service-mode recycling: hand a completed job's slot back for reuse.
+  /// The next materialize() of a job with the same shape (per-phase task
+  /// counts — the pool size is a pure function of the task count, so it
+  /// matches automatically) rebuilds the runtime records *in place*, with
+  /// the identical RNG draw order the append path uses, so resident memory
+  /// tracks live jobs instead of total arrivals.  The slot's JobRuntime
+  /// keeps its finished state until reuse (active-list erase predicates
+  /// stay sound); its copy extents must already be released.
+  void release_job(std::size_t job_index);
+
+  /// Recyclable slots currently parked (streaming memory accounting).
+  [[nodiscard]] std::size_t free_slot_count() const;
+
+  /// Per-slot free/live mask (1 = released), for checkpoint writers that
+  /// must not dereference a released slot's nulled spec pointer.
+  [[nodiscard]] std::vector<std::uint8_t> free_mask() const;
+
+  /// Checkpoint/restore of every runtime record: flat arrays, extents,
+  /// per-task copy lists (content re-acquired from the slab on load — the
+  /// extent layout is not semantic) and the free-slot pool.  Spec pointers
+  /// are NOT serialized: load_state takes the per-slot JobSpec pointers
+  /// (deserialized by the caller, in slot order) and rebinds job.spec /
+  /// phase.spec from them.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r, const std::vector<const JobSpec*>& specs);
+
  private:
   struct JobExtent {
     std::uint32_t phase_begin = 0;
@@ -85,6 +115,10 @@ class RuntimeStore {
   /// Point every span at the current array locations (after relocation).
   void rebind_views();
 
+  /// Rebuild a released slot's records in place for `spec` (same shape).
+  void rematerialize(std::size_t job_index, const JobSpec& spec, double slot_seconds,
+                     const LocalityModel& locality, Rng& rng);
+
   CopySlab slab_;
   std::vector<JobRuntime> jobs_;
   std::vector<PhaseRuntime> phases_;
@@ -92,6 +126,9 @@ class RuntimeStore {
   std::vector<double> durations_;
   std::vector<JobExtent> job_extents_;
   std::vector<PhaseExtent> phase_extents_;
+  /// Released job slots keyed by shape (per-phase task counts).
+  std::map<std::vector<std::uint32_t>, std::vector<std::uint32_t>> free_slots_;
+  std::vector<std::uint32_t> shape_scratch_;
 };
 
 }  // namespace dollymp

@@ -45,7 +45,6 @@ class Simulator {
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
  private:
-  class Impl;
   Cluster prototype_;
   SimConfig config_;
 };

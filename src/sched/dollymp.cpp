@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dollymp/cluster/placement_index.h"
+#include "dollymp/common/state_io.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/obs/recorder.h"
 
@@ -444,6 +445,55 @@ void DollyMPScheduler::schedule(SchedulerContext& ctx) {
     if (place_clones(ctx, clone_budget) == 0) break;
   }
   if (res != nullptr) res->finish_invocation(ctx);
+}
+
+void DollyMPScheduler::save_state(StateWriter& w) const {
+  // Only current-epoch priority entries matter: stale slots are garbage by
+  // construction.  Saved as (id, prio, vol) triples so the restored store
+  // can be any size — ensure_slot regrows it on load.
+  std::uint64_t valid = 0;
+  for (std::size_t id = 0; id < prio_epoch_.size(); ++id) {
+    if (prio_epoch_[id] == epoch_) ++valid;
+  }
+  w.u64(valid);
+  for (std::size_t id = 0; id < prio_epoch_.size(); ++id) {
+    if (prio_epoch_[id] != epoch_) continue;
+    w.i32(static_cast<std::int32_t>(id));
+    w.i32(prio_value_[id]);
+    w.f64(vol_value_[id]);
+  }
+  w.b(priorities_dirty_);
+  w.b(scorer_.has_value());
+  if (scorer_) scorer_->save_state(w);
+  w.b(resilience_.has_value());
+  if (resilience_) resilience_->save_state(w);
+}
+
+void DollyMPScheduler::load_state(StateReader& r) {
+  // Called on a fresh same-config instance after reset(): write the saved
+  // entries at the current epoch so priority_known sees them again.
+  const std::uint64_t valid = r.u64();
+  for (std::uint64_t i = 0; i < valid; ++i) {
+    const JobId id = r.i32();
+    const int prio = r.i32();
+    const double vol = r.f64();
+    ensure_slot(id);
+    const auto slot = static_cast<std::size_t>(id);
+    prio_epoch_[slot] = epoch_;
+    prio_value_[slot] = prio;
+    vol_value_[slot] = vol;
+  }
+  priorities_dirty_ = r.b();
+  if (r.b()) {
+    // The lazy optionals are sized from the stream, so a zero-server
+    // placeholder is enough to restore into.
+    if (!scorer_) scorer_.emplace(0);
+    scorer_->load_state(r);
+  }
+  if (r.b()) {
+    if (!resilience_) resilience_.emplace(config_.resilience, 0);
+    resilience_->load_state(r);
+  }
 }
 
 }  // namespace dollymp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dollymp/common/state_io.h"
 #include "dollymp/obs/recorder.h"
 
 namespace dollymp {
@@ -109,6 +110,54 @@ void ResiliencePolicy::finish_invocation(SchedulerContext& ctx) {
   if (earliest_release_ == kNever) return;
   ctx.defer_retry(earliest_release_);
   earliest_release_ = kNever;
+}
+
+void ResiliencePolicy::save_state(StateWriter& w) const {
+  w.pod_vec(strikes_);
+  w.pod_vec(strike_updated_);
+  w.pod_vec(quarantine_release_);
+  w.i32(quarantined_count_);
+  w.i32(down_count_);
+  w.i64(earliest_release_);
+  // Backoff entries sorted by task ref so the snapshot bytes are stable
+  // (unordered_map iteration order is not).  Lookup is always by find(),
+  // so restore order never influences behavior.
+  std::vector<std::pair<TaskRef, Backoff>> entries(backoff_.begin(), backoff_.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.first.job != b.first.job) return a.first.job < b.first.job;
+    if (a.first.phase != b.first.phase) return a.first.phase < b.first.phase;
+    return a.first.task < b.first.task;
+  });
+  w.u64(entries.size());
+  for (const auto& [ref, hold] : entries) {
+    w.i32(ref.job);
+    w.i32(ref.phase);
+    w.i32(ref.task);
+    w.i32(hold.attempts);
+    w.i64(hold.release);
+  }
+}
+
+void ResiliencePolicy::load_state(StateReader& r) {
+  r.pod_vec(strikes_);
+  r.pod_vec(strike_updated_);
+  r.pod_vec(quarantine_release_);
+  quarantined_count_ = r.i32();
+  down_count_ = r.i32();
+  earliest_release_ = r.i64();
+  backoff_.clear();
+  const std::uint64_t count = r.u64();
+  backoff_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TaskRef ref;
+    ref.job = r.i32();
+    ref.phase = r.i32();
+    ref.task = r.i32();
+    Backoff hold;
+    hold.attempts = r.i32();
+    hold.release = r.i64();
+    backoff_.emplace(ref, hold);
+  }
 }
 
 int ResiliencePolicy::degraded_clone_budget(const SchedulerContext& ctx,

@@ -1,0 +1,128 @@
+#include "dollymp/service/arrival_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dollymp/common/state_io.h"
+#include "dollymp/workload/apps.h"
+
+namespace dollymp {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+void ArrivalConfig::validate() const {
+  if (!(rate_per_second > 0.0)) {
+    throw std::invalid_argument("ArrivalConfig: rate_per_second must be > 0");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("ArrivalConfig: diurnal_amplitude must be in [0, 1)");
+  }
+  if (diurnal_amplitude > 0.0 && !(diurnal_period_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "ArrivalConfig: diurnal_period_seconds must be > 0 when diurnal_amplitude is set");
+  }
+  if (flash_multiplier < 1.0) {
+    throw std::invalid_argument("ArrivalConfig: flash_multiplier must be >= 1");
+  }
+  if (flash_multiplier > 1.0) {
+    if (flash_start_seconds < 0.0) {
+      throw std::invalid_argument(
+          "ArrivalConfig: flash_start_seconds must be >= 0 when flash_multiplier > 1");
+    }
+    if (!(flash_duration_seconds > 0.0)) {
+      throw std::invalid_argument(
+          "ArrivalConfig: flash_duration_seconds must be > 0 when flash_multiplier > 1");
+    }
+  }
+  if (!(mean_input_gb > 0.0)) {
+    throw std::invalid_argument("ArrivalConfig: mean_input_gb must be > 0");
+  }
+  if (first_job_id < 0) {
+    throw std::invalid_argument("ArrivalConfig: first_job_id must be >= 0");
+  }
+}
+
+ArrivalSource::ArrivalSource(ArrivalConfig config)
+    : config_(config), rng_(config.seed), next_id_(config.first_job_id) {
+  config_.validate();
+  // Envelope rate for thinning: an upper bound of lambda(t) over all t.
+  // Both modulations are multiplicative, so the bound is their product at
+  // their peaks.
+  lambda_max_ = config_.rate_per_second * (1.0 + config_.diurnal_amplitude) *
+                std::max(1.0, config_.flash_multiplier);
+  pending_seconds_ = 0.0;
+  advance();
+}
+
+double ArrivalSource::rate_at(double t_seconds) const {
+  double rate = config_.rate_per_second;
+  if (config_.diurnal_amplitude > 0.0) {
+    rate *= 1.0 + config_.diurnal_amplitude *
+                      std::sin(kTwoPi * t_seconds / config_.diurnal_period_seconds);
+  }
+  if (config_.flash_multiplier > 1.0 && t_seconds >= config_.flash_start_seconds &&
+      t_seconds < config_.flash_start_seconds + config_.flash_duration_seconds) {
+    rate *= config_.flash_multiplier;
+  }
+  return rate;
+}
+
+void ArrivalSource::advance() {
+  double t = pending_seconds_;
+  for (;;) {
+    // Exponential inter-arrival at the envelope rate.  uniform() is in
+    // [0, 1), so log1p(-u) is finite.
+    t += -std::log1p(-rng_.uniform()) / lambda_max_;
+    if (rng_.uniform() * lambda_max_ < rate_at(t)) break;  // survives thinning
+  }
+  pending_seconds_ = t;
+}
+
+JobSpec ArrivalSource::sample_job(double arrival_seconds) {
+  // Exponential size around the configured mean, clamped so one draw can't
+  // produce an unplaceable monster or a degenerate sliver.
+  const double raw = -std::log1p(-rng_.uniform()) * config_.mean_input_gb;
+  const double gb = std::clamp(raw, 0.05, 20.0 * config_.mean_input_gb);
+  const JobId id = next_id_++;
+  switch (rng_.below(4)) {
+    case 0:
+      return make_wordcount(id, gb, arrival_seconds);
+    case 1:
+      return make_pagerank(id, gb, /*iterations=*/2 + static_cast<int>(rng_.below(3)),
+                           arrival_seconds);
+    case 2:
+      return make_terasort(id, gb, arrival_seconds);
+    default:
+      // Split the sampled volume across the two scan sides.
+      return make_sql_join(id, 0.5 * gb, 0.5 * gb, arrival_seconds);
+  }
+}
+
+std::size_t ArrivalSource::emit_until(double horizon_seconds, std::vector<JobSpec>& out) {
+  std::size_t emitted = 0;
+  while (pending_seconds_ < horizon_seconds) {
+    out.push_back(sample_job(pending_seconds_));
+    ++emitted;
+    advance();
+  }
+  return emitted;
+}
+
+void ArrivalSource::save_state(StateWriter& w) const {
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.f64(pending_seconds_);
+  w.i32(next_id_);
+}
+
+void ArrivalSource::load_state(StateReader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (auto& word : words) word = r.u64();
+  rng_.set_state(words);
+  pending_seconds_ = r.f64();
+  next_id_ = r.i32();
+}
+
+}  // namespace dollymp

@@ -1,0 +1,225 @@
+#include "dollymp/service/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "dollymp/common/state_io.h"
+#include "dollymp/sched/capacity.h"
+#include "dollymp/sched/carbyne.h"
+#include "dollymp/sched/dollymp.h"
+#include "dollymp/sched/drf.h"
+#include "dollymp/sched/hopper.h"
+#include "dollymp/sched/simple_priority.h"
+#include "dollymp/sched/tetris.h"
+
+namespace dollymp {
+
+namespace {
+/// Ring capacity of the session-owned recorder: the hash covers the whole
+/// stream regardless, so the ring only bounds dump-on-anomaly context.
+constexpr std::size_t kServiceRingCapacity = 4096;
+}  // namespace
+
+const std::vector<std::string>& known_policy_names() {
+  static const std::vector<std::string> names = {
+      "capacity", "hopper",   "drf",      "tetris",   "carbyne", "srpt",
+      "svf",      "dollymp0", "dollymp1", "dollymp2", "dollymp3"};
+  return names;
+}
+
+std::unique_ptr<Scheduler> make_named_policy(const std::string& name) {
+  if (name == "capacity") return std::make_unique<CapacityScheduler>();
+  if (name == "hopper") return std::make_unique<HopperScheduler>();
+  if (name == "drf") return std::make_unique<DrfScheduler>();
+  if (name == "tetris") return std::make_unique<TetrisScheduler>();
+  if (name == "carbyne") return std::make_unique<CarbyneScheduler>();
+  if (name == "srpt") {
+    return std::make_unique<SimplePriorityScheduler>(
+        SimplePriorityConfig{SimplePriorityRule::kSrpt, 1.5, 0});
+  }
+  if (name == "svf") {
+    return std::make_unique<SimplePriorityScheduler>(
+        SimplePriorityConfig{SimplePriorityRule::kSvf, 1.5, 0});
+  }
+  if (name.rfind("dollymp", 0) == 0 && name.size() == 8 && name[7] >= '0' &&
+      name[7] <= '3') {
+    DollyMPConfig config;
+    config.clone_budget = name[7] - '0';
+    return std::make_unique<DollyMPScheduler>(config);
+  }
+  std::string known;
+  for (const std::string& candidate : known_policy_names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown policy '" + name + "' (known: " + known + ")");
+}
+
+void ServiceConfig::validate() const {
+  sim.validate();
+  arrivals.validate();
+  const auto& names = known_policy_names();
+  if (std::find(names.begin(), names.end(), policy) == names.end()) {
+    // Re-derive the factory's message (it lists the known names).
+    (void)make_named_policy(policy);
+  }
+  if (pump_slots <= 0) {
+    throw std::invalid_argument("ServiceConfig: pump_slots must be > 0");
+  }
+  if (checkpoint_interval_seconds == 0.0) {
+    throw std::invalid_argument(
+        "ServiceConfig: checkpoint_interval_seconds must be nonzero "
+        "(negative disables periodic checkpoints)");
+  }
+}
+
+Session::Session(Cluster cluster, ServiceConfig config)
+    : config_(std::move(config)),
+      prototype_(std::move(cluster)),
+      recorder_(kServiceRingCapacity),
+      source_(config_.arrivals) {
+  config_.validate();
+  if (prototype_.size() == 0) {
+    throw std::invalid_argument("Session: empty cluster");
+  }
+  // The session's recorder is authoritative: the stream hash is the
+  // checkpoint/fork equality oracle, so service mode always records.
+  config_.sim.recorder = &recorder_;
+  scheduler_ = make_named_policy(config_.policy);
+  core_ = std::make_unique<SimCore>(prototype_, config_.sim);
+  core_->set_streaming(true);
+  core_->set_recycle_jobs(true);
+  core_->set_source_exhausted(false);
+  core_->begin(*scheduler_);
+}
+
+void Session::run_until(SimTime horizon_slots) {
+  while (clock_ < horizon_slots) {
+    const SimTime chunk_end = std::min(horizon_slots, clock_ + config_.pump_slots);
+    pump_arrivals(chunk_end);
+    (void)core_->step_until(chunk_end);
+    reap_recycled();
+    clock_ = chunk_end;
+  }
+}
+
+void Session::pump_arrivals(SimTime through_slot) {
+  // Jobs with arrival_seconds < (through_slot + 1) * slot_seconds land on
+  // slots <= through_slot; everything pumped in a previous chunk was below
+  // the previous horizon, so arrivals are never ingested late.
+  const double horizon_seconds =
+      static_cast<double>(through_slot + 1) * config_.sim.slot_seconds;
+  if (source_.next_arrival_seconds() >= horizon_seconds) return;
+  auto specs = std::make_shared<std::vector<JobSpec>>();
+  source_.emit_until(horizon_seconds, *specs);
+  if (specs->empty()) return;
+  Segment segment;
+  segment.first_seq = core_->next_ingest_seq();
+  segment.live = static_cast<std::int64_t>(specs->size());
+  segment.specs = std::move(specs);
+  core_->ingest(*segment.specs);
+  segments_.push_back(std::move(segment));
+}
+
+void Session::reap_recycled() {
+  recycled_scratch_.clear();
+  core_->take_recycled(recycled_scratch_);
+  for (const RecycledJob& job : recycled_scratch_) {
+    for (Segment& segment : segments_) {
+      const auto count = static_cast<std::int64_t>(segment.specs->size());
+      if (job.ingest_seq >= segment.first_seq &&
+          job.ingest_seq < segment.first_seq + count) {
+        --segment.live;
+        break;
+      }
+    }
+    // Seqs before the first segment belong to jobs restored from a
+    // checkpoint — the core owns those specs; nothing to reclaim here.
+  }
+  // Only a fully-recycled *prefix* is dropped: segments are consumed
+  // roughly in arrival order, so the retained window tracks live jobs.
+  while (!segments_.empty() && segments_.front().live == 0) segments_.pop_front();
+}
+
+std::size_t Session::specs_retained() const {
+  std::size_t retained = 0;
+  for (const Segment& segment : segments_) retained += segment.specs->size();
+  return retained;
+}
+
+void Session::write_payload(StateWriter& w) const {
+  w.str(config_.policy);
+  w.u64(prototype_.size());
+  w.i64(clock_);
+  source_.save_state(w);
+  core_->save_state(w);
+}
+
+void Session::load_payload(StateReader& r, bool load_scheduler,
+                           const std::vector<const JobSpec*>* shared_specs) {
+  const std::string snapshot_policy = r.str();
+  if (load_scheduler && snapshot_policy != config_.policy) {
+    throw std::runtime_error("snapshot: policy mismatch (snapshot ran " +
+                             snapshot_policy + ", session configured " +
+                             config_.policy + ")");
+  }
+  const std::uint64_t snapshot_servers = r.u64();
+  if (snapshot_servers != prototype_.size()) {
+    throw std::runtime_error(
+        "snapshot: cluster size mismatch (snapshot has " +
+        std::to_string(snapshot_servers) + " servers, session has " +
+        std::to_string(prototype_.size()) + ")");
+  }
+  clock_ = r.i64();
+  source_.load_state(r);
+  core_->load_state(r, load_scheduler, shared_specs);
+}
+
+void Session::checkpoint(const std::string& path) const {
+  StateWriter w;
+  write_payload(w);
+  write_state_file(path, w.finish());
+}
+
+std::unique_ptr<Session> Session::restore(Cluster cluster, ServiceConfig config,
+                                          const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_state_file(path);
+  StateReader r(bytes);
+  auto session = std::make_unique<Session>(std::move(cluster), std::move(config));
+  session->load_payload(r, /*load_scheduler=*/true, nullptr);
+  r.expect_done();
+  return session;
+}
+
+std::unique_ptr<Session> Session::fork(const ForkOptions& options) const {
+  ServiceConfig child_config = config_;
+  const bool switch_policy = !options.policy.empty() && options.policy != config_.policy;
+  if (!options.policy.empty()) child_config.policy = options.policy;
+  child_config.sim.recorder = nullptr;  // the child installs its own
+
+  StateWriter w;
+  write_payload(w);
+  const std::vector<std::uint8_t> bytes = w.finish();
+  StateReader r(bytes);
+
+  auto child = std::make_unique<Session>(prototype_, std::move(child_config));
+  // Share the parent's spec storage: copying the segment deque copies
+  // shared_ptrs, which keep the spec vectors alive for the child even after
+  // the parent drains and drops them.
+  child->segments_ = segments_;
+  const std::vector<const JobSpec*> shared = core_->job_spec_pointers();
+  child->load_payload(r, /*load_scheduler=*/!switch_policy, &shared);
+  r.expect_done();
+
+  for (const ServerId server : options.quarantine) {
+    if (server < 0 ||
+        static_cast<std::size_t>(server) >= child->core_->cluster().size()) {
+      throw std::invalid_argument("ForkOptions: quarantine server id out of range");
+    }
+    child->core_->set_server_quarantined(server, true);
+  }
+  return child;
+}
+
+}  // namespace dollymp

@@ -1,8 +1,10 @@
 #include "dollymp/sim/faults.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "dollymp/common/distributions.h"
+#include "dollymp/common/state_io.h"
 #include "dollymp/sim/execution.h"
 
 namespace dollymp {
@@ -117,6 +119,17 @@ bool FaultEngine::mark_up(ServerId server, FaultClass source) {
   if ((mask & bit) == 0) return false;  // duplicate repair: absorb
   mask &= static_cast<std::uint8_t>(~bit);
   return mask == 0;
+}
+
+void FaultEngine::save_state(StateWriter& w) const { w.pod_vec(down_mask_); }
+
+void FaultEngine::load_state(StateReader& r) {
+  std::vector<std::uint8_t> mask;
+  r.pod_vec(mask);
+  if (mask.size() != down_mask_.size()) {
+    throw std::runtime_error("snapshot: fault-engine server count mismatch");
+  }
+  down_mask_ = std::move(mask);
 }
 
 }  // namespace dollymp

@@ -1,1041 +1,10 @@
 #include "dollymp/sim/simulator.h"
 
-#include <algorithm>
-#include <chrono>
-#include <optional>
 #include <stdexcept>
 
-#include "dollymp/cluster/background_load.h"
-#include "dollymp/cluster/placement_index.h"
-#include "dollymp/common/distributions.h"
-#include "dollymp/common/logging.h"
-#include "dollymp/common/stats.h"
-#include "dollymp/common/thread_pool.h"
-#include "dollymp/obs/recorder.h"
-#include "dollymp/sim/event_heap.h"
-#include "dollymp/sim/execution.h"
-#include "dollymp/sim/faults.h"
-#include "dollymp/sim/runtime_store.h"
+#include "dollymp/sim/sim_core.h"
 
 namespace dollymp {
-
-namespace {
-
-/// Everything that can make the simulator visit a slot, in one typed heap.
-/// Kind values double as the same-slot processing order: repairs before
-/// failures (a machine that bounces within one slot ends up alive),
-/// failures before completions (a copy cannot finish on a machine that
-/// died the same instant), completions before timer wakeups (the scheduler
-/// invocation a timer triggers must observe the slot's completions).
-enum class EvKind : std::uint8_t {
-  kServerRepair = 0,
-  kServerFailure = 1,
-  kCompletion = 2,  ///< copy finish (stochastic) or work prediction (work-based)
-  kTimer = 3,       ///< scheduler wakeup requested via request_wakeup()
-  // Fault-matrix events (sim/faults.h).  Rack events carry the rack index
-  // in the `server` field.  Recover/repair kinds sort before their
-  // onset/failure counterparts so a machine that bounces within one slot
-  // ends up healthy, matching the crash-class convention above.
-  kRackRepair = 4,
-  kRackFailure = 5,
-  kFailSlowRecover = 6,
-  kFailSlowOnset = 7,
-  kCopyFault = 8,   ///< cluster-wide transient copy-fault timer
-};
-
-/// One heap entry.  Completion events come in two flavours sharing the
-/// kind: per-copy events (copy >= 0; stale when the copy was killed) and
-/// per-task work predictions (copy == -1; stale when the task's generation
-/// moved on).  Fields a kind does not use hold fixed sentinels so the
-/// comparator defines one deterministic total order over all events.
-struct SimEvent {
-  SimTime slot = 0;
-  EvKind kind = EvKind::kTimer;
-  std::int32_t job_index = -1;
-  PhaseIndex phase = -1;
-  std::int32_t task = -1;
-  std::int32_t copy = -1;        // -1 for work-based task events and non-completions
-  std::uint32_t generation = 0;  // work-based staleness check, also a tie breaker
-  ServerId server = kInvalidServer;
-
-  // Repairs and failures form one group so same-slot machine events across
-  // servers pop server-major with the repair first per server (each pop
-  // draws the machine's next lifetime from the failure RNG, so this order
-  // is part of the deterministic realization).
-  [[nodiscard]] int group() const {
-    switch (kind) {
-      case EvKind::kServerRepair:
-      case EvKind::kServerFailure:
-      case EvKind::kRackRepair:
-      case EvKind::kRackFailure:
-      case EvKind::kFailSlowRecover:
-      case EvKind::kFailSlowOnset:
-        return 0;
-      case EvKind::kCopyFault:
-        return 1;  // after machine state settles, before completions
-      case EvKind::kCompletion:
-        return 2;
-      case EvKind::kTimer:
-        return 3;
-    }
-    return 4;  // unreachable
-  }
-
-  // Min-heap by slot with a fully deterministic total order: kind group,
-  // then every payload field.  `generation` participates so two work-based
-  // predictions for the same task (pushed by successive copy-set changes
-  // landing on the same slot) pop in generation order instead of an
-  // implementation-defined one.
-  friend bool operator>(const SimEvent& a, const SimEvent& b) {
-    if (a.slot != b.slot) return a.slot > b.slot;
-    if (a.group() != b.group()) return a.group() > b.group();
-    if (a.server != b.server) return a.server > b.server;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    if (a.job_index != b.job_index) return a.job_index > b.job_index;
-    if (a.phase != b.phase) return a.phase > b.phase;
-    if (a.task != b.task) return a.task > b.task;
-    if (a.copy != b.copy) return a.copy > b.copy;
-    return a.generation > b.generation;
-  }
-};
-
-}  // namespace
-
-class Simulator::Impl final : public SchedulerContext {
- public:
-  Impl(Cluster cluster, const SimConfig& config)
-      : cluster_(std::move(cluster)),
-        config_(config),
-        locality_(config.locality, cluster_),
-        background_(config.background, cluster_.size(), splitmix_seed(config.seed, 0xB6)),
-        rng_root_(config.seed),
-        rec_(config.recorder) {
-    rng_workload_ = rng_root_.split(1);
-    rng_exec_ = rng_root_.split(2);
-    rng_policy_ = rng_root_.split(3);
-    rng_failure_ = rng_root_.split(4);
-    if (config_.use_placement_index) index_.emplace(cluster_);
-    if (config_.failures.enabled || config_.faults.any_enabled()) {
-      faults_.emplace(cluster_, config_.failures, config_.faults, config_.slot_seconds,
-                      rng_failure_);
-    }
-    // The deterministic parallel core's worker pool: threads == 1 (the
-    // default) keeps the exact sequential path with no pool; 0 resolves to
-    // hardware_concurrency inside ThreadPool.  A resolved single-worker
-    // pool is dropped again — one worker cannot shard, so the sharded call
-    // sites would run inline anyway and the thread would only idle.
-    if (config_.threads != 1) {
-      pool_.emplace(static_cast<std::size_t>(config_.threads));
-      if (pool_->size() < 2) pool_.reset();
-    }
-    if (index_) {
-      index_->set_parallelism(worker_pool(), &parallel_stats_);
-      index_->set_batching(config_.batch_placement);
-    }
-  }
-
-  SimResult run(const std::vector<JobSpec>& specs, Scheduler& scheduler);
-
-  // ---- SchedulerContext ----------------------------------------------------
-  [[nodiscard]] SimTime now() const override { return now_; }
-  [[nodiscard]] double slot_seconds() const override { return config_.slot_seconds; }
-  [[nodiscard]] const Cluster& cluster() const override { return cluster_; }
-  [[nodiscard]] const SimConfig& config() const override { return config_; }
-  [[nodiscard]] const std::vector<JobRuntime*>& active_jobs() override { return active_; }
-  [[nodiscard]] Rng& policy_rng() override { return rng_policy_; }
-  [[nodiscard]] PlacementIndex* placement_index() override {
-    return index_ ? &*index_ : nullptr;
-  }
-  [[nodiscard]] ThreadPool* worker_pool() override { return pool_ ? &*pool_ : nullptr; }
-  [[nodiscard]] ShardStats* shard_stats() override { return &parallel_stats_; }
-  [[nodiscard]] Recorder* recorder() override { return rec_; }
-
-  bool place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                  ServerId server) override {
-    return place(job, phase, task, server, /*speculative=*/false);
-  }
-
-  bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                              ServerId server) override {
-    return place(job, phase, task, server, /*speculative=*/true);
-  }
-
-  void request_wakeup(SimTime slot) override {
-    ++result_.stats.timer_wakeups_requested;
-    const SimTime target = std::max(slot, now_ + 1);
-    if (target == pending_timer_slot_) return;  // already registered
-    push_event(SimEvent{target, EvKind::kTimer});
-    ++pending_timer_count_;
-    pending_timer_slot_ = target;
-    trace(TraceEv::kWakeupRequested, -1, -1, -1, -1, -1, target);
-  }
-
-  void set_server_quarantined(ServerId server_id, bool quarantined) override {
-    Server& server = cluster_.server(static_cast<std::size_t>(server_id));
-    if (server.is_quarantined() == quarantined) return;  // idempotent
-    server.set_quarantined(quarantined);
-    // Index candidacy invariant: a server is indexed iff it is up AND not
-    // quarantined.  When the server is down the crash/repair path owns the
-    // index transition, so only touch the index for an up server here.
-    if (quarantined) {
-      ++result_.stats.servers_quarantined;
-      if (index_ && !server.is_down()) index_->on_server_down(server_id);
-      trace(TraceEv::kQuarantineEnter, -1, -1, -1, -1, server_id);
-    } else {
-      ++result_.stats.quarantine_exits;
-      if (index_ && !server.is_down()) index_->on_server_up(server_id);
-      trace(TraceEv::kQuarantineExit, -1, -1, -1, -1, server_id);
-    }
-  }
-
-  void defer_retry(SimTime release_slot) override {
-    deferred_this_invocation_ = true;
-    request_wakeup(release_slot);
-  }
-
-  void note_retry_issued(long long backoff_slots) override {
-    ++result_.stats.retries_issued;
-    result_.stats.backoff_slots_waited += backoff_slots;
-  }
-
-  void note_clone_budget_degraded(int effective, int configured) override {
-    ++result_.stats.clone_budget_degradations;
-    trace(TraceEv::kCloneBudgetDegraded, -1, -1, -1, -1, -1,
-          (static_cast<std::int64_t>(effective) << 16) |
-              static_cast<std::int64_t>(configured));
-  }
-
- private:
-  static std::uint64_t splitmix_seed(std::uint64_t seed, std::uint64_t tag) {
-    std::uint64_t s = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
-    return splitmix64(s);
-  }
-
-  void push_event(const SimEvent& event) {
-    events_.push(event, event_shard_for(event.server, event.job_index,
-                                        events_.shard_count(), cluster_.size(),
-                                        jobs_.size()));
-  }
-  void push_completion(SimTime slot, const JobRuntime& job, PhaseIndex phase,
-                       std::int32_t task, std::int32_t copy, std::uint32_t generation) {
-    SimEvent e;
-    e.slot = slot;
-    e.kind = EvKind::kCompletion;
-    e.job_index = static_cast<std::int32_t>(&job - jobs_.data());
-    e.phase = phase;
-    e.task = task;
-    e.copy = copy;
-    e.generation = generation;
-    push_event(e);
-  }
-
-  bool place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task, ServerId server,
-             bool speculative);
-  void process_arrivals();
-  void drain_failures();
-  void drain_completions();
-  void handle_copy_finish(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                          std::size_t copy_index);
-  void handle_work_event(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                         std::uint32_t generation);
-  void complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task);
-  void end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                CopyRuntime& copy, bool killed);
-  void complete_phase(JobRuntime& job, PhaseRuntime& phase);
-  void complete_job(JobRuntime& job);
-  void sample_utilization();
-  void record_event(SimEventKind kind, JobId job = -1, PhaseIndex phase = -1,
-                    int task = -1, std::int32_t server = -1) {
-    if (!config_.record_events) return;
-    result_.events.push_back(SimEventRecord{
-        static_cast<double>(now_) * config_.slot_seconds, kind, job, phase, task, server});
-  }
-  /// Flight-recorder hook: one predicted-not-taken branch when recording is
-  /// off (rec_ is null by default).
-  void trace(TraceEv type, JobId job = -1, PhaseIndex phase = -1,
-             std::int32_t task = -1, std::int32_t copy = -1,
-             std::int32_t server = -1, std::int64_t aux = 0) {
-    if (!rec_) return;
-    TraceRecord r;
-    r.slot = now_;
-    r.type = type;
-    r.job = job;
-    r.phase = phase;
-    r.task = task;
-    r.copy = copy;
-    r.server = server;
-    r.aux = aux;
-    rec_->append(r);
-  }
-  void validate_placeable(const JobSpec& spec) const;
-  void seed_failures();
-  void fail_server(ServerId server_id);
-  void apply_server_down(ServerId server_id);
-  void apply_server_up(ServerId server_id);
-  void inject_copy_fault();
-  void push_machine_event(SimTime delay, EvKind kind, std::int32_t target) {
-    SimEvent e;
-    e.slot = now_ + delay;
-    e.kind = kind;
-    e.server = target;
-    push_event(e);
-  }
-  [[nodiscard]] bool any_copy_active() const { return active_copy_count_ > 0; }
-  /// True when the heap holds anything that can change simulation state
-  /// (timer wakeups alone cannot: they only re-invoke the scheduler).
-  [[nodiscard]] bool state_events_pending() const {
-    return events_.size() > pending_timer_count_;
-  }
-
-  Cluster cluster_;
-  SimConfig config_;
-  /// Incremental free-capacity index over cluster_, kept in lockstep with
-  /// every allocate/release/failure/repair below (absent when
-  /// config_.use_placement_index is off).
-  std::optional<PlacementIndex> index_;
-  LocalityModel locality_;
-  BackgroundLoadProcess background_;
-  Rng rng_root_;
-  Rng rng_workload_;
-  Rng rng_exec_;
-  Rng rng_policy_;
-  Rng rng_failure_;
-  /// Fault-matrix delay draws + down-source bookkeeping; absent on a
-  /// healthy run.  Holds a reference to rng_failure_ above.
-  std::optional<FaultEngine> faults_;
-  Recorder* rec_;  ///< flight recorder, null unless SimConfig::recorder set
-  /// Worker pool of the parallel scheduling core (absent when
-  /// config_.threads resolves to a single thread) and the shard-count /
-  /// imbalance accumulator its sharded scans note into.
-  std::optional<ThreadPool> pool_;
-  ShardStats parallel_stats_;
-
-  /// Struct-of-arrays backing store for all job/phase/task/copy state; the
-  /// jobs_ reference below preserves the historical vector-of-jobs surface
-  /// (indexing, `&job - jobs_.data()` event payloads) over its flat jobs
-  /// array.
-  RuntimeStore store_;
-  std::vector<JobRuntime>& jobs_ = store_.jobs();
-  std::vector<std::int32_t> arrival_order_;  // job indices by arrival slot
-  std::size_t next_arrival_ = 0;
-  std::vector<JobRuntime*> active_;
-  /// The event heap: completions, failures, repairs and timer wakeups in a
-  /// single deterministic total order, sharded by server/job range behind a
-  /// loser-tree merge frontier (sim/event_heap.h).
-  ShardedEventHeap<SimEvent> events_;
-  std::size_t pending_timer_count_ = 0;
-  SimTime pending_timer_slot_ = kNever;  ///< dedupe: last timer slot still queued
-
-  SimTime now_ = 0;
-  Scheduler* scheduler_ = nullptr;  ///< valid during run()
-  long long active_copy_count_ = 0;
-  bool placed_this_invocation_ = false;
-  /// Set via defer_retry(): the policy held at least one task back on
-  /// purpose this invocation (retry backoff), so an otherwise-idle slot is
-  /// not a stall.
-  bool deferred_this_invocation_ = false;
-  bool arrivals_this_slot_ = false;
-  int jobs_remaining_ = 0;
-
-  SimResult result_;
-};
-
-void Simulator::Impl::validate_placeable(const JobSpec& spec) const {
-  for (const auto& phase : spec.phases) {
-    bool fits_somewhere = false;
-    for (const auto& server : cluster_.servers()) {
-      if (phase.demand.fits_within(server.capacity())) {
-        fits_somewhere = true;
-        break;
-      }
-    }
-    if (!fits_somewhere) {
-      throw std::invalid_argument("Simulator: job " + std::to_string(spec.id) + " phase '" +
-                                  phase.name + "' demand " + phase.demand.to_string() +
-                                  " exceeds every server capacity");
-    }
-  }
-}
-
-bool Simulator::Impl::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                            ServerId server_id, bool speculative) {
-  SimStats& stats = result_.stats;
-  ++stats.placement_attempts;
-  if (job.finished || !job.arrived) {
-    ++stats.rejected_job_not_ready;
-    return false;
-  }
-  if (!phase.runnable() || task.finished) {
-    ++stats.rejected_phase_not_runnable;
-    return false;
-  }
-  // The cap applies to *concurrent* copies: after a machine failure kills a
-  // task's copies it may be re-placed even though dead copies remain on
-  // record.
-  if (task.active_copies() >= config_.max_copies_per_task) {
-    ++stats.rejected_copy_cap;
-    return false;
-  }
-  if (server_id < 0 || static_cast<std::size_t>(server_id) >= cluster_.size()) {
-    ++stats.rejected_invalid_server;
-    return false;
-  }
-
-  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
-  if (!server.allocate(task.demand)) {
-    ++stats.rejected_no_capacity;
-    return false;
-  }
-  if (index_) index_->on_allocation_changed(server_id);
-  server.note_copy_started();
-  ++stats.placements_accepted;
-
-  const bool first_copy = task.copies.empty();
-  // A task with no running copy is either brand new or a failure
-  // re-execution; either way this placement satisfies its needs-placement
-  // state (and is not redundancy, so it must not count as a clone).
-  const bool had_active_sibling = task.active_copies() > 0;
-  CopyRuntime copy;
-  copy.server = server_id;
-  copy.start = now_;
-  copy.active = true;
-  copy.locality = locality_.classify(task.block, server_id);
-
-  if (config_.model == ExecutionModel::kStochastic) {
-    const double base =
-        sample_copy_base_seconds(phase, task.ref.task, first_copy, rng_exec_);
-    // Fail-slow degradation multiplies the realized duration; the healthy
-    // factor is exactly 1.0, so this is bit-identical when faults are off.
-    const double seconds =
-        scale_copy_seconds(
-            base, server.base_speed(), locality_.penalty(copy.locality),
-            background_.slowdown(static_cast<std::size_t>(server_id),
-                                 static_cast<double>(now_) * config_.slot_seconds)) *
-        server.slow_factor();
-    copy.base_seconds = seconds;
-    copy.finish = now_ + seconds_to_slots(seconds, config_.slot_seconds);
-    task.copies.push_back(copy);
-    push_completion(copy.finish, job, phase.index, task.ref.task,
-                    static_cast<std::int32_t>(task.copies.size() - 1), 0);
-  } else {
-    // Work-based: roll accrued work to now, then re-predict with the larger
-    // copy set and invalidate the previous prediction.
-    accrue_work(task, phase, now_, config_.slot_seconds);
-    task.copies.push_back(copy);
-    ++task.generation;
-    const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
-    push_completion(finish, job, phase.index, task.ref.task, -1, task.generation);
-  }
-
-  ++active_copy_count_;
-  ++phase.active_copies;
-  if (!had_active_sibling) --phase.unscheduled_tasks;
-  placed_this_invocation_ = true;
-
-  if (task.first_start == kNever) task.first_start = now_;
-  if (job.first_start == kNever) job.first_start = now_;
-  if (had_active_sibling) {
-    if (speculative) {
-      ++job.speculative_launched;
-    } else {
-      ++job.clones_launched;
-    }
-    if (!task.ever_cloned && !speculative) {
-      task.ever_cloned = true;
-      ++job.tasks_with_clones;
-    }
-  }
-  record_event(!had_active_sibling ? SimEventKind::kCopyPlaced
-               : speculative       ? SimEventKind::kSpeculativePlaced
-                                   : SimEventKind::kClonePlaced,
-               job.id, phase.index, task.ref.task, server_id);
-  trace(!had_active_sibling ? TraceEv::kCopyPlaced
-        : speculative       ? TraceEv::kSpeculativePlaced
-                            : TraceEv::kClonePlaced,
-        job.id, phase.index, task.ref.task,
-        static_cast<std::int32_t>(task.copies.size() - 1), server_id,
-        static_cast<std::int64_t>(task.copies.back().locality));
-  ++result_.total_copies_launched;
-  return true;
-}
-
-void Simulator::Impl::end_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
-                               CopyRuntime& copy, bool killed) {
-  if (!copy.active) return;
-  copy.active = false;
-  copy.killed = killed;
-  if (killed) {
-    ++result_.stats.copies_killed;
-  } else {
-    ++result_.stats.copies_finished;
-  }
-  record_event(killed ? SimEventKind::kCopyKilled : SimEventKind::kCopyFinished,
-               job.id, phase.index, task.ref.task, copy.server);
-  trace(killed ? TraceEv::kCopyKilled : TraceEv::kCopyFinished, job.id, phase.index,
-        task.ref.task, static_cast<std::int32_t>(&copy - task.copies.data()),
-        copy.server, now_ - copy.start);
-  Server& server = cluster_.server(static_cast<std::size_t>(copy.server));
-  server.release(task.demand);
-  if (index_) index_->on_allocation_changed(copy.server);
-  server.note_copy_finished();
-  --active_copy_count_;
-  --phase.active_copies;
-  const double duration_seconds =
-      static_cast<double>(now_ - copy.start) * config_.slot_seconds;
-  job.resource_seconds +=
-      normalized_sum(task.demand, cluster_.total_capacity()) * duration_seconds;
-}
-
-void Simulator::Impl::complete_task(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task) {
-  task.finished = true;
-  task.finish_slot = now_;
-  job.invalidate_remaining_cache();  // remaining_tasks is about to change
-  ++result_.total_tasks_completed;
-  record_event(SimEventKind::kTaskCompleted, job.id, phase.index, task.ref.task);
-  trace(TraceEv::kTaskCompleted, job.id, phase.index, task.ref.task, -1, -1,
-        task.total_copies());
-
-  // Delay-assignment clone handling (Section 5): optionally keep the
-  // best-locality sibling when a downstream phase will consume this task's
-  // output; kill the rest.
-  CopyRuntime* keep = nullptr;
-  if (config_.kill_policy == CloneKillPolicy::kKeepBestLocality && phase.has_children) {
-    for (auto& c : task.copies) {
-      if (!c.active) continue;
-      if (keep == nullptr ||
-          static_cast<int>(c.locality) < static_cast<int>(keep->locality) ||
-          (c.locality == keep->locality && c.start < keep->start)) {
-        keep = &c;
-      }
-    }
-  }
-  for (auto& c : task.copies) {
-    if (c.active && &c != keep) end_copy(job, phase, task, c, /*killed=*/true);
-  }
-
-  if (config_.record_tasks) {
-    TaskRecord record;
-    record.ref = task.ref;
-    record.first_start_seconds = static_cast<double>(task.first_start) * config_.slot_seconds;
-    record.finish_seconds = static_cast<double>(now_) * config_.slot_seconds;
-    record.copies = task.total_copies();
-    result_.tasks.push_back(record);
-  }
-
-  if (--phase.remaining_tasks == 0) complete_phase(job, phase);
-}
-
-void Simulator::Impl::complete_phase(JobRuntime& job, PhaseRuntime& phase) {
-  phase.finished = true;
-  phase.finish_slot = now_;
-  job.invalidate_remaining_cache();
-  record_event(SimEventKind::kPhaseCompleted, job.id, phase.index);
-  trace(TraceEv::kPhaseCompleted, job.id, phase.index);
-  // Unlock children (Eq. 7).
-  for (auto& other : job.phases) {
-    for (const auto parent : other.spec->parents) {
-      if (parent == phase.index) --other.unfinished_parents;
-    }
-  }
-  // Kept-for-locality copies of this phase are no longer useful once the
-  // phase completes; terminate them so resources free up.
-  for (auto& task : phase.tasks) {
-    for (auto& c : task.copies) {
-      if (c.active) end_copy(job, phase, task, c, /*killed=*/true);
-    }
-  }
-  if (scheduler_ != nullptr) scheduler_->on_phase_completed(*this, job, phase);
-  if (--job.remaining_phases == 0) complete_job(job);
-}
-
-void Simulator::Impl::complete_job(JobRuntime& job) {
-  job.finished = true;
-  job.finish_slot = now_;
-  record_event(SimEventKind::kJobCompleted, job.id);
-  trace(TraceEv::kJobCompleted, job.id);
-  if (scheduler_ != nullptr) scheduler_->on_job_completed(*this, job);
-  --jobs_remaining_;
-  // Every phase is complete, so every copy has ended: hand the job's copy
-  // extents back to the slab for the next arrival to reuse.  Stale heap
-  // events referencing these copies are screened out by the finished-job
-  // guard in drain_completions.
-  for (auto& phase : job.phases) {
-    for (auto& task : phase.tasks) task.copies.release_storage();
-  }
-}
-
-void Simulator::Impl::handle_copy_finish(JobRuntime& job, PhaseRuntime& phase,
-                                         TaskRuntime& task, std::size_t copy_index) {
-  CopyRuntime& copy = task.copies[copy_index];
-  if (!copy.active || copy.finish != now_) return;  // stale (killed or rescheduled)
-  end_copy(job, phase, task, copy, /*killed=*/false);
-  // Feedback for online learning: only natural finishes are reported
-  // (killed copies are censored by their surviving sibling).
-  if (scheduler_ != nullptr && config_.model == ExecutionModel::kStochastic) {
-    scheduler_->on_copy_finished(*this, job, phase, task, copy);
-  }
-  if (!task.finished) complete_task(job, phase, task);
-  // else: a kept best-locality copy ran to completion; nothing more to do.
-}
-
-void Simulator::Impl::handle_work_event(JobRuntime& job, PhaseRuntime& phase,
-                                        TaskRuntime& task, std::uint32_t generation) {
-  if (task.finished || generation != task.generation) return;  // stale prediction
-  accrue_work(task, phase, now_, config_.slot_seconds);
-  if (task.work_done_seconds + 1e-9 < phase.spec->theta_seconds) {
-    // Copy set shrank since prediction (cannot happen today: copies only
-    // end at completion in the work model) — re-predict defensively.
-    const SimTime finish = predict_work_finish(task, phase, now_, config_.slot_seconds);
-    if (finish != kNever) {
-      push_completion(finish, job, phase.index, task.ref.task, -1, task.generation);
-    }
-    return;
-  }
-  for (auto& c : task.copies) {
-    if (c.active) end_copy(job, phase, task, c, /*killed=*/false);
-  }
-  complete_task(job, phase, task);
-}
-
-void Simulator::Impl::seed_failures() {
-  if (!faults_) return;
-  for (const auto& timer : faults_->seed()) {
-    EvKind kind = EvKind::kServerFailure;
-    switch (timer.cls) {
-      case FaultClass::kCrash: kind = EvKind::kServerFailure; break;
-      case FaultClass::kRack: kind = EvKind::kRackFailure; break;
-      case FaultClass::kFailSlow: kind = EvKind::kFailSlowOnset; break;
-      case FaultClass::kCopyFault: kind = EvKind::kCopyFault; break;
-    }
-    push_machine_event(timer.slot, kind, timer.target);
-  }
-}
-
-void Simulator::Impl::fail_server(ServerId server_id) {
-  // Kill every running copy on the failed machine.  Tasks left with no
-  // running copy fall back into the needs-placement pool so schedulers
-  // re-place them (from the surviving input-block replica in the locality
-  // model's terms).
-  for (JobRuntime* job : active_) {
-    for (auto& phase : job->phases) {
-      if (phase.active_copies == 0) continue;
-      for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
-        TaskRuntime& task = phase.tasks[t];
-        bool killed_any = false;
-        for (auto& copy : task.copies) {
-          if (copy.active && copy.server == server_id) {
-            if (config_.model == ExecutionModel::kWorkBased) {
-              accrue_work(task, phase, now_, config_.slot_seconds);
-            }
-            end_copy(*job, phase, task, copy, /*killed=*/true);
-            ++result_.stats.copies_killed_by_faults;
-            result_.stats.work_seconds_lost +=
-                static_cast<double>(now_ - copy.start) * config_.slot_seconds;
-            if (scheduler_ != nullptr) {
-              scheduler_->on_copy_fault(*this, *job, phase, task, server_id);
-            }
-            killed_any = true;
-          }
-        }
-        if (!killed_any || task.finished) continue;
-        if (config_.model == ExecutionModel::kWorkBased) {
-          ++task.generation;
-          const SimTime finish =
-              predict_work_finish(task, phase, now_, config_.slot_seconds);
-          if (finish != kNever) {
-            push_completion(finish, *job, phase.index, task.ref.task, -1,
-                            task.generation);
-          }
-        }
-        if (task.needs_placement()) {
-          ++phase.unscheduled_tasks;
-          phase.first_unscheduled_hint =
-              std::min(phase.first_unscheduled_hint, static_cast<int>(t));
-        }
-      }
-    }
-  }
-}
-
-void Simulator::Impl::apply_server_down(ServerId server_id) {
-  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
-  server.set_down(true);
-  // Deindex before fail_server kills the hosted copies: the releases that
-  // follow land on a down (unindexed) server and are no-ops for the index
-  // until the repair re-indexes from live state.  A quarantined server is
-  // already out of the index; on_server_down is idempotent either way.
-  if (index_) index_->on_server_down(server_id);
-  record_event(SimEventKind::kServerFailed, -1, -1, -1, server_id);
-  trace(TraceEv::kServerFailed, -1, -1, -1, -1, server_id);
-  fail_server(server_id);
-  if (scheduler_ != nullptr) scheduler_->on_server_failed(*this, server_id);
-}
-
-void Simulator::Impl::apply_server_up(ServerId server_id) {
-  Server& server = cluster_.server(static_cast<std::size_t>(server_id));
-  server.set_down(false);
-  // Candidacy invariant: indexed iff up && !quarantined — a server repaired
-  // while still quarantined stays out until the policy releases it.
-  if (index_ && !server.is_quarantined()) index_->on_server_up(server_id);
-  record_event(SimEventKind::kServerRepaired, -1, -1, -1, server_id);
-  trace(TraceEv::kServerRepaired, -1, -1, -1, -1, server_id);
-  if (scheduler_ != nullptr) scheduler_->on_server_repaired(*this, server_id);
-}
-
-void Simulator::Impl::drain_failures() {
-  // Machine-state events sort before everything else at a slot, so they
-  // form a prefix of the heap's due events.  Every branch re-arms its fault
-  // process unconditionally — even when the FaultEngine absorbed the edge
-  // (server already down via another class, or a duplicate event) — so the
-  // per-class timer chains stay self-sustaining and the failure stream's
-  // draw order is a pure function of heap pop order.
-  while (!events_.empty() && events_.top().slot <= now_ && events_.top().group() == 0) {
-    const SimEvent e = events_.top();
-    events_.pop();
-    switch (e.kind) {
-      case EvKind::kServerRepair: {
-        ++result_.stats.events_server_repair;
-        if (faults_->mark_up(e.server, FaultClass::kCrash)) apply_server_up(e.server);
-        push_machine_event(faults_->crash_failure_delay(), EvKind::kServerFailure,
-                           e.server);
-        break;
-      }
-      case EvKind::kServerFailure: {
-        ++result_.stats.events_server_failure;
-        if (faults_->mark_down(e.server, FaultClass::kCrash)) apply_server_down(e.server);
-        push_machine_event(faults_->crash_repair_delay(), EvKind::kServerRepair,
-                           e.server);
-        break;
-      }
-      case EvKind::kRackRepair: {
-        ++result_.stats.events_rack_repair;
-        for (const ServerId member : faults_->rack_members(e.server)) {
-          if (faults_->mark_up(member, FaultClass::kRack)) apply_server_up(member);
-        }
-        push_machine_event(faults_->rack_failure_delay(), EvKind::kRackFailure, e.server);
-        break;
-      }
-      case EvKind::kRackFailure: {
-        ++result_.stats.events_rack_failure;
-        for (const ServerId member : faults_->rack_members(e.server)) {
-          if (faults_->mark_down(member, FaultClass::kRack)) apply_server_down(member);
-        }
-        push_machine_event(faults_->rack_repair_delay(), EvKind::kRackRepair, e.server);
-        break;
-      }
-      case EvKind::kFailSlowRecover: {
-        ++result_.stats.events_fail_slow_recover;
-        cluster_.server(static_cast<std::size_t>(e.server)).set_slow_factor(1.0);
-        trace(TraceEv::kServerRestored, -1, -1, -1, -1, e.server);
-        if (scheduler_ != nullptr) scheduler_->on_server_restored(*this, e.server);
-        push_machine_event(faults_->fail_slow_onset_delay(), EvKind::kFailSlowOnset,
-                           e.server);
-        break;
-      }
-      case EvKind::kFailSlowOnset: {
-        ++result_.stats.events_fail_slow_onset;
-        const double factor = faults_->slowdown_factor();
-        cluster_.server(static_cast<std::size_t>(e.server)).set_slow_factor(factor);
-        trace(TraceEv::kServerDegraded, -1, -1, -1, -1, e.server,
-              static_cast<std::int64_t>(factor * 100.0));
-        if (scheduler_ != nullptr) scheduler_->on_server_degraded(*this, e.server, factor);
-        push_machine_event(faults_->fail_slow_recovery_delay(), EvKind::kFailSlowRecover,
-                           e.server);
-        break;
-      }
-      default:
-        break;  // unreachable: group 0 holds only the kinds above
-    }
-  }
-}
-
-void Simulator::Impl::inject_copy_fault() {
-  ++result_.stats.events_copy_fault;
-  if (active_copy_count_ > 0) {
-    // Uniform victim among all running copies: walk the active jobs in
-    // deterministic (arrival) order counting down to the picked index.
-    long long k = static_cast<long long>(
-        faults_->pick(static_cast<std::size_t>(active_copy_count_)));
-    [&] {
-      for (JobRuntime* job : active_) {
-        for (auto& phase : job->phases) {
-          if (phase.active_copies == 0) continue;
-          if (k >= phase.active_copies) {
-            k -= phase.active_copies;
-            continue;
-          }
-          for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
-            TaskRuntime& task = phase.tasks[t];
-            for (auto& copy : task.copies) {
-              if (!copy.active) continue;
-              if (k-- > 0) continue;
-              const auto copy_index = static_cast<std::int32_t>(&copy - task.copies.data());
-              const ServerId server_id = copy.server;
-              if (config_.model == ExecutionModel::kWorkBased) {
-                accrue_work(task, phase, now_, config_.slot_seconds);
-              }
-              end_copy(*job, phase, task, copy, /*killed=*/true);
-              ++result_.stats.copies_killed_by_faults;
-              result_.stats.work_seconds_lost +=
-                  static_cast<double>(now_ - copy.start) * config_.slot_seconds;
-              // end_copy already recorded the kill itself; this record
-              // names the cause.
-              trace(TraceEv::kCopyFault, job->id, phase.index, task.ref.task,
-                    copy_index, server_id);
-              if (scheduler_ != nullptr) {
-                scheduler_->on_copy_fault(*this, *job, phase, task, server_id);
-              }
-              if (!task.finished) {
-                if (config_.model == ExecutionModel::kWorkBased) {
-                  ++task.generation;
-                  const SimTime finish =
-                      predict_work_finish(task, phase, now_, config_.slot_seconds);
-                  if (finish != kNever) {
-                    push_completion(finish, *job, phase.index, task.ref.task, -1,
-                                    task.generation);
-                  }
-                }
-                if (task.needs_placement()) {
-                  ++phase.unscheduled_tasks;
-                  phase.first_unscheduled_hint =
-                      std::min(phase.first_unscheduled_hint, static_cast<int>(t));
-                }
-              }
-              return;
-            }
-          }
-        }
-      }
-    }();
-  }
-  // Re-arm the cluster-wide timer whether or not a victim existed, so the
-  // process keeps ticking through idle stretches.
-  push_machine_event(faults_->copy_fault_delay(), EvKind::kCopyFault, kInvalidServer);
-}
-
-void Simulator::Impl::process_arrivals() {
-  while (next_arrival_ < arrival_order_.size()) {
-    JobRuntime& job = jobs_[static_cast<std::size_t>(arrival_order_[next_arrival_])];
-    if (job.arrival > now_) break;
-    job.arrived = true;
-    active_.push_back(&job);
-    record_event(SimEventKind::kJobArrival, job.id);
-    trace(TraceEv::kJobArrival, job.id);
-    ++result_.stats.events_job_arrival;
-    ++next_arrival_;
-    arrivals_this_slot_ = true;
-  }
-}
-
-void Simulator::Impl::drain_completions() {
-  while (!events_.empty() && events_.top().slot <= now_) {
-    const SimEvent e = events_.top();
-    events_.pop();
-    if (e.kind == EvKind::kTimer) {
-      ++result_.stats.events_timer;
-      --pending_timer_count_;
-      if (pending_timer_slot_ == e.slot) pending_timer_slot_ = kNever;
-      trace(TraceEv::kTimerFired);
-      continue;  // a timer's only effect is that this slot is visited
-    }
-    if (e.kind == EvKind::kCopyFault) {
-      // Sorts after machine events and before completions at a slot: a
-      // victim's same-slot natural finish is stale by the time it pops.
-      inject_copy_fault();
-      continue;
-    }
-    JobRuntime& job = jobs_[static_cast<std::size_t>(e.job_index)];
-    if (job.finished) {
-      // The job's copy extents were recycled at completion; every event
-      // still in flight for it was already stale (inactive copy or moved-on
-      // generation), so count it and move on without touching copy storage.
-      ++(e.copy >= 0 ? result_.stats.events_copy_finish
-                     : result_.stats.events_work_finish);
-      continue;
-    }
-    PhaseRuntime& phase = job.phases[static_cast<std::size_t>(e.phase)];
-    TaskRuntime& task = phase.tasks[static_cast<std::size_t>(e.task)];
-    if (e.copy >= 0) {
-      ++result_.stats.events_copy_finish;
-      handle_copy_finish(job, phase, task, static_cast<std::size_t>(e.copy));
-    } else {
-      ++result_.stats.events_work_finish;
-      handle_work_event(job, phase, task, e.generation);
-    }
-  }
-}
-
-void Simulator::Impl::sample_utilization() {
-  if (!config_.record_utilization) return;
-  const Resources used = cluster_.total_used();
-  const Resources total = cluster_.total_capacity();
-  UtilizationSample sample;
-  sample.seconds = static_cast<double>(now_) * config_.slot_seconds;
-  sample.cpu = total.cpu > 0 ? used.cpu / total.cpu : 0.0;
-  sample.mem = total.mem > 0 ? used.mem / total.mem : 0.0;
-  result_.utilization.push_back(sample);
-}
-
-SimResult Simulator::Impl::run(const std::vector<JobSpec>& specs, Scheduler& scheduler) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  result_ = SimResult{};
-  result_.scheduler = scheduler.name();
-  result_.slot_seconds = config_.slot_seconds;
-
-  store_.clear();
-  store_.reserve_for(specs);  // exact: materialization below never relocates
-  for (const auto& spec : specs) {
-    validate_placeable(spec);
-    (void)store_.materialize(spec, config_.slot_seconds, locality_, rng_workload_);
-  }
-  jobs_remaining_ = static_cast<int>(jobs_.size());
-
-  arrival_order_.resize(jobs_.size());
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    arrival_order_[i] = static_cast<std::int32_t>(i);
-  }
-  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
-                   [&](std::int32_t a, std::int32_t b) {
-                     return jobs_[static_cast<std::size_t>(a)].arrival <
-                            jobs_[static_cast<std::size_t>(b)].arrival;
-                   });
-  next_arrival_ = 0;
-  active_.clear();
-  events_.reset(static_cast<std::size_t>(config_.event_shards));
-  pending_timer_count_ = 0;
-  pending_timer_slot_ = kNever;
-  now_ = 0;
-  active_copy_count_ = 0;
-
-  seed_failures();
-  scheduler_ = &scheduler;
-  scheduler.reset();
-
-  while (jobs_remaining_ > 0) {
-    if (now_ > config_.max_slots) {
-      throw std::runtime_error("Simulator: exceeded max_slots safety valve at slot " +
-                               std::to_string(now_));
-    }
-    ++result_.stats.slots_visited;
-    arrivals_this_slot_ = false;
-    drain_failures();
-    process_arrivals();
-    drain_completions();
-    // Drop finished jobs from the active list (keep arrival order).
-    std::erase_if(active_, [](const JobRuntime* j) { return j->finished; });
-
-    placed_this_invocation_ = false;
-    deferred_this_invocation_ = false;
-    if (!active_.empty()) {
-      if (arrivals_this_slot_) scheduler.on_job_arrival(*this);
-      ++result_.stats.scheduler_invocations;
-      trace(TraceEv::kSchedulerInvoked, -1, -1, -1, -1, -1,
-            static_cast<std::int64_t>(active_.size()));
-      scheduler.schedule(*this);
-      sample_utilization();
-    }
-
-    if (jobs_remaining_ == 0) break;
-
-    // Fast-forward to the next slot anything can happen at: the earliest of
-    // the next arrival and the event heap's top (completions, failures,
-    // repairs and requested timer wakeups all live there).
-    SimTime next = config_.max_slots + 1;
-    if (next_arrival_ < arrival_order_.size()) {
-      next = std::min(next,
-                      jobs_[static_cast<std::size_t>(arrival_order_[next_arrival_])].arrival);
-    }
-    if (!events_.empty()) next = std::min(next, events_.top().slot);
-
-    if (!any_copy_active() && next_arrival_ >= arrival_order_.size() &&
-        !state_events_pending()) {
-      // Pending work, no running copies, no future arrivals, and nothing in
-      // the heap that could change state (pending timer wakeups do not
-      // count: re-invoking a scheduler that just declined to place on an
-      // idle cluster cannot help): if the policy also placed nothing we are
-      // stuck — unless it explicitly deferred via defer_retry, in which
-      // case the registered wakeup will re-invoke it when backoff expires.
-      if (!placed_this_invocation_ && !deferred_this_invocation_) {
-        throw std::runtime_error(
-            "Simulator: scheduler '" + scheduler.name() + "' stalled at slot " +
-            std::to_string(now_) + " with " + std::to_string(jobs_remaining_) +
-            " unfinished job(s) and idle cluster");
-      }
-    }
-    if (next <= now_) {
-      throw std::logic_error("Simulator: time failed to advance");
-    }
-    result_.stats.slots_fast_forwarded += next - now_ - 1;
-    now_ = next;
-  }
-
-  // Build records.
-  result_.jobs.reserve(jobs_.size());
-  double makespan = 0.0;
-  for (const auto& job : jobs_) {
-    JobRecord rec;
-    rec.id = job.id;
-    rec.name = job.spec->name;
-    rec.app = job.spec->app;
-    rec.arrival_seconds = static_cast<double>(job.arrival) * config_.slot_seconds;
-    rec.first_start_seconds = static_cast<double>(job.first_start) * config_.slot_seconds;
-    rec.finish_seconds = static_cast<double>(job.finish_slot) * config_.slot_seconds;
-    rec.total_tasks = job.total_tasks();
-    rec.clones_launched = job.clones_launched;
-    rec.speculative_launched = job.speculative_launched;
-    rec.tasks_with_clones = job.tasks_with_clones;
-    rec.resource_seconds = job.resource_seconds;
-    makespan = std::max(makespan, rec.finish_seconds);
-    result_.jobs.push_back(std::move(rec));
-  }
-  result_.makespan_seconds = makespan;
-  // Conservation inputs for the chaos invariants: with every job complete,
-  // no allocation and no active copy may survive the run.
-  for (const auto& server : cluster_.servers()) {
-    result_.stats.leaked_cpu += server.used().cpu;
-    result_.stats.leaked_mem += server.used().mem;
-  }
-  result_.stats.leaked_active_copies = active_copy_count_;
-  if (index_) {
-    result_.stats.index_queries = index_->counters().queries;
-    result_.stats.index_servers_scanned = index_->counters().servers_scanned;
-    result_.stats.index_updates = index_->counters().updates;
-    result_.stats.index_batch_hits = index_->counters().batch_hits;
-    result_.stats.index_batch_rebuilds = index_->counters().batch_rebuilds;
-  }
-  {
-    const CopySlab::Counters& slab = store_.copy_slab().counters();
-    result_.stats.copy_slab_acquires = static_cast<long long>(slab.acquires);
-    result_.stats.copy_slab_reuses = static_cast<long long>(slab.reuses);
-    result_.stats.copy_slab_blocks = static_cast<long long>(slab.block_allocations);
-    result_.stats.runtime_store_bytes = static_cast<long long>(store_.memory_bytes());
-    result_.stats.server_table_bytes = static_cast<long long>(cluster_.table().memory_bytes());
-    result_.stats.bytes_per_server =
-        cluster_.empty() ? 0.0
-                         : static_cast<double>(result_.stats.server_table_bytes) /
-                               static_cast<double>(cluster_.size());
-    result_.stats.peak_rss_bytes = process_peak_rss_bytes();
-  }
-  result_.stats.parallel_sections = parallel_stats_.sections;
-  result_.stats.parallel_shards = parallel_stats_.shards;
-  result_.stats.parallel_items = parallel_stats_.items;
-  result_.stats.parallel_max_shard_items = parallel_stats_.max_shard_items;
-  result_.stats.parallel_arena_acquires = parallel_stats_.arena_acquires;
-  result_.stats.parallel_arena_reuses = parallel_stats_.arena_reuses;
-  result_.stats.parallel_arena_grows = parallel_stats_.arena_grows;
-  result_.stats.threads_configured = config_.threads;
-  result_.stats.threads_resolved =
-      pool_ ? static_cast<long long>(pool_->size()) : 1;
-  if (rec_) {
-    result_.stats.recorder_records = static_cast<long long>(rec_->records_written());
-    result_.stats.recorder_bytes = static_cast<long long>(rec_->bytes_written());
-    result_.stats.recorder_evictions = static_cast<long long>(rec_->evictions());
-    result_.stats.recorder_hash = rec_->hash();
-  }
-  result_.stats.wall_clock_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  return std::move(result_);
-}
 
 Simulator::Simulator(Cluster cluster, SimConfig config)
     : prototype_(std::move(cluster)), config_(config) {
@@ -1046,9 +15,15 @@ Simulator::Simulator(Cluster cluster, SimConfig config)
 Simulator::~Simulator() = default;
 
 SimResult Simulator::run(const std::vector<JobSpec>& jobs, Scheduler& scheduler) {
-  // A fresh Impl per run keeps runs independent and exception-safe.
-  Impl impl(prototype_, config_);
-  return impl.run(jobs, scheduler);
+  // A fresh core per run keeps runs independent and exception-safe.  This
+  // is the legacy batch sequence verbatim: everything ingested up front,
+  // one unbounded step, then the result tail — the 36 golden flight-stream
+  // hashes pin the claim that the extraction changed nothing.
+  SimCore core(prototype_, config_);
+  core.ingest(jobs);
+  core.begin(scheduler);
+  (void)core.step_until(SimCore::kUnbounded);
+  return core.finish();
 }
 
 SimResult simulate(const Cluster& cluster, const SimConfig& config,

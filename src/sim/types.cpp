@@ -1,5 +1,6 @@
 #include "dollymp/sim/types.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -62,6 +63,32 @@ void SimConfig::validate() const {
   require(threads <= 512, "SimConfig: threads must be <= 512");
   require(event_shards >= 1 && event_shards <= 64,
           "SimConfig: event_shards must be in [1, 64]");
+  // Infinity slips past the `> 0` checks above; a non-finite slot length or
+  // sigma factor turns every derived time into NaN soup downstream.
+  require(std::isfinite(slot_seconds), "SimConfig: slot_seconds must be finite");
+  require(std::isfinite(sigma_factor), "SimConfig: sigma_factor must be finite");
+  // batch_placement with use_placement_index=false is deliberately legal:
+  // batching lives inside the index, so without one the knob is inert (the
+  // sweep toggles them independently).  The placement knobs therefore need
+  // no cross-check — but the modulation processes they feed do:
+  if (background.enabled) {
+    require(background.mean_interval_seconds > 0.0,
+            "SimConfig: background.mean_interval_seconds must be > 0");
+    require(background.contention_probability >= 0.0 &&
+                background.contention_probability <= 1.0,
+            "SimConfig: background.contention_probability must be in [0, 1]");
+    require(background.slowdown_shape > 0.0,
+            "SimConfig: background.slowdown_shape must be > 0");
+    require(background.max_slowdown >= 1.0,
+            "SimConfig: background.max_slowdown must be >= 1");
+  }
+  if (locality.enabled) {
+    require(locality.replicas >= 1, "SimConfig: locality.replicas must be >= 1");
+    require(locality.rack_penalty >= 1.0,
+            "SimConfig: locality.rack_penalty must be >= 1");
+    require(locality.off_rack_penalty >= 1.0,
+            "SimConfig: locality.off_rack_penalty must be >= 1");
+  }
 
   // Mean repair/recovery delays that exceed the simulation horizon make the
   // run overwhelmingly likely to trip the max_slots safety valve with every

@@ -1,0 +1,104 @@
+// Tests for the shared command-line helpers (common/cli.h): --flag=value
+// normalization, separator splitting, and the did-you-mean rejection
+// message every dollymp_* tool now emits for unknown flags.
+#include "dollymp/common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dollymp::cli {
+namespace {
+
+std::vector<std::string> normalize(std::vector<std::string> argv_strings) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("tool"));
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return normalize_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliNormalize, ExpandsEqualsFormIntoFlagValuePairs) {
+  const auto args = normalize({"--jobs=50", "--scheduler", "drf"});
+  ASSERT_EQ(args.size(), 4u);
+  EXPECT_EQ(args[0], "--jobs");
+  EXPECT_EQ(args[1], "50");
+  EXPECT_EQ(args[2], "--scheduler");
+  EXPECT_EQ(args[3], "drf");
+}
+
+TEST(CliNormalize, LeavesNonFlagArgumentsWithEqualsAlone) {
+  // A value like a file name or key=value payload is not a flag.
+  const auto args = normalize({"--out", "dir/name=weird.csv", "a=b"});
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[1], "dir/name=weird.csv");
+  EXPECT_EQ(args[2], "a=b");
+}
+
+TEST(CliNormalize, KeepsValueWithEmbeddedEqualsIntact) {
+  // Only the FIRST '=' splits: --define=a=b yields value "a=b".
+  const auto args = normalize({"--define=a=b"});
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], "--define");
+  EXPECT_EQ(args[1], "a=b");
+}
+
+TEST(CliNormalize, EmptyArgvYieldsEmpty) {
+  EXPECT_TRUE(normalize({}).empty());
+}
+
+TEST(CliSplit, SplitsOnSeparator) {
+  const auto parts = split("google:300", ':');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "google");
+  EXPECT_EQ(parts[1], "300");
+}
+
+TEST(CliSplit, KeepsEmptyLeadingAndMiddleTokens) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(CliEditDistance, BasicDistances) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("--help", "--help"), 0u);
+  EXPECT_EQ(edit_distance("--hlep", "--help"), 2u);  // transposition = 2 edits
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(CliClosestFlag, SuggestsNearbyFlag) {
+  const std::vector<std::string> known = {"--help", "--jobs", "--scheduler"};
+  EXPECT_EQ(closest_flag("--hlep", known), "--help");
+  EXPECT_EQ(closest_flag("--job", known), "--jobs");
+  EXPECT_EQ(closest_flag("--schedular", known), "--scheduler");
+}
+
+TEST(CliClosestFlag, RefusesImplausibleSuggestions) {
+  const std::vector<std::string> known = {"--help", "--jobs"};
+  EXPECT_EQ(closest_flag("--totally-unrelated-flag", known), "");
+}
+
+TEST(CliClosestFlag, TieBreaksTowardEarlierEntry) {
+  // Both candidates are distance 1 from "--jobz"; the first listed wins so
+  // the suggestion is deterministic.
+  const std::vector<std::string> known = {"--jobs", "--joba"};
+  EXPECT_EQ(closest_flag("--jobz", known), "--jobs");
+}
+
+TEST(CliUnknownFlagMessage, IncludesSuggestionWhenClose) {
+  const std::vector<std::string> known = {"--help", "--jobs"};
+  EXPECT_EQ(unknown_flag_message("--hlep", known),
+            "unknown option --hlep (did you mean --help?)");
+}
+
+TEST(CliUnknownFlagMessage, OmitsSuggestionWhenNothingIsClose) {
+  const std::vector<std::string> known = {"--help"};
+  EXPECT_EQ(unknown_flag_message("--zzzzzzzzzzzz", known),
+            "unknown option --zzzzzzzzzzzz");
+}
+
+}  // namespace
+}  // namespace dollymp::cli

@@ -1,0 +1,161 @@
+// Tests for the DMPCKPT01 snapshot framing (common/state_io.h): primitive
+// round trips, section markers, and — the part the service layer leans on —
+// loud rejection of corrupted, truncated and foreign payloads.
+#include "dollymp/common/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dollymp {
+namespace {
+
+struct PodRecord {
+  std::int32_t a = 0;
+  double b = 0.0;
+};
+
+std::vector<std::uint8_t> sample_envelope() {
+  StateWriter w;
+  w.u8(7);
+  w.b(true);
+  w.u32(0xDEADBEEFu);
+  w.i32(-42);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-1);
+  w.f64(3.25);
+  w.str("hello snapshot");
+  PodRecord rec{9, -2.5};
+  w.pod(rec);
+  w.pod_vec(std::vector<std::int32_t>{1, 2, 3});
+  w.section(0x54455354u);
+  return w.finish();
+}
+
+TEST(StateIo, PrimitivesRoundTrip) {
+  const auto bytes = sample_envelope();
+  StateReader r(bytes);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_TRUE(r.b());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello snapshot");
+  PodRecord rec;
+  r.pod(rec);
+  EXPECT_EQ(rec.a, 9);
+  EXPECT_DOUBLE_EQ(rec.b, -2.5);
+  std::vector<std::int32_t> v;
+  r.pod_vec(v);
+  EXPECT_EQ(v, (std::vector<std::int32_t>{1, 2, 3}));
+  r.section(0x54455354u);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(StateIo, RejectsBadMagic) {
+  auto bytes = sample_envelope();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(
+      {
+        try {
+          StateReader r(bytes);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(StateIo, RejectsPayloadCorruption) {
+  auto bytes = sample_envelope();
+  // Flip one payload bit (past magic+version+length header).
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(
+      {
+        try {
+          StateReader r(bytes);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("hash"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(StateIo, RejectsTruncation) {
+  auto bytes = sample_envelope();
+  bytes.resize(bytes.size() - 9);
+  EXPECT_THROW(StateReader r(bytes), std::runtime_error);
+}
+
+TEST(StateIo, RejectsEmptyBuffer) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_THROW(StateReader r(empty), std::runtime_error);
+}
+
+TEST(StateIo, SectionMismatchThrows) {
+  StateWriter w;
+  w.section(0x41414141u);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  EXPECT_THROW(r.section(0x42424242u), std::runtime_error);
+}
+
+TEST(StateIo, PodSizeDriftThrows) {
+  StateWriter w;
+  w.pod(std::int32_t{5});
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  std::int64_t wrong = 0;
+  EXPECT_THROW(r.pod(wrong), std::runtime_error);
+}
+
+TEST(StateIo, ReadPastEndThrows) {
+  StateWriter w;
+  w.u32(1);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), std::runtime_error);
+}
+
+TEST(StateIo, ExpectDoneThrowsOnTrailingBytes) {
+  StateWriter w;
+  w.u32(1);
+  w.u32(2);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  (void)r.u32();
+  EXPECT_THROW(r.expect_done(), std::runtime_error);
+}
+
+TEST(StateIo, ReserveAndPatchLengthSlot) {
+  StateWriter w;
+  const std::size_t at = w.reserve_u64();
+  const std::size_t before = w.size();
+  w.str("nested blob");
+  w.patch_u64(at, w.size() - before);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  const std::uint64_t len = r.u64();
+  EXPECT_EQ(len, r.remaining());
+  r.skip(static_cast<std::size_t>(len));
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(StateIo, FileRoundTripAndIoErrors) {
+  const std::string path = testing::TempDir() + "/dollymp_state_io_test.ckpt";
+  const auto bytes = sample_envelope();
+  write_state_file(path, bytes);
+  EXPECT_EQ(read_state_file(path), bytes);
+  EXPECT_THROW((void)read_state_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dollymp

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "dollymp/cluster/cluster.h"
+#include "dollymp/common/cli.h"
 #include "dollymp/obs/replay.h"
 #include "dollymp/sched/dollymp.h"
 #include "dollymp/sim/simulator.h"
@@ -78,27 +79,17 @@ struct Options {
   std::exit(code);
 }
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(text);
-  std::string token;
-  while (std::getline(ss, token, sep)) parts.push_back(token);
-  return parts;
-}
+using cli::split;
+
+const std::vector<std::string> kKnownFlags = {
+    "--help",      "--inventory",       "--servers",        "--jobs",
+    "--gap",       "--slot",            "--seeds",          "--classes",
+    "--policies",  "--makespan-factor", "--makespan-slack", "--out",
+    "--quiet"};
 
 Options parse_options(int argc, char** argv) {
   Options opt;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
-    }
-  }
+  const std::vector<std::string> args = cli::normalize_args(argc, argv);
   const int n = static_cast<int>(args.size());
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= n) {
@@ -125,7 +116,7 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--out") opt.out = need_value(i);
     else if (arg == "--quiet") opt.quiet = true;
     else {
-      std::cerr << "unknown option " << arg << "\n";
+      std::cerr << cli::unknown_flag_message(arg, kKnownFlags) << "\n";
       usage(2);
     }
   }

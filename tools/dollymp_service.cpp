@@ -1,0 +1,407 @@
+// dollymp_service — driver for the long-running service layer.
+//
+// Runs a streaming simulation (unbounded open-loop arrivals) instead of a
+// finite batch, with verifiable checkpoint/restore and copy-on-write
+// what-if forks.  Two modes:
+//
+//   * One-shot: advance a session to --horizon slots, optionally writing
+//     periodic and/or final checkpoints, and print a status summary.
+//   * Scripted/REPL (--script FILE or --repl): drive the session with
+//     commands, fork divergent futures, advance them in parallel on the
+//     thread pool, and emit byte-deterministic comparison JSON.
+//
+//   dollymp_service [options]
+//     --cluster paper30|google:N|uniform:N:CPU:MEM   (default google:100)
+//     --policy NAME         capacity|hopper|drf|tetris|carbyne|srpt|svf|
+//                           dollymp0-3                (default dollymp2)
+//     --rate R              mean arrivals per second   (default 0.05)
+//     --diurnal AMP[:PERIOD]  sinusoidal rate modulation (amplitude in
+//                           [0,1); period seconds, default 86400)
+//     --flash MULT:START:DURATION  flash-crowd surge (multiplier >= 1)
+//     --mean-gb X           mean job input size        (default 2)
+//     --seed S              simulation seed            (default 1)
+//     --arrival-seed S      arrival stream seed        (default 1)
+//     --slot SECONDS        slot length                (default 5)
+//     --threads N           deterministic parallel core width
+//     --pump SLOTS          arrival pump chunk         (default 256)
+//     --failures MTBF:REPAIR  enable machine failures (seconds)
+//     --horizon SLOTS       one-shot run length        (default 2000)
+//     --checkpoint FILE     write a checkpoint at the horizon
+//     --checkpoint-every SECONDS  periodic checkpoints to FILE.<n>
+//     --restore FILE        restore the session from a checkpoint first
+//     --script FILE         run commands from FILE
+//     --repl                read commands from stdin
+//     --json                print the final status as JSON
+//     --help
+//
+// Script commands:
+//     run SLOTS             advance the parent session
+//     status                print a status line for every session
+//     checkpoint PATH       write the parent's checkpoint
+//     fork NAME [policy=NAME] [quarantine=ID,ID,...]
+//                           create a what-if fork of the parent
+//     advance SLOTS         advance parent and all forks in parallel
+//     compare               print comparison JSON (parent + forks)
+//     quit
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/cli.h"
+#include "dollymp/common/thread_pool.h"
+#include "dollymp/service/session.h"
+
+namespace {
+
+using namespace dollymp;
+
+struct Options {
+  std::string cluster = "google:100";
+  std::string policy = "dollymp2";
+  double rate = 0.05;
+  double diurnal_amplitude = 0.0;
+  double diurnal_period = 86400.0;
+  double flash_multiplier = 1.0;
+  double flash_start = -1.0;
+  double flash_duration = 0.0;
+  double mean_gb = 2.0;
+  std::uint64_t seed = 1;
+  std::uint64_t arrival_seed = 1;
+  double slot = 5.0;
+  int threads = 1;
+  SimTime pump = 256;
+  double failure_mtbf = 0.0;
+  double failure_repair = 0.0;
+  SimTime horizon = 2000;
+  std::string checkpoint;
+  double checkpoint_every = -1.0;
+  std::string restore;
+  std::string script;
+  bool repl = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: dollymp_service [--cluster paper30|google:N|uniform:N:CPU:MEM]\n"
+      "                       [--policy NAME] [--rate R] [--diurnal AMP[:PERIOD]]\n"
+      "                       [--flash MULT:START:DURATION] [--mean-gb X]\n"
+      "                       [--seed S] [--arrival-seed S] [--slot SECONDS]\n"
+      "                       [--threads N] [--pump SLOTS] [--failures MTBF:REPAIR]\n"
+      "                       [--horizon SLOTS] [--checkpoint FILE]\n"
+      "                       [--checkpoint-every SECONDS] [--restore FILE]\n"
+      "                       [--script FILE] [--repl] [--json]\n"
+      "\n"
+      "script commands: run N | status | checkpoint PATH |\n"
+      "                 fork NAME [policy=P] [quarantine=ID,ID,...] |\n"
+      "                 advance N | compare | quit\n";
+  std::exit(code);
+}
+
+const std::vector<std::string> kKnownFlags = {
+    "--help",      "--cluster",  "--policy",       "--rate",
+    "--diurnal",   "--flash",    "--mean-gb",      "--seed",
+    "--arrival-seed", "--slot",  "--threads",      "--pump",
+    "--failures",  "--horizon",  "--checkpoint",   "--checkpoint-every",
+    "--restore",   "--script",   "--repl",         "--json"};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  const std::vector<std::string> args = cli::normalize_args(argc, argv);
+  const int n = static_cast<int>(args.size());
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= n) {
+      std::cerr << "missing value for " << args[static_cast<std::size_t>(i)] << "\n";
+      usage(2);
+    }
+    return args[static_cast<std::size_t>(++i)];
+  };
+  for (int i = 0; i < n; ++i) {
+    const std::string& arg = args[static_cast<std::size_t>(i)];
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--cluster") opt.cluster = need_value(i);
+    else if (arg == "--policy") opt.policy = need_value(i);
+    else if (arg == "--rate") opt.rate = std::stod(need_value(i));
+    else if (arg == "--diurnal") {
+      const auto parts = cli::split(need_value(i), ':');
+      opt.diurnal_amplitude = std::stod(parts[0]);
+      if (parts.size() > 1) opt.diurnal_period = std::stod(parts[1]);
+    } else if (arg == "--flash") {
+      const auto parts = cli::split(need_value(i), ':');
+      if (parts.size() != 3) {
+        std::cerr << "--flash wants MULT:START:DURATION\n";
+        usage(2);
+      }
+      opt.flash_multiplier = std::stod(parts[0]);
+      opt.flash_start = std::stod(parts[1]);
+      opt.flash_duration = std::stod(parts[2]);
+    } else if (arg == "--mean-gb") opt.mean_gb = std::stod(need_value(i));
+    else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+    else if (arg == "--arrival-seed") opt.arrival_seed = std::stoull(need_value(i));
+    else if (arg == "--slot") opt.slot = std::stod(need_value(i));
+    else if (arg == "--threads") opt.threads = std::stoi(need_value(i));
+    else if (arg == "--pump") opt.pump = std::stoll(need_value(i));
+    else if (arg == "--failures") {
+      const auto parts = cli::split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--failures wants MTBF:REPAIR seconds\n";
+        usage(2);
+      }
+      opt.failure_mtbf = std::stod(parts[0]);
+      opt.failure_repair = std::stod(parts[1]);
+    } else if (arg == "--horizon") opt.horizon = std::stoll(need_value(i));
+    else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
+    else if (arg == "--checkpoint-every") opt.checkpoint_every = std::stod(need_value(i));
+    else if (arg == "--restore") opt.restore = need_value(i);
+    else if (arg == "--script") opt.script = need_value(i);
+    else if (arg == "--repl") opt.repl = true;
+    else if (arg == "--json") opt.json = true;
+    else {
+      std::cerr << cli::unknown_flag_message(arg, kKnownFlags) << "\n";
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+Cluster make_cluster(const std::string& spec) {
+  if (spec == "paper30") return Cluster::paper30();
+  const auto parts = cli::split(spec, ':');
+  if (parts.size() == 2 && parts[0] == "google") {
+    return Cluster::google_like(static_cast<std::size_t>(std::stoul(parts[1])));
+  }
+  if (parts.size() == 4 && parts[0] == "uniform") {
+    return Cluster::uniform(static_cast<std::size_t>(std::stoul(parts[1])),
+                            {std::stod(parts[2]), std::stod(parts[3])});
+  }
+  std::cerr << "unknown cluster spec '" << spec << "'\n";
+  usage(2);
+}
+
+ServiceConfig make_service_config(const Options& opt) {
+  ServiceConfig config;
+  config.sim.seed = opt.seed;
+  config.sim.slot_seconds = opt.slot;
+  config.sim.threads = opt.threads;
+  if (opt.failure_mtbf > 0.0) {
+    config.sim.failures.enabled = true;
+    config.sim.failures.mean_time_to_failure_seconds = opt.failure_mtbf;
+    config.sim.failures.mean_repair_seconds = opt.failure_repair;
+  }
+  config.arrivals.rate_per_second = opt.rate;
+  config.arrivals.diurnal_amplitude = opt.diurnal_amplitude;
+  config.arrivals.diurnal_period_seconds = opt.diurnal_period;
+  config.arrivals.flash_multiplier = opt.flash_multiplier;
+  config.arrivals.flash_start_seconds = opt.flash_start;
+  config.arrivals.flash_duration_seconds = opt.flash_duration;
+  config.arrivals.mean_input_gb = opt.mean_gb;
+  config.arrivals.seed = opt.arrival_seed;
+  config.policy = opt.policy;
+  config.pump_slots = opt.pump;
+  config.checkpoint_interval_seconds = opt.checkpoint_every;
+  return config;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+/// Fixed-format double so comparison JSON is byte-deterministic.
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+struct Fleet {
+  std::unique_ptr<Session> parent;
+  std::vector<std::pair<std::string, std::unique_ptr<Session>>> forks;
+};
+
+std::string session_json(const std::string& name, const Session& session) {
+  const StreamTotals& totals = session.totals();
+  const double mean_response =
+      totals.jobs_completed > 0
+          ? totals.response_seconds_sum / static_cast<double>(totals.jobs_completed)
+          : 0.0;
+  std::ostringstream os;
+  os << "{\"name\":\"" << name << "\",\"policy\":\"" << session.policy_name()
+     << "\",\"clock\":" << session.clock() << ",\"live_jobs\":" << session.live_jobs()
+     << ",\"jobs_ingested\":" << totals.jobs_ingested
+     << ",\"jobs_completed\":" << totals.jobs_completed
+     << ",\"mean_response_s\":" << fixed6(mean_response)
+     << ",\"clones_launched\":" << totals.clones_launched
+     << ",\"stream_records\":" << session.records_written()
+     << ",\"stream_hash\":\"" << hex64(session.stream_hash()) << "\"}";
+  return os.str();
+}
+
+void print_compare(const Fleet& fleet, std::ostream& os) {
+  os << "{\"clock\":" << fleet.parent->clock() << ",\"sessions\":[";
+  os << session_json("parent", *fleet.parent);
+  for (const auto& [name, session] : fleet.forks) {
+    os << "," << session_json(name, *session);
+  }
+  os << "]}\n";
+}
+
+void print_status(const Fleet& fleet, std::ostream& os) {
+  auto line = [&os](const std::string& name, const Session& s) {
+    const StreamTotals& totals = s.totals();
+    os << name << " [" << s.policy_name() << "] clock=" << s.clock()
+       << " live=" << s.live_jobs() << " ingested=" << totals.jobs_ingested
+       << " completed=" << totals.jobs_completed
+       << " segments=" << s.spec_segments() << " hash=" << hex64(s.stream_hash())
+       << "\n";
+  };
+  line("parent", *fleet.parent);
+  for (const auto& [name, session] : fleet.forks) line(name, *session);
+}
+
+/// Advance the parent and every fork to `target` slots, each on its own
+/// pool worker.  Sessions share only immutable spec segments, so the runs
+/// are independent; results stay deterministic because each session's
+/// stream depends only on its own state.
+void advance_all(Fleet& fleet, SimTime target, ThreadPool& pool) {
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([&fleet, target] { fleet.parent->run_until(target); }));
+  for (auto& [name, session] : fleet.forks) {
+    Session* raw = session.get();
+    futures.push_back(pool.submit([raw, target] { raw->run_until(target); }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+int run_script(Fleet& fleet, std::istream& in, bool echo) {
+  ThreadPool pool;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string command;
+    if (!(ls >> command)) continue;
+    if (echo) std::cout << "> " << line << "\n";
+    try {
+      if (command == "quit" || command == "exit") break;
+      if (command == "run") {
+        SimTime slots = 0;
+        ls >> slots;
+        fleet.parent->run_until(fleet.parent->clock() + slots);
+      } else if (command == "advance") {
+        SimTime slots = 0;
+        ls >> slots;
+        advance_all(fleet, fleet.parent->clock() + slots, pool);
+      } else if (command == "status") {
+        print_status(fleet, std::cout);
+      } else if (command == "checkpoint") {
+        std::string path;
+        ls >> path;
+        fleet.parent->checkpoint(path);
+        std::cout << "wrote checkpoint " << path << "\n";
+      } else if (command == "fork") {
+        std::string name;
+        ls >> name;
+        if (name.empty()) throw std::invalid_argument("fork wants a name");
+        Session::ForkOptions fork_options;
+        std::string option;
+        while (ls >> option) {
+          if (option.rfind("policy=", 0) == 0) {
+            fork_options.policy = option.substr(7);
+          } else if (option.rfind("quarantine=", 0) == 0) {
+            for (const auto& id : cli::split(option.substr(11), ',')) {
+              fork_options.quarantine.push_back(std::stoi(id));
+            }
+          } else {
+            throw std::invalid_argument("unknown fork option '" + option + "'");
+          }
+        }
+        fleet.forks.emplace_back(name, fleet.parent->fork(fork_options));
+        std::cout << "forked " << name << " at clock " << fleet.parent->clock()
+                  << "\n";
+      } else if (command == "compare") {
+        print_compare(fleet, std::cout);
+      } else {
+        throw std::invalid_argument("unknown command '" + command + "'");
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      if (!echo) return 3;  // scripts abort; the interactive REPL continues
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const ServiceConfig config = make_service_config(opt);
+  const Cluster cluster = make_cluster(opt.cluster);
+
+  Fleet fleet;
+  try {
+    if (!opt.restore.empty()) {
+      fleet.parent = Session::restore(cluster, config, opt.restore);
+      std::cerr << "restored from " << opt.restore << " at clock "
+                << fleet.parent->clock() << "\n";
+    } else {
+      fleet.parent = std::make_unique<Session>(cluster, config);
+    }
+
+    if (!opt.script.empty()) {
+      std::ifstream file(opt.script);
+      if (!file) {
+        std::cerr << "cannot open script " << opt.script << "\n";
+        return 2;
+      }
+      return run_script(fleet, file, /*echo=*/true);
+    }
+    if (opt.repl) return run_script(fleet, std::cin, /*echo=*/false);
+
+    // One-shot: advance to the horizon in pump-sized strides, cutting
+    // periodic checkpoints when asked.
+    int checkpoint_index = 0;
+    double next_checkpoint_seconds =
+        opt.checkpoint_every > 0.0 ? opt.checkpoint_every : -1.0;
+    while (fleet.parent->clock() < opt.horizon) {
+      const SimTime stride =
+          std::min<SimTime>(opt.horizon, fleet.parent->clock() + config.pump_slots);
+      fleet.parent->run_until(stride);
+      if (next_checkpoint_seconds > 0.0 && !opt.checkpoint.empty() &&
+          static_cast<double>(fleet.parent->clock()) * config.sim.slot_seconds >=
+              next_checkpoint_seconds) {
+        const std::string path =
+            opt.checkpoint + "." + std::to_string(checkpoint_index++);
+        fleet.parent->checkpoint(path);
+        std::cerr << "wrote checkpoint " << path << "\n";
+        next_checkpoint_seconds += opt.checkpoint_every;
+      }
+    }
+    if (!opt.checkpoint.empty() && opt.checkpoint_every <= 0.0) {
+      fleet.parent->checkpoint(opt.checkpoint);
+      std::cerr << "wrote checkpoint " << opt.checkpoint << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+
+  if (opt.json) {
+    print_compare(fleet, std::cout);
+  } else {
+    print_status(fleet, std::cout);
+  }
+  return 0;
+}

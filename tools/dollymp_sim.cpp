@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "dollymp/cluster/cluster.h"
+#include "dollymp/common/cli.h"
 #include "dollymp/metrics/experiment.h"
 #include "dollymp/metrics/report.h"
 #include "dollymp/obs/chrome_trace.h"
@@ -142,28 +143,21 @@ struct Options {
   std::exit(code);
 }
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(text);
-  std::string token;
-  while (std::getline(ss, token, sep)) parts.push_back(token);
-  return parts;
-}
+using cli::split;
+
+/// Every flag the dispatch loop below accepts — the did-you-mean corpus.
+const std::vector<std::string> kKnownFlags = {
+    "--help",          "--cluster",      "--inventory",       "--servers",
+    "--scheduler",     "--jobs",         "--gap",             "--trace",
+    "--seed",          "--slot",         "--threads",         "--clones",
+    "--straggler-aware", "--failures",   "--rack-faults",     "--fail-slow",
+    "--copy-faults",   "--weibull",      "--resilience",      "--out",
+    "--trace-out",     "--log-out",      "--verify-log",      "--flight-recorder",
+    "--verify-replay", "--compare",      "--quiet"};
 
 Options parse_options(int argc, char** argv) {
   Options opt;
-  // Normalize --flag=value into --flag value so both spellings work.
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
-    }
-  }
+  const std::vector<std::string> args = cli::normalize_args(argc, argv);
   const int n = static_cast<int>(args.size());
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= n) {
@@ -231,7 +225,7 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--compare") opt.compare = true;
     else if (arg == "--quiet") opt.quiet = true;
     else {
-      std::cerr << "unknown option " << arg << "\n";
+      std::cerr << cli::unknown_flag_message(arg, kKnownFlags) << "\n";
       usage(2);
     }
   }

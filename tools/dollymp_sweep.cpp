@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "dollymp/cluster/cluster.h"
+#include "dollymp/common/cli.h"
 #include "dollymp/common/experiment.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/sched/capacity.h"
@@ -86,29 +87,22 @@ struct Options {
   std::exit(code);
 }
 
+/// cli::split keeps empty tokens (getline semantics); the sweep's list
+/// flags historically tolerate stray commas, so drop empties here.
 std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(text);
-  std::string token;
-  while (std::getline(ss, token, sep)) {
-    if (!token.empty()) parts.push_back(token);
-  }
+  std::vector<std::string> parts = cli::split(text, sep);
+  std::erase_if(parts, [](const std::string& part) { return part.empty(); });
   return parts;
 }
 
+const std::vector<std::string> kKnownFlags = {
+    "--help", "--cluster",      "--jobs",  "--gap",      "--slot",
+    "--seed", "--replications", "--seeds", "--policies", "--faults",
+    "--threads", "--out",       "--quiet"};
+
 Options parse_options(int argc, char** argv) {
   Options opt;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
-    }
-  }
+  const std::vector<std::string> args = cli::normalize_args(argc, argv);
   const int n = static_cast<int>(args.size());
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= n) {
@@ -133,7 +127,7 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--out") opt.out = need_value(i);
     else if (arg == "--quiet") opt.quiet = true;
     else {
-      std::cerr << "unknown option " << arg << "\n";
+      std::cerr << cli::unknown_flag_message(arg, kKnownFlags) << "\n";
       usage(2);
     }
   }
