@@ -1,7 +1,15 @@
 #include "dollymp/common/state_io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace dollymp {
 
@@ -115,13 +123,71 @@ void StateReader::check_record_size(std::uint32_t stored, std::size_t expected) 
   }
 }
 
+namespace {
+
+/// The current errno rendered for an exception message ("No space left on
+/// device" and friends) — captured immediately, before cleanup syscalls can
+/// clobber it.
+[[nodiscard]] std::string errno_text() {
+  const int err = errno;
+  return err != 0 ? std::string(std::strerror(err)) : std::string("unknown error");
+}
+
+/// Durability barrier on a stdio stream: flush userspace buffers, then ask
+/// the kernel to push the file to stable storage.  Both failures matter for
+/// a checkpoint — a short fflush is how a full disk usually surfaces.
+void flush_and_sync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) {
+    const std::string why = errno_text();
+    std::fclose(f);
+    throw std::runtime_error("snapshot: short write to " + path +
+                             " (disk full?): " + why);
+  }
+#if defined(_WIN32)
+  if (_commit(_fileno(f)) != 0) {
+#else
+  if (fsync(fileno(f)) != 0) {
+#endif
+    const std::string why = errno_text();
+    std::fclose(f);
+    throw std::runtime_error("snapshot: fsync of " + path + " failed: " + why);
+  }
+}
+
+}  // namespace
+
 void write_state_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("snapshot: cannot open " + path + " for write");
+  // Atomic publish: write the bytes to a sibling temp file, fsync, then
+  // rename over the target.  A crash (or SIGKILL) at any instant leaves
+  // either the previous complete file or the new complete file — the
+  // supervisor's recovery path depends on never seeing a torn snapshot.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open " + tmp +
+                             " for write: " + errno_text());
+  }
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const int rc = std::fclose(f);
-  if (written != bytes.size() || rc != 0) {
-    throw std::runtime_error("snapshot: short write to " + path);
+  if (written != bytes.size()) {
+    const std::string why = errno_text();
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: short write to " + tmp + " (" +
+                             std::to_string(written) + " of " +
+                             std::to_string(bytes.size()) +
+                             " bytes, disk full?): " + why);
+  }
+  flush_and_sync(f, tmp);
+  if (std::fclose(f) != 0) {
+    const std::string why = errno_text();
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: close of " + tmp + " failed: " + why);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: rename " + tmp + " -> " + path +
+                             " failed: " + why);
   }
 }
 
@@ -136,6 +202,67 @@ std::vector<std::uint8_t> read_state_file(const std::string& path) {
   std::fclose(f);
   if (got != bytes.size()) throw std::runtime_error("snapshot: short read from " + path);
   return bytes;
+}
+
+SnapshotRotation::SnapshotRotation(std::string base_path) : base_(std::move(base_path)) {
+  if (base_.empty()) {
+    throw std::invalid_argument("SnapshotRotation: empty base path");
+  }
+}
+
+void SnapshotRotation::write(const std::vector<std::uint8_t>& bytes) {
+  // Stage the new snapshot as a complete sibling file first, then demote
+  // the current latest and promote the stage — two renames, each atomic.
+  // The worst crash window (after the demote, before the promote) leaves no
+  // `.latest` but a complete `.prev`, which newest_valid() falls back to.
+  const std::string staging = base_ + ".staging";
+  write_state_file(staging, bytes);
+  // ENOENT is fine on the first write; any other rename failure is real.
+  if (std::rename(latest_path().c_str(), previous_path().c_str()) != 0 &&
+      errno != ENOENT) {
+    throw std::runtime_error("snapshot: rotate " + latest_path() + " -> " +
+                             previous_path() + " failed: " + errno_text());
+  }
+  if (std::rename(staging.c_str(), latest_path().c_str()) != 0) {
+    throw std::runtime_error("snapshot: publish " + staging + " -> " +
+                             latest_path() + " failed: " + errno_text());
+  }
+}
+
+std::string SnapshotRotation::newest_valid() {
+  for (const std::string& candidate : {latest_path(), previous_path()}) {
+    std::FILE* probe = std::fopen(candidate.c_str(), "rb");
+    if (probe == nullptr) continue;  // generation not written yet
+    std::fclose(probe);
+    try {
+      const std::vector<std::uint8_t> bytes = read_state_file(candidate);
+      StateReader r(bytes);  // envelope check: magic, version, length, hash
+      return candidate;
+    } catch (const std::runtime_error&) {
+      // Corrupted: move it out of the rotation under a fresh quarantine
+      // name (kept for forensics, never re-picked) and fall through to the
+      // older generation.
+      for (int n = 0;; ++n) {
+        const std::string jail = candidate + ".quarantined." + std::to_string(n);
+        std::FILE* taken = std::fopen(jail.c_str(), "rb");
+        if (taken != nullptr) {
+          std::fclose(taken);
+          continue;
+        }
+        if (std::rename(candidate.c_str(), jail.c_str()) != 0) {
+          throw std::runtime_error("snapshot: quarantine " + candidate + " -> " +
+                                   jail + " failed: " + errno_text());
+        }
+        break;
+      }
+      ++quarantined_;
+    }
+  }
+  return "";
+}
+
+bool SnapshotRotation::is_quarantined_path(const std::string& path) {
+  return path.find(".quarantined.") != std::string::npos;
 }
 
 }  // namespace dollymp

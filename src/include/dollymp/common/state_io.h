@@ -175,11 +175,48 @@ class StateReader {
   std::size_t end_ = 0;
 };
 
-/// Whole-file helpers for checkpoint artifacts.  write_state_file writes
-/// atomically-ish (temp file + rename is overkill for a simulator; a plain
-/// write with error checking is what the tools need).  read_state_file
-/// throws std::runtime_error on I/O failure.
+/// Whole-file helpers for checkpoint artifacts.  write_state_file is
+/// atomic: the bytes land in `path + ".tmp"`, are flushed and fsync'd, and
+/// the temp file is renamed over the target, so a crash at any instant
+/// leaves either the old complete file or the new complete file — never a
+/// torn one.  Every failure (open, short write from a full disk, fsync,
+/// rename) throws std::runtime_error carrying the errno text.
+/// read_state_file throws std::runtime_error on I/O failure.
 void write_state_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
 [[nodiscard]] std::vector<std::uint8_t> read_state_file(const std::string& path);
+
+/// Last-good/previous snapshot rotation for crash-safe supervised recovery.
+///
+/// write() publishes bytes as `<base>.latest` (atomically, via
+/// write_state_file) after demoting the previous latest to `<base>.prev`,
+/// so at any instant at most one complete older snapshot plus one complete
+/// newer snapshot exist on disk.  newest_valid() walks latest-then-prev,
+/// validates each candidate's DMPCKPT01 envelope, quarantines a corrupted
+/// file out of the way (renamed to `<file>.quarantined.N` so it is kept for
+/// forensics but never re-picked) and returns the path of the newest
+/// snapshot that verifies — the supervisor's automatic fallback.
+class SnapshotRotation {
+ public:
+  explicit SnapshotRotation(std::string base_path);
+
+  /// Publish `bytes` as the new latest snapshot; the previous latest (if
+  /// any) becomes the previous-generation fallback.
+  void write(const std::vector<std::uint8_t>& bytes);
+
+  /// Path of the newest snapshot whose envelope validates, or "" when none
+  /// survives.  Corrupted candidates are quarantined as a side effect.
+  [[nodiscard]] std::string newest_valid();
+
+  [[nodiscard]] std::string latest_path() const { return base_ + ".latest"; }
+  [[nodiscard]] std::string previous_path() const { return base_ + ".prev"; }
+  /// True when `path` names a quarantined snapshot (never load these).
+  [[nodiscard]] static bool is_quarantined_path(const std::string& path);
+  /// Corrupted snapshots moved aside by newest_valid() on this instance.
+  [[nodiscard]] int quarantined_count() const { return quarantined_; }
+
+ private:
+  std::string base_;
+  int quarantined_ = 0;
+};
 
 }  // namespace dollymp

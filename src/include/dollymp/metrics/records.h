@@ -168,6 +168,17 @@ struct SimStats {
   long long quarantine_exits = 0;         ///< probation released a server
   long long clone_budget_degradations = 0;  ///< scheduler passes with shrunk budget
 
+  // Overload protection (service-mode admission gate + degradation ladder;
+  // all zero when the knobs are off).  Every arrival the gate drops lands
+  // in exactly one of the three shed counters, so
+  // jobs_ingested + sum(arrivals_shed_*) == arrivals the source emitted —
+  // the conservation gate bench/overload_stream.cpp enforces.
+  long long arrivals_shed_admission = 0;  ///< token bucket rejected (rate cap)
+  long long arrivals_shed_watermark = 0;  ///< live-load watermark shedding
+  long long arrivals_shed_overload = 0;   ///< ladder level-3 emergency shedding
+  long long overload_transitions = 0;     ///< degradation-ladder level changes
+  long long overload_level_max = 0;       ///< highest ladder level reached
+
   // End-of-run conservation check inputs (chaos invariant: every launched
   // copy is accounted for and no allocation leaks past the last job).
   long long copies_finished = 0;  ///< copies that ran to natural completion

@@ -1,0 +1,51 @@
+// Sliding-window response-time quantiles for the service-mode SLO tracker.
+//
+// A bounded ring of the most recent job response times with on-demand
+// p50/p99 (nth_element over a scratch copy — the window is small and
+// quantiles are read once per pump chunk, so sorting cost is irrelevant
+// next to determinism).  The window is part of the session's checkpoint
+// payload: a restored session sees exactly the samples the original saw,
+// so the degradation ladder it drives makes the same decisions — the
+// bit-identity contract extends through the SLO feedback loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dollymp {
+
+class StateWriter;
+class StateReader;
+
+class SloWindow {
+ public:
+  /// `capacity` is the number of most-recent samples retained (must be > 0).
+  explicit SloWindow(std::size_t capacity);
+
+  /// Record one completed job's response time (seconds).
+  void observe(double response_seconds);
+
+  /// Samples currently in the window (<= capacity).
+  [[nodiscard]] std::size_t count() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Samples ever observed (monotone; survives ring wrap).
+  [[nodiscard]] long long total_observed() const { return observed_; }
+
+  /// Quantile over the current window via the nearest-rank rule;
+  /// 0.0 when the window is empty.  q is clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
+ private:
+  std::vector<double> ring_;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;
+  long long observed_ = 0;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace dollymp

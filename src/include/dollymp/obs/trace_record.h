@@ -51,6 +51,12 @@ enum class TraceEv : std::uint8_t {
   kRetryBackoff = 21,      ///< re-placement deferred; aux = backoff slots
   kCloneBudgetDegraded = 22,  ///< clone budget shrunk under low capacity
                               ///< (aux = effective<<16 | configured)
+  kArrivalShed = 23,          ///< admission gate dropped an arrival
+                              ///< (aux = shed reason<<8 | tenant class;
+                              ///<  reasons: 0 token bucket, 1 watermark,
+                              ///<  2 overload ladder level 3)
+  kOverloadLevelChanged = 24, ///< degradation ladder moved
+                              ///< (aux = new level<<8 | old level)
 };
 
 [[nodiscard]] const char* to_string(TraceEv ev);

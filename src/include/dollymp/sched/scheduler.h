@@ -124,6 +124,12 @@ class SchedulerContext {
   /// Availability accounting: a scheduler pass ran with its clone budget
   /// shrunk from `configured` to `effective` under low live capacity.
   virtual void note_clone_budget_degraded(int /*effective*/, int /*configured*/) {}
+
+  /// Current rung of the service-mode degradation ladder (0 = healthy).
+  /// Policies consult it to shed redundancy under overload: level 1
+  /// throttles clone budgets, level >= 2 also disables speculation.  Always
+  /// 0 outside service mode, so batch runs are untouched.
+  [[nodiscard]] virtual int overload_level() const { return 0; }
 };
 
 class Scheduler {

@@ -1,0 +1,161 @@
+// Overload protection for service mode: deterministic admission control,
+// load shedding and the SLO-driven degradation ladder (DESIGN.md §4.9).
+//
+// Everything here is a pure function of the arrival stream and the
+// session's own observable state — no wall clock, no RNG — so a restored
+// or forked session sheds exactly the arrivals the original would have
+// shed and climbs the ladder at exactly the same pump boundaries.  That is
+// what keeps the flight-recorder stream hash usable as the equality oracle
+// even with protection enabled (docs/ALGORITHMS.md §20).
+//
+// Three layers, outermost first:
+//   1. Token bucket (AdmissionGate): a hard arrival-rate cap refilled from
+//      the arrivals' own timestamps.
+//   2. Watermark shedding (AdmissionGate): when live jobs per live server
+//      cross the high watermark the gate latches and sheds lower tenant
+//      classes (error-diffused by shed_fraction) until load falls back
+//      through the low watermark — classic hysteresis, no flapping.
+//   3. Degradation ladder (OverloadGovernor): level 0 healthy, 1 throttle
+//      clone budgets, 2 also disable speculation, 3 also shed every
+//      non-protected arrival.  Driven by load ratio and the sliding-window
+//      p99 against the SLO target, with dwell counts so one noisy
+//      evaluation cannot move the ladder.
+#pragma once
+
+#include <cstdint>
+
+#include "dollymp/job/job.h"
+#include "dollymp/metrics/slo_window.h"
+
+namespace dollymp {
+
+class StateWriter;
+class StateReader;
+
+/// Why the gate dropped an arrival (the TraceEv::kArrivalShed encoding and
+/// the SimStats counter it lands in).
+enum class ShedReason : int {
+  kTokenBucket = 0,  ///< over the admission rate cap
+  kWatermark = 1,    ///< watermark latch shed a sheddable class
+  kOverload = 2,     ///< ladder level 3: emergency shedding
+};
+
+struct OverloadConfig {
+  /// Master switch for the admission gate (token bucket + watermark
+  /// shedding).  Off by default: every golden hash predates this layer.
+  bool admission_enabled = false;
+
+  /// Token bucket over admitted arrivals; 0 disables the rate cap.  The
+  /// bucket refills from arrival timestamps (not wall time), so admission
+  /// is a pure function of the arrival stream.
+  double bucket_rate_per_second = 0.0;
+  /// Bucket capacity in jobs (the tolerated burst above the rate).
+  double bucket_burst = 32.0;
+
+  /// Watermark latch over live jobs per live (up, unquarantined) server:
+  /// shedding starts at high_watermark and stops once load falls to
+  /// low_watermark — the gap is the hysteresis band.
+  double high_watermark = 4.0;
+  double low_watermark = 2.0;
+
+  /// Deterministic tenant classes: class = job id % num_tenant_classes,
+  /// higher class = higher priority.  The top `protected_classes` classes
+  /// are never shed by the watermark latch (they are still subject to the
+  /// token bucket, which is a rate guarantee, not a priority one).
+  int num_tenant_classes = 4;
+  int protected_classes = 1;
+  /// Fraction of sheddable arrivals dropped while the latch holds, applied
+  /// by error diffusion so e.g. 0.5 sheds exactly every other candidate.
+  double shed_fraction = 1.0;
+
+  /// Master switch for the degradation ladder.  Off by default.
+  bool governor_enabled = false;
+  /// Sliding response-time window: size and the minimum sample count
+  /// before p99 participates in the pressure signal.
+  int slo_window_size = 512;
+  int slo_min_samples = 64;
+  /// p99 response-time target in seconds; 0 means pressure is load-only.
+  double slo_target_p99_seconds = 0.0;
+  /// Ladder thresholds over the pressure signal
+  /// max(load_ratio / high_watermark, p99 / slo_target): the ladder wants
+  /// level L while pressure >= enter_level[L-1].  Must be increasing.
+  double enter_level1 = 1.0;
+  double enter_level2 = 1.5;
+  double enter_level3 = 2.0;
+  /// A level is left only once pressure falls below enter * exit_ratio —
+  /// the ladder's hysteresis band, in (0, 1].
+  double exit_ratio = 0.8;
+  /// Consecutive evaluations (one per pump chunk) agreeing before the
+  /// ladder moves one rung, in either direction.
+  int dwell_evaluations = 2;
+
+  /// True when any protection layer is on (the session skips all overload
+  /// work otherwise, keeping the default hot path byte-identical).
+  [[nodiscard]] bool any_enabled() const { return admission_enabled || governor_enabled; }
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Layers 1 + 2: the per-arrival admit/shed decision.  Stateful
+/// (bucket level, latch, diffusion accumulator) and fully serialized.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(const OverloadConfig& config);
+
+  /// Update the watermark latch from the current load ratio (live jobs per
+  /// live server).  Called once per pump chunk, before the chunk's
+  /// arrivals are filtered.
+  void update_watermark(double load_ratio);
+
+  /// Decide one arrival.  Returns true to admit; on false, `reason` names
+  /// the layer that shed it.  `overload_level` is the governor's current
+  /// rung (>= 3 forces shedding of every non-protected class).
+  [[nodiscard]] bool admit(const JobSpec& spec, int overload_level, ShedReason* reason);
+
+  /// Tenant class of a job under this gate's config.
+  [[nodiscard]] int tenant_class(JobId id) const;
+  [[nodiscard]] bool latched() const { return latched_; }
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
+ private:
+  const OverloadConfig config_;
+  double tokens_;
+  double last_refill_seconds_ = 0.0;
+  bool latched_ = false;
+  double shed_accumulator_ = 0.0;
+};
+
+/// Layer 3: the hysteresis ladder.  Evaluated once per pump chunk; the
+/// session applies level changes to the core (clone throttling and
+/// speculation shutdown flow through SchedulerContext::overload_level).
+class OverloadGovernor {
+ public:
+  explicit OverloadGovernor(const OverloadConfig& config);
+
+  /// One evaluation: fold the load ratio and the window's p99 into the
+  /// pressure signal and move at most one rung after the dwell.  Returns
+  /// the (possibly unchanged) level.
+  int evaluate(double load_ratio, const SloWindow& window);
+
+  [[nodiscard]] int level() const { return level_; }
+  /// Pressure computed by the last evaluate() call (observability).
+  [[nodiscard]] double last_pressure() const { return last_pressure_; }
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
+ private:
+  /// The level the current pressure argues for, ignoring dwell.
+  [[nodiscard]] int target_level(double pressure) const;
+
+  const OverloadConfig config_;
+  int level_ = 0;
+  int pending_level_ = 0;  ///< rung the recent evaluations argue for
+  int dwell_count_ = 0;    ///< consecutive evaluations agreeing on it
+  double last_pressure_ = 0.0;
+};
+
+}  // namespace dollymp

@@ -31,9 +31,11 @@
 #include <vector>
 
 #include "dollymp/cluster/cluster.h"
+#include "dollymp/metrics/slo_window.h"
 #include "dollymp/obs/recorder.h"
 #include "dollymp/sched/scheduler.h"
 #include "dollymp/service/arrival_source.h"
+#include "dollymp/service/overload.h"
 #include "dollymp/sim/sim_core.h"
 
 namespace dollymp {
@@ -55,9 +57,14 @@ struct ServiceConfig {
   /// for one (tools/dollymp_service --checkpoint-every).  Negative disables;
   /// exactly 0 is rejected (a checkpoint per slot is never what you want).
   double checkpoint_interval_seconds = -1.0;
+  /// Overload protection: admission gate, load shedding and the SLO-driven
+  /// degradation ladder.  All layers default off — the protected hot path
+  /// is byte-identical to PR 8's, pinned by the golden stream hashes.
+  OverloadConfig overload;
 
   /// Full validation: sim.validate(), arrivals.validate(), the policy name,
-  /// and the service knobs.  Throws std::invalid_argument naming the field.
+  /// the overload knobs and the service knobs.  Throws std::invalid_argument
+  /// naming the field.
   void validate() const;
 };
 
@@ -103,6 +110,16 @@ class Session {
   /// must stay proportional to live jobs, not total arrivals.
   [[nodiscard]] std::size_t specs_retained() const;
   [[nodiscard]] std::size_t store_memory_bytes() const { return core_->store_memory_bytes(); }
+  /// Current rung of the degradation ladder (0 unless the governor is on).
+  [[nodiscard]] int overload_level() const { return core_->overload_level(); }
+  /// Arrivals dropped by any protection layer so far (sum of the three
+  /// SimStats shed counters) — with jobs_ingested this accounts for every
+  /// arrival the source emitted.
+  [[nodiscard]] long long arrivals_shed() const;
+  /// Live-load ratio the gate/governor saw at the last pump boundary.
+  [[nodiscard]] double load_ratio() const { return last_load_ratio_; }
+  /// The sliding response-time window behind the SLO governor.
+  [[nodiscard]] const SloWindow& slo_window() const { return slo_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] const std::string& policy_name() const { return config_.policy; }
   /// The underlying core, exposed for stats and targeted what-if mutations.
@@ -113,6 +130,11 @@ class Session {
   /// Write a DMPCKPT01 checkpoint file.  Legal at any pause point; const —
   /// the session continues unperturbed.
   void checkpoint(const std::string& path) const;
+
+  /// The checkpoint payload as sealed DMPCKPT01 envelope bytes — what
+  /// checkpoint() writes, for callers that publish through a
+  /// SnapshotRotation instead of a single file.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
   /// Rebuild a session from a checkpoint written by a session with the
   /// same config (policy and cluster size are carried in the file and
@@ -141,6 +163,9 @@ class Session {
 
   void pump_arrivals(SimTime through_slot);
   void reap_recycled();
+  /// Pump-boundary overload work: refresh the load estimate, update the
+  /// watermark latch and step the governor ladder (tracing transitions).
+  void evaluate_overload();
   void write_payload(StateWriter& w) const;
   void load_payload(StateReader& r, bool load_scheduler,
                     const std::vector<const JobSpec*>* shared_specs);
@@ -149,6 +174,10 @@ class Session {
   Cluster prototype_;  ///< pristine copy for restore/fork core construction
   Recorder recorder_;
   ArrivalSource source_;
+  AdmissionGate gate_;
+  OverloadGovernor governor_;
+  SloWindow slo_;
+  double last_load_ratio_ = 0.0;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<SimCore> core_;
   std::deque<Segment> segments_;

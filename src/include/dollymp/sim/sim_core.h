@@ -57,6 +57,7 @@
 #include "dollymp/common/rng.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/metrics/records.h"
+#include "dollymp/metrics/slo_window.h"
 #include "dollymp/obs/recorder.h"
 #include "dollymp/sched/scheduler.h"
 #include "dollymp/sim/event_heap.h"
@@ -218,6 +219,25 @@ class SimCore final : public SchedulerContext {
   /// Drain the recycled-slot identities accumulated since the last call.
   void take_recycled(std::vector<RecycledJob>& out);
 
+  // ---- overload protection (service mode; inert unless driven) -------------
+  /// Observe each completed job's response time into `window` (null
+  /// detaches).  The pointer is not serialized — the owning session rewires
+  /// it after restore and round-trips the window contents itself.
+  void set_slo_window(SloWindow* window) { slo_ = window; }
+  /// Move the degradation ladder without tracing (restore path).  The live
+  /// transition path is note_overload_transition below.
+  void set_overload_level(int level) { overload_level_ = level; }
+  /// SchedulerContext::overload_level for the policies.
+  [[nodiscard]] int overload_level() const override { return overload_level_; }
+  /// Servers currently placeable (up and not quarantined) — the live
+  /// capacity the admission gate's watermark is measured against, O(fleet).
+  [[nodiscard]] int live_servers() const;
+  /// Accounting + trace for one shed arrival.  `reason`: 0 token bucket,
+  /// 1 watermark, 2 overload ladder (the TraceEv::kArrivalShed encoding).
+  void note_arrival_shed(JobId job, int tenant_class, int reason);
+  /// Accounting + trace for a degradation-ladder move, then applies it.
+  void note_overload_transition(int from_level, int to_level);
+
   // ---- checkpoint/restore -------------------------------------------------
   /// Serialize the complete mutable state (docs/DESIGN.md §4.8).  Legal at
   /// any pause point; const, so a live core can be snapshotted for forks.
@@ -368,6 +388,10 @@ class SimCore final : public SchedulerContext {
   std::int64_t next_ingest_seq_ = 0;
   StreamTotals totals_;
   std::vector<RecycledJob> recycled_;
+  /// Degradation-ladder rung the session governor last applied (0 outside
+  /// service mode) and the optional response-time window it feeds.
+  int overload_level_ = 0;
+  SloWindow* slo_ = nullptr;
   /// JobSpecs deserialized from a snapshot (restored jobs point here; a
   /// deque keeps addresses stable as later snapshots or ingests append).
   std::deque<JobSpec> owned_specs_;

@@ -136,7 +136,7 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
   ConsoleTable table({"scheduler", "invocations", "slots", "ff_slots", "timers",
                       "events", "arrive", "finish", "fail", "fault_kill",
                       "work_lost_s", "retries", "quarantine", "clone_degr",
-                      "attempts", "placed",
+                      "shed", "ovl_level", "attempts", "placed",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
                       "idx_update", "idx_batch", "threads", "par_sect", "par_shards",
                       "par_widest", "arena", "rec",
@@ -162,6 +162,15 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                    std::to_string(st.servers_quarantined) + "/" +
                        std::to_string(st.quarantine_exits),
                    std::to_string(st.clone_budget_degradations),
+                   // bucket/watermark/level-3: which protection layer shed,
+                   // all zero unless the service-mode gate is on.
+                   std::to_string(st.arrivals_shed_admission) + "/" +
+                       std::to_string(st.arrivals_shed_watermark) + "/" +
+                       std::to_string(st.arrivals_shed_overload),
+                   // transitions>peak: "4>2" reads as four ladder moves,
+                   // worst level 2.
+                   std::to_string(st.overload_transitions) + ">" +
+                       std::to_string(st.overload_level_max),
                    std::to_string(st.placement_attempts),
                    std::to_string(st.placements_accepted),
                    std::to_string(st.rejected_copy_cap),

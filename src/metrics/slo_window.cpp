@@ -1,0 +1,59 @@
+#include "dollymp/metrics/slo_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dollymp/common/state_io.h"
+
+namespace dollymp {
+
+SloWindow::SloWindow(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("SloWindow: capacity must be > 0");
+  ring_.resize(capacity, 0.0);
+}
+
+void SloWindow::observe(double response_seconds) {
+  ring_[next_] = response_seconds;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  ++observed_;
+}
+
+double SloWindow::quantile(double q) const {
+  if (size_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  scratch_.assign(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+  // Nearest-rank: the smallest sample with at least q*size samples <= it.
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(size_));
+  if (rank >= size_) rank = size_ - 1;
+  std::nth_element(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(rank),
+                   scratch_.end());
+  return scratch_[rank];
+}
+
+void SloWindow::save_state(StateWriter& w) const {
+  w.u64(ring_.size());
+  w.u64(size_);
+  w.u64(next_);
+  w.i64(observed_);
+  for (std::size_t i = 0; i < size_; ++i) w.f64(ring_[i]);
+}
+
+void SloWindow::load_state(StateReader& r) {
+  const std::uint64_t capacity = r.u64();
+  if (capacity != ring_.size()) {
+    throw std::runtime_error("snapshot: SLO window capacity mismatch (snapshot " +
+                             std::to_string(capacity) + ", session " +
+                             std::to_string(ring_.size()) + ")");
+  }
+  size_ = static_cast<std::size_t>(r.u64());
+  next_ = static_cast<std::size_t>(r.u64());
+  if (size_ > ring_.size() || next_ >= ring_.size()) {
+    throw std::runtime_error("snapshot: SLO window cursor out of range");
+  }
+  observed_ = r.i64();
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  for (std::size_t i = 0; i < size_; ++i) ring_[i] = r.f64();
+}
+
+}  // namespace dollymp

@@ -30,6 +30,8 @@ const char* to_string(TraceEv ev) {
     case TraceEv::kQuarantineExit: return "quarantine-exit";
     case TraceEv::kRetryBackoff: return "retry-backoff";
     case TraceEv::kCloneBudgetDegraded: return "clone-budget-degraded";
+    case TraceEv::kArrivalShed: return "arrival-shed";
+    case TraceEv::kOverloadLevelChanged: return "overload-level-changed";
   }
   return "unknown";
 }

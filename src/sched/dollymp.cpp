@@ -430,9 +430,17 @@ void DollyMPScheduler::schedule(SchedulerContext& ctx) {
   int clone_budget = config_.clone_budget;
   if (res != nullptr) {
     clone_budget = res->degraded_clone_budget(ctx, config_.clone_budget);
-    if (clone_budget < config_.clone_budget) {
-      ctx.note_clone_budget_degraded(clone_budget, config_.clone_budget);
-    }
+  }
+  // Overload ladder (service mode): cloning inflates effective utilization
+  // exactly when the system is saturated, so level 1 halves the configured
+  // budget and level >= 2 suspends cloning outright.  Level 0 — every batch
+  // run — leaves the budget untouched.
+  const int overload = ctx.overload_level();
+  if (overload >= 1) {
+    clone_budget = std::min(clone_budget, overload >= 2 ? 0 : config_.clone_budget / 2);
+  }
+  if (clone_budget < config_.clone_budget) {
+    ctx.note_clone_budget_degraded(clone_budget, config_.clone_budget);
   }
   if (res != nullptr) {
     place_new_tasks_resilient(ctx);

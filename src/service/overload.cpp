@@ -1,0 +1,188 @@
+#include "dollymp/service/overload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "dollymp/common/state_io.h"
+
+namespace dollymp {
+
+namespace {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+void OverloadConfig::validate() const {
+  require(std::isfinite(bucket_rate_per_second) && bucket_rate_per_second >= 0.0,
+          "OverloadConfig: bucket_rate_per_second must be >= 0 (0 disables)");
+  require(std::isfinite(bucket_burst) && bucket_burst >= 1.0,
+          "OverloadConfig: bucket_burst must be >= 1");
+  require(std::isfinite(high_watermark) && high_watermark > 0.0,
+          "OverloadConfig: high_watermark must be > 0");
+  require(std::isfinite(low_watermark) && low_watermark > 0.0,
+          "OverloadConfig: low_watermark must be > 0");
+  require(low_watermark < high_watermark,
+          "OverloadConfig: watermarks must be ordered (low < high)");
+  require(num_tenant_classes >= 1, "OverloadConfig: num_tenant_classes must be >= 1");
+  require(protected_classes >= 0 && protected_classes <= num_tenant_classes,
+          "OverloadConfig: protected_classes must be in [0, num_tenant_classes]");
+  require(std::isfinite(shed_fraction) && shed_fraction >= 0.0 && shed_fraction <= 1.0,
+          "OverloadConfig: shed_fraction must be in [0, 1]");
+  require(slo_window_size > 0, "OverloadConfig: slo_window_size must be > 0");
+  require(slo_min_samples > 0, "OverloadConfig: slo_min_samples must be > 0");
+  require(std::isfinite(slo_target_p99_seconds) && slo_target_p99_seconds >= 0.0,
+          "OverloadConfig: slo_target_p99_seconds must be >= 0 (0 = load-only)");
+  require(std::isfinite(enter_level1) && enter_level1 > 0.0,
+          "OverloadConfig: enter_level1 must be > 0");
+  require(enter_level1 < enter_level2 && enter_level2 < enter_level3,
+          "OverloadConfig: ladder thresholds must be increasing "
+          "(enter_level1 < enter_level2 < enter_level3)");
+  require(std::isfinite(exit_ratio) && exit_ratio > 0.0 && exit_ratio <= 1.0,
+          "OverloadConfig: exit_ratio must be in (0, 1]");
+  require(dwell_evaluations >= 1, "OverloadConfig: dwell_evaluations must be >= 1");
+}
+
+// ---- AdmissionGate ----------------------------------------------------------
+
+AdmissionGate::AdmissionGate(const OverloadConfig& config)
+    : config_(config), tokens_(config.bucket_burst) {}
+
+int AdmissionGate::tenant_class(JobId id) const {
+  const int classes = config_.num_tenant_classes;
+  // Job ids are non-negative in practice; fold defensively anyway.
+  const int cls = static_cast<int>(id % classes);
+  return cls < 0 ? cls + classes : cls;
+}
+
+void AdmissionGate::update_watermark(double load_ratio) {
+  // Hysteresis latch: engage at the high watermark, release only once load
+  // has fallen through the low one — between them the latch holds its
+  // state, so the shedding decision cannot flap chunk to chunk.
+  if (!latched_ && load_ratio >= config_.high_watermark) {
+    latched_ = true;
+  } else if (latched_ && load_ratio <= config_.low_watermark) {
+    latched_ = false;
+    shed_accumulator_ = 0.0;  // each episode diffuses from a clean slate
+  }
+}
+
+bool AdmissionGate::admit(const JobSpec& spec, int overload_level, ShedReason* reason) {
+  // Layer 1: the token bucket, refilled by simulated time from the
+  // arrivals' own timestamps.  Monotone arrival times make the refill
+  // deterministic and chunking-independent.
+  if (config_.bucket_rate_per_second > 0.0) {
+    const double elapsed = spec.arrival_seconds - last_refill_seconds_;
+    if (elapsed > 0.0) {
+      tokens_ = std::min(config_.bucket_burst,
+                         tokens_ + elapsed * config_.bucket_rate_per_second);
+      last_refill_seconds_ = spec.arrival_seconds;
+    }
+    if (tokens_ < 1.0) {
+      *reason = ShedReason::kTokenBucket;
+      return false;
+    }
+    tokens_ -= 1.0;
+  }
+
+  // Layers 2 + 3: priority shedding while the watermark latch holds or the
+  // governor sits on the top rung.  Protected classes ride through.
+  const bool emergency = overload_level >= 3;
+  if (!latched_ && !emergency) return true;
+  const int cls = tenant_class(spec.id);
+  if (cls >= config_.num_tenant_classes - config_.protected_classes) return true;
+  // Error diffusion: carrying the fractional part forward makes the shed
+  // count over any window of n candidates exactly round(n * fraction) —
+  // deterministic, order-insensitive accounting with no RNG.
+  shed_accumulator_ += config_.shed_fraction;
+  if (shed_accumulator_ < 1.0) return true;
+  shed_accumulator_ -= 1.0;
+  *reason = emergency ? ShedReason::kOverload : ShedReason::kWatermark;
+  return false;
+}
+
+void AdmissionGate::save_state(StateWriter& w) const {
+  w.f64(tokens_);
+  w.f64(last_refill_seconds_);
+  w.b(latched_);
+  w.f64(shed_accumulator_);
+}
+
+void AdmissionGate::load_state(StateReader& r) {
+  tokens_ = r.f64();
+  last_refill_seconds_ = r.f64();
+  latched_ = r.b();
+  shed_accumulator_ = r.f64();
+}
+
+// ---- OverloadGovernor -------------------------------------------------------
+
+OverloadGovernor::OverloadGovernor(const OverloadConfig& config) : config_(config) {}
+
+int OverloadGovernor::target_level(double pressure) const {
+  // Asymmetric thresholds around the current level: climbing to L requires
+  // pressure >= enter_level[L]; staying at L only requires
+  // pressure > enter_level[L] * exit_ratio.  The band between them is the
+  // hysteresis that keeps a pressure hovering at a threshold from
+  // oscillating the ladder.
+  const double enters[3] = {config_.enter_level1, config_.enter_level2,
+                            config_.enter_level3};
+  int target = 0;
+  for (int l = 1; l <= 3; ++l) {
+    const double threshold =
+        l <= level_ ? enters[l - 1] * config_.exit_ratio : enters[l - 1];
+    if (pressure >= threshold) target = l;
+  }
+  return target;
+}
+
+int OverloadGovernor::evaluate(double load_ratio, const SloWindow& window) {
+  double pressure = load_ratio / config_.high_watermark;
+  if (config_.slo_target_p99_seconds > 0.0 &&
+      window.count() >= static_cast<std::size_t>(config_.slo_min_samples)) {
+    pressure = std::max(pressure, window.p99() / config_.slo_target_p99_seconds);
+  }
+  last_pressure_ = pressure;
+
+  const int target = target_level(pressure);
+  if (target == level_) {
+    pending_level_ = level_;
+    dwell_count_ = 0;
+    return level_;
+  }
+  // Dwell: the same direction must be argued for dwell_evaluations
+  // consecutive chunks, then the ladder moves ONE rung (never jumps), so
+  // every transition is individually traced and individually reversible.
+  if (pending_level_ != target) {
+    pending_level_ = target;
+    dwell_count_ = 1;
+  } else {
+    ++dwell_count_;
+  }
+  if (dwell_count_ >= config_.dwell_evaluations) {
+    level_ += target > level_ ? 1 : -1;
+    pending_level_ = level_;
+    dwell_count_ = 0;
+  }
+  return level_;
+}
+
+void OverloadGovernor::save_state(StateWriter& w) const {
+  w.i32(level_);
+  w.i32(pending_level_);
+  w.i32(dwell_count_);
+  w.f64(last_pressure_);
+}
+
+void OverloadGovernor::load_state(StateReader& r) {
+  level_ = r.i32();
+  pending_level_ = r.i32();
+  dwell_count_ = r.i32();
+  last_pressure_ = r.f64();
+}
+
+}  // namespace dollymp

@@ -59,6 +59,7 @@ std::unique_ptr<Scheduler> make_named_policy(const std::string& name) {
 void ServiceConfig::validate() const {
   sim.validate();
   arrivals.validate();
+  overload.validate();
   const auto& names = known_policy_names();
   if (std::find(names.begin(), names.end(), policy) == names.end()) {
     // Re-derive the factory's message (it lists the known names).
@@ -78,7 +79,10 @@ Session::Session(Cluster cluster, ServiceConfig config)
     : config_(std::move(config)),
       prototype_(std::move(cluster)),
       recorder_(kServiceRingCapacity),
-      source_(config_.arrivals) {
+      source_(config_.arrivals),
+      gate_(config_.overload),
+      governor_(config_.overload),
+      slo_(static_cast<std::size_t>(std::max(1, config_.overload.slo_window_size))) {
   config_.validate();
   if (prototype_.size() == 0) {
     throw std::invalid_argument("Session: empty cluster");
@@ -91,16 +95,45 @@ Session::Session(Cluster cluster, ServiceConfig config)
   core_->set_streaming(true);
   core_->set_recycle_jobs(true);
   core_->set_source_exhausted(false);
+  // The response-time window only feeds the governor; leave the completion
+  // hot path untouched when the ladder is off.
+  if (config_.overload.governor_enabled) core_->set_slo_window(&slo_);
   core_->begin(*scheduler_);
 }
 
 void Session::run_until(SimTime horizon_slots) {
   while (clock_ < horizon_slots) {
     const SimTime chunk_end = std::min(horizon_slots, clock_ + config_.pump_slots);
+    // Overload work happens at the pump boundary, before the chunk's
+    // arrivals are filtered: the gate and ladder see the load the previous
+    // chunk left behind — a pure function of the session's own state, so
+    // restored and forked sessions evaluate identically.
+    if (config_.overload.any_enabled()) evaluate_overload();
     pump_arrivals(chunk_end);
     (void)core_->step_until(chunk_end);
     reap_recycled();
     clock_ = chunk_end;
+  }
+}
+
+long long Session::arrivals_shed() const {
+  const SimStats& st = core_->stats();
+  return st.arrivals_shed_admission + st.arrivals_shed_watermark +
+         st.arrivals_shed_overload;
+}
+
+void Session::evaluate_overload() {
+  // Live-load estimate: jobs in flight per placeable server.  Quarantined
+  // and down machines drop out of the denominator, so a faulty fleet trips
+  // the watermark earlier — protection is fault-aware by construction.
+  const int live = std::max(1, core_->live_servers());
+  last_load_ratio_ =
+      static_cast<double>(core_->jobs_remaining()) / static_cast<double>(live);
+  if (config_.overload.admission_enabled) gate_.update_watermark(last_load_ratio_);
+  if (config_.overload.governor_enabled) {
+    const int before = core_->overload_level();
+    const int after = governor_.evaluate(last_load_ratio_, slo_);
+    if (after != before) core_->note_overload_transition(before, after);
   }
 }
 
@@ -113,6 +146,26 @@ void Session::pump_arrivals(SimTime through_slot) {
   if (source_.next_arrival_seconds() >= horizon_seconds) return;
   auto specs = std::make_shared<std::vector<JobSpec>>();
   source_.emit_until(horizon_seconds, *specs);
+  // Admission gate: filter the chunk's arrivals in place.  A shed job is
+  // never ingested — its id simply vanishes from the stream (and lands in
+  // the shed accounting), exactly as if the client had been turned away.
+  const int level = core_->overload_level();
+  if (config_.overload.admission_enabled || level >= 3) {
+    std::size_t kept = 0;
+    for (JobSpec& spec : *specs) {
+      ShedReason reason{};
+      if (gate_.admit(spec, level, &reason)) {
+        if (kept != static_cast<std::size_t>(&spec - specs->data())) {
+          (*specs)[kept] = std::move(spec);
+        }
+        ++kept;
+      } else {
+        core_->note_arrival_shed(spec.id, gate_.tenant_class(spec.id),
+                                 static_cast<int>(reason));
+      }
+    }
+    specs->resize(kept);
+  }
   if (specs->empty()) return;
   Segment segment;
   segment.first_seq = core_->next_ingest_seq();
@@ -154,6 +207,16 @@ void Session::write_payload(StateWriter& w) const {
   w.i64(clock_);
   source_.save_state(w);
   core_->save_state(w);
+  // Overload-protection state rides at the tail: gate (bucket level, latch,
+  // diffusion), governor (rung + dwell), the SLO window's samples and the
+  // core's applied ladder level.  Written unconditionally so the payload
+  // layout does not depend on which knobs are on.
+  w.section(0x4F564C44u);  // 'OVLD'
+  gate_.save_state(w);
+  governor_.save_state(w);
+  slo_.save_state(w);
+  w.i32(core_->overload_level());
+  w.f64(last_load_ratio_);
 }
 
 void Session::load_payload(StateReader& r, bool load_scheduler,
@@ -174,12 +237,24 @@ void Session::load_payload(StateReader& r, bool load_scheduler,
   clock_ = r.i64();
   source_.load_state(r);
   core_->load_state(r, load_scheduler, shared_specs);
+  r.section(0x4F564C44u);  // 'OVLD'
+  gate_.load_state(r);
+  governor_.load_state(r);
+  slo_.load_state(r);
+  // Re-apply the ladder rung silently: the transition was traced when it
+  // happened in the original run; replaying it would skew the stream.
+  core_->set_overload_level(r.i32());
+  last_load_ratio_ = r.f64();
+}
+
+std::vector<std::uint8_t> Session::serialize() const {
+  StateWriter w;
+  write_payload(w);
+  return w.finish();
 }
 
 void Session::checkpoint(const std::string& path) const {
-  StateWriter w;
-  write_payload(w);
-  write_state_file(path, w.finish());
+  write_state_file(path, serialize());
 }
 
 std::unique_ptr<Session> Session::restore(Cluster cluster, ServiceConfig config,

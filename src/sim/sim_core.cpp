@@ -397,6 +397,36 @@ void SimCore::defer_retry(SimTime release_slot) {
   request_wakeup(release_slot);
 }
 
+int SimCore::live_servers() const {
+  int live = 0;
+  for (std::size_t s = 0; s < cluster_.size(); ++s) {
+    const Server& server = cluster_.server(s);
+    if (!server.is_down() && !server.is_quarantined()) ++live;
+  }
+  return live;
+}
+
+void SimCore::note_arrival_shed(JobId job, int tenant_class, int reason) {
+  switch (reason) {
+    case 0: ++result_.stats.arrivals_shed_admission; break;
+    case 1: ++result_.stats.arrivals_shed_watermark; break;
+    default: ++result_.stats.arrivals_shed_overload; break;
+  }
+  trace(TraceEv::kArrivalShed, job, -1, -1, -1, -1,
+        (static_cast<std::int64_t>(reason) << 8) |
+            static_cast<std::int64_t>(tenant_class));
+}
+
+void SimCore::note_overload_transition(int from_level, int to_level) {
+  ++result_.stats.overload_transitions;
+  result_.stats.overload_level_max =
+      std::max<long long>(result_.stats.overload_level_max, to_level);
+  trace(TraceEv::kOverloadLevelChanged, -1, -1, -1, -1, -1,
+        (static_cast<std::int64_t>(to_level) << 8) |
+            static_cast<std::int64_t>(from_level));
+  overload_level_ = to_level;
+}
+
 void SimCore::note_retry_issued(long long backoff_slots) {
   ++result_.stats.retries_issued;
   result_.stats.backoff_slots_waited += backoff_slots;
@@ -682,8 +712,10 @@ void SimCore::complete_job(JobRuntime& job) {
   if (scheduler_ != nullptr) scheduler_->on_job_completed(*this, job);
   --jobs_remaining_;
   ++totals_.jobs_completed;
-  totals_.response_seconds_sum +=
+  const double response_seconds =
       static_cast<double>(job.finish_slot - job.arrival) * config_.slot_seconds;
+  totals_.response_seconds_sum += response_seconds;
+  if (slo_ != nullptr) slo_->observe(response_seconds);
   totals_.makespan_seconds =
       std::max(totals_.makespan_seconds,
                static_cast<double>(job.finish_slot) * config_.slot_seconds);

@@ -53,6 +53,11 @@ int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config)
 int run_speculation_pass(SchedulerContext& ctx, const SpeculationConfig& config,
                          SpeculationScratch* scratch) {
   if (!config.enabled) return 0;
+  // Degradation ladder level >= 2: backup copies are pure extra load when
+  // the cluster is saturated, so the sweep is suspended until the service
+  // governor steps back down (level 0/1 — including every batch run —
+  // leaves the pass untouched).
+  if (ctx.overload_level() >= 2) return 0;
 
   SpeculationScratch local;
   SpeculationScratch& arena = scratch != nullptr ? *scratch : local;

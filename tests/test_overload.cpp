@@ -1,0 +1,513 @@
+// Overload-protection acceptance tests (DESIGN.md §4.9): deterministic
+// token-bucket admission, error-diffusion priority shedding with tenant
+// protection, watermark hysteresis, the governor's dwell/one-rung ladder,
+// the SLO response-time window, exact shed accounting under a flash crowd,
+// and checkpoint/restore bit-identity with every knob on.
+#include "dollymp/service/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dollymp/cluster/cluster.h"
+#include "dollymp/common/state_io.h"
+#include "dollymp/metrics/slo_window.h"
+#include "dollymp/service/session.h"
+
+namespace dollymp {
+namespace {
+
+OverloadConfig base_overload() {
+  OverloadConfig config;
+  config.admission_enabled = true;
+  config.bucket_rate_per_second = 1.0;
+  config.bucket_burst = 4.0;
+  config.high_watermark = 4.0;
+  config.low_watermark = 2.0;
+  config.num_tenant_classes = 4;
+  config.protected_classes = 1;
+  config.shed_fraction = 1.0;
+  return config;
+}
+
+JobSpec arrival(JobId id, double seconds) {
+  JobSpec spec;
+  spec.id = id;
+  spec.arrival_seconds = seconds;
+  return spec;
+}
+
+// ---- OverloadConfig::validate -----------------------------------------------
+
+TEST(OverloadConfig, DefaultIsDisabledAndValid) {
+  OverloadConfig config;
+  EXPECT_FALSE(config.any_enabled());
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(OverloadConfig, ValidateRejectsBadKnobs) {
+  auto reject = [](auto&& mutate) {
+    OverloadConfig config = base_overload();
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  reject([](OverloadConfig& c) { c.bucket_rate_per_second = -1.0; });
+  reject([](OverloadConfig& c) { c.bucket_burst = 0.5; });
+  reject([](OverloadConfig& c) { c.high_watermark = 0.0; });
+  reject([](OverloadConfig& c) { c.low_watermark = -1.0; });
+  reject([](OverloadConfig& c) { c.low_watermark = c.high_watermark; });  // unordered
+  reject([](OverloadConfig& c) { c.num_tenant_classes = 0; });
+  reject([](OverloadConfig& c) { c.protected_classes = -1; });
+  reject([](OverloadConfig& c) { c.protected_classes = c.num_tenant_classes + 1; });
+  reject([](OverloadConfig& c) { c.shed_fraction = 1.5; });
+  reject([](OverloadConfig& c) { c.shed_fraction = -0.1; });
+  reject([](OverloadConfig& c) { c.slo_window_size = 0; });
+  reject([](OverloadConfig& c) { c.slo_min_samples = 0; });
+  reject([](OverloadConfig& c) { c.slo_target_p99_seconds = -5.0; });
+  reject([](OverloadConfig& c) { c.enter_level2 = c.enter_level1; });
+  reject([](OverloadConfig& c) { c.enter_level3 = c.enter_level2 - 0.1; });
+  reject([](OverloadConfig& c) { c.exit_ratio = 0.0; });
+  reject([](OverloadConfig& c) { c.exit_ratio = 1.5; });
+  reject([](OverloadConfig& c) { c.dwell_evaluations = 0; });
+}
+
+// ---- AdmissionGate: token bucket --------------------------------------------
+
+TEST(AdmissionGate, TokenBucketAdmitsBurstThenRateLimits) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 1.0;
+  config.bucket_burst = 4.0;
+  AdmissionGate gate(config);
+  // 10 arrivals at t=0: the burst admits 4, the rest bounce off the bucket.
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    ShedReason reason{};
+    if (gate.admit(arrival(i, 0.0), /*overload_level=*/0, &reason)) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(reason, ShedReason::kTokenBucket);
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  // 3 simulated seconds refill 3 tokens; 5 more arrivals admit exactly 3.
+  admitted = 0;
+  for (int i = 10; i < 15; ++i) {
+    ShedReason reason{};
+    if (gate.admit(arrival(i, 3.0), 0, &reason)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 3);
+}
+
+TEST(AdmissionGate, TokenBucketIsDeterministic) {
+  // The refill clock is the arrivals' own timestamps — two gates fed the
+  // same stream agree decision for decision, whatever the wall clock did.
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.7;
+  config.bucket_burst = 3.0;
+  AdmissionGate a(config);
+  AdmissionGate b(config);
+  for (int i = 0; i < 200; ++i) {
+    const JobSpec spec = arrival(i, static_cast<double>(i) * 0.61);
+    ShedReason ra{};
+    ShedReason rb{};
+    const bool da = a.admit(spec, 0, &ra);
+    const bool db = b.admit(spec, 0, &rb);
+    EXPECT_EQ(da, db) << "arrival " << i;
+    if (!da) {
+      EXPECT_EQ(ra, rb);
+    }
+  }
+}
+
+TEST(AdmissionGate, BucketStateSurvivesSaveLoad) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.7;
+  config.bucket_burst = 3.0;
+  AdmissionGate original(config);
+  for (int i = 0; i < 50; ++i) {
+    ShedReason reason{};
+    (void)original.admit(arrival(i, static_cast<double>(i) * 0.3), 0, &reason);
+  }
+  StateWriter w;
+  original.save_state(w);
+  const auto bytes = w.finish();
+  AdmissionGate restored(config);
+  StateReader r(bytes);
+  restored.load_state(r);
+  r.expect_done();
+  for (int i = 50; i < 120; ++i) {
+    const JobSpec spec = arrival(i, static_cast<double>(i) * 0.3);
+    ShedReason ra{};
+    ShedReason rb{};
+    EXPECT_EQ(original.admit(spec, 0, &ra), restored.admit(spec, 0, &rb));
+  }
+}
+
+// ---- AdmissionGate: watermark latch + priority shedding ---------------------
+
+TEST(AdmissionGate, WatermarkLatchHasHysteresis) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.0;  // isolate the latch
+  AdmissionGate gate(config);
+  EXPECT_FALSE(gate.latched());
+  gate.update_watermark(3.9);  // below high: stays open
+  EXPECT_FALSE(gate.latched());
+  gate.update_watermark(4.0);  // at high: engages
+  EXPECT_TRUE(gate.latched());
+  gate.update_watermark(3.0);  // between the marks: holds
+  EXPECT_TRUE(gate.latched());
+  gate.update_watermark(2.0);  // at low: releases
+  EXPECT_FALSE(gate.latched());
+  gate.update_watermark(3.0);  // between the marks again: stays open
+  EXPECT_FALSE(gate.latched());
+}
+
+TEST(AdmissionGate, ProtectedTenantClassRidesThroughShedding) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.0;
+  config.num_tenant_classes = 4;
+  config.protected_classes = 1;  // class 3 (ids 3 mod 4) is protected
+  config.shed_fraction = 1.0;
+  AdmissionGate gate(config);
+  gate.update_watermark(10.0);  // engage
+  ASSERT_TRUE(gate.latched());
+  for (int i = 0; i < 40; ++i) {
+    ShedReason reason{};
+    const bool admitted = gate.admit(arrival(i, 0.0), 0, &reason);
+    if (gate.tenant_class(i) == 3) {
+      EXPECT_TRUE(admitted) << "protected arrival " << i << " was shed";
+    } else {
+      EXPECT_FALSE(admitted);
+      EXPECT_EQ(reason, ShedReason::kWatermark);
+    }
+  }
+}
+
+TEST(AdmissionGate, ErrorDiffusionShedsExactFraction) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.0;
+  config.protected_classes = 0;
+  config.shed_fraction = 0.25;
+  AdmissionGate gate(config);
+  gate.update_watermark(10.0);
+  int shed = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    ShedReason reason{};
+    if (!gate.admit(arrival(i, 0.0), 0, &reason)) ++shed;
+  }
+  // The diffusion accumulator makes the count over n candidates exactly
+  // floor/round of n * fraction — not merely close in expectation.
+  EXPECT_EQ(shed, 250);
+}
+
+TEST(AdmissionGate, EmergencyLevelShedsWithoutLatch) {
+  OverloadConfig config = base_overload();
+  config.bucket_rate_per_second = 0.0;
+  config.protected_classes = 0;
+  AdmissionGate gate(config);
+  ASSERT_FALSE(gate.latched());
+  ShedReason reason{};
+  // Ladder rung 3 forces shedding even though the watermark never tripped.
+  EXPECT_FALSE(gate.admit(arrival(0, 0.0), /*overload_level=*/3, &reason));
+  EXPECT_EQ(reason, ShedReason::kOverload);
+  // Below rung 3 and unlatched, everything passes.
+  EXPECT_TRUE(gate.admit(arrival(1, 0.0), 2, &reason));
+}
+
+// ---- SloWindow --------------------------------------------------------------
+
+TEST(SloWindow, QuantilesOverSlidingWindow) {
+  SloWindow window(100);
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_DOUBLE_EQ(window.p99(), 0.0);  // empty: no signal
+  for (int i = 1; i <= 100; ++i) window.observe(static_cast<double>(i));
+  EXPECT_EQ(window.count(), 100u);
+  EXPECT_DOUBLE_EQ(window.p50(), 51.0);  // nearest-rank on 1..100
+  EXPECT_DOUBLE_EQ(window.p99(), 100.0);
+  // 50 more samples slide the window: 51..150 is now resident.
+  for (int i = 101; i <= 150; ++i) window.observe(static_cast<double>(i));
+  EXPECT_EQ(window.count(), 100u);
+  EXPECT_EQ(window.total_observed(), 150);
+  EXPECT_DOUBLE_EQ(window.quantile(0.0), 51.0);
+  EXPECT_DOUBLE_EQ(window.p99(), 150.0);
+}
+
+TEST(SloWindow, SaveLoadRoundTripsMidWrap) {
+  SloWindow original(8);
+  for (int i = 0; i < 13; ++i) original.observe(static_cast<double>(i) * 1.5);
+  StateWriter w;
+  original.save_state(w);
+  const auto bytes = w.finish();
+  SloWindow restored(8);
+  StateReader r(bytes);
+  restored.load_state(r);
+  r.expect_done();
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.total_observed(), original.total_observed());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(restored.quantile(q), original.quantile(q)) << "q=" << q;
+  }
+  // Continuations agree too (cursor position was preserved).
+  original.observe(42.0);
+  restored.observe(42.0);
+  EXPECT_DOUBLE_EQ(restored.p50(), original.p50());
+}
+
+TEST(SloWindow, LoadRejectsCapacityMismatch) {
+  SloWindow original(8);
+  original.observe(1.0);
+  StateWriter w;
+  original.save_state(w);
+  const auto bytes = w.finish();
+  SloWindow other(16);
+  StateReader r(bytes);
+  EXPECT_THROW(other.load_state(r), std::runtime_error);
+}
+
+TEST(SloWindow, ZeroCapacityRejected) {
+  EXPECT_THROW(SloWindow window(0), std::invalid_argument);
+}
+
+// ---- OverloadGovernor -------------------------------------------------------
+
+OverloadConfig governor_config() {
+  OverloadConfig config;
+  config.governor_enabled = true;
+  config.high_watermark = 2.0;  // pressure = load_ratio / 2
+  config.enter_level1 = 1.0;
+  config.enter_level2 = 1.5;
+  config.enter_level3 = 2.0;
+  config.exit_ratio = 0.8;
+  config.dwell_evaluations = 2;
+  return config;
+}
+
+TEST(OverloadGovernor, ClimbsOneRungPerDwellPeriod) {
+  const OverloadConfig config = governor_config();
+  OverloadGovernor governor(config);
+  const SloWindow window(16);  // empty: pressure is load-only
+  const double load = 10.0;    // pressure 5.0: argues for rung 3 immediately
+  EXPECT_EQ(governor.evaluate(load, window), 0);  // dwell 1 of 2
+  EXPECT_EQ(governor.evaluate(load, window), 1);  // moved ONE rung, not three
+  EXPECT_EQ(governor.evaluate(load, window), 1);
+  EXPECT_EQ(governor.evaluate(load, window), 2);
+  EXPECT_EQ(governor.evaluate(load, window), 2);
+  EXPECT_EQ(governor.evaluate(load, window), 3);
+  EXPECT_EQ(governor.evaluate(load, window), 3);  // saturates at the top
+}
+
+TEST(OverloadGovernor, DescendsWithDwellWhenPressureClears) {
+  const OverloadConfig config = governor_config();
+  OverloadGovernor governor(config);
+  const SloWindow window(16);
+  for (int i = 0; i < 6; ++i) (void)governor.evaluate(10.0, window);
+  ASSERT_EQ(governor.level(), 3);
+  // Pressure 0: argues for rung 0, but the ladder steps down one at a time.
+  EXPECT_EQ(governor.evaluate(0.0, window), 3);
+  EXPECT_EQ(governor.evaluate(0.0, window), 2);
+  EXPECT_EQ(governor.evaluate(0.0, window), 2);
+  EXPECT_EQ(governor.evaluate(0.0, window), 1);
+  EXPECT_EQ(governor.evaluate(0.0, window), 1);
+  EXPECT_EQ(governor.evaluate(0.0, window), 0);
+}
+
+TEST(OverloadGovernor, HysteresisBandHoldsTheRung) {
+  const OverloadConfig config = governor_config();
+  OverloadGovernor governor(config);
+  const SloWindow window(16);
+  // Climb to rung 1 (enter_level1 = 1.0 → load 2.0 is exactly the gate).
+  (void)governor.evaluate(2.0, window);
+  (void)governor.evaluate(2.0, window);
+  ASSERT_EQ(governor.level(), 1);
+  // Pressure 0.9 is below the entry gate but above the exit gate
+  // (1.0 * exit_ratio = 0.8): the rung holds no matter how long.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(governor.evaluate(1.8, window), 1);
+  // Pressure 0.75 is through the exit gate: rung drops after the dwell.
+  (void)governor.evaluate(1.5, window);
+  EXPECT_EQ(governor.evaluate(1.5, window), 0);
+}
+
+TEST(OverloadGovernor, FlappingTargetNeverMoves) {
+  const OverloadConfig config = governor_config();
+  OverloadGovernor governor(config);
+  const SloWindow window(16);
+  // The dwell counter resets whenever the argued direction changes, so an
+  // alternating pressure cannot accumulate enough agreement to transition.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(governor.evaluate(i % 2 == 0 ? 10.0 : 0.0, window), 0);
+  }
+}
+
+TEST(OverloadGovernor, SloPressureEngagesAfterMinSamples) {
+  OverloadConfig config = governor_config();
+  config.slo_target_p99_seconds = 10.0;
+  config.slo_min_samples = 4;
+  OverloadGovernor governor(config);
+  SloWindow window(16);
+  // Load is trivial; response times are 5x the target — but with fewer
+  // than min_samples observations the SLO term stays out of the pressure.
+  for (int i = 0; i < 3; ++i) window.observe(50.0);
+  (void)governor.evaluate(0.1, window);
+  EXPECT_LT(governor.last_pressure(), 1.0);
+  window.observe(50.0);  // 4th sample: p99/target = 5.0 takes over
+  (void)governor.evaluate(0.1, window);
+  EXPECT_DOUBLE_EQ(governor.last_pressure(), 5.0);
+}
+
+TEST(OverloadGovernor, StateSurvivesSaveLoadMidDwell) {
+  const OverloadConfig config = governor_config();
+  OverloadGovernor original(config);
+  const SloWindow window(16);
+  (void)original.evaluate(10.0, window);  // mid-dwell toward rung 1
+  StateWriter w;
+  original.save_state(w);
+  const auto bytes = w.finish();
+  OverloadGovernor restored(config);
+  StateReader r(bytes);
+  restored.load_state(r);
+  r.expect_done();
+  // The very next evaluation completes the dwell in both.
+  EXPECT_EQ(original.evaluate(10.0, window), restored.evaluate(10.0, window));
+  EXPECT_EQ(original.level(), 1);
+  EXPECT_EQ(restored.level(), 1);
+}
+
+// ---- Session-level: flash crowd, shed accounting, bit-identity --------------
+
+ServiceConfig overloaded_service(bool protection) {
+  ServiceConfig config;
+  config.policy = "dollymp2";
+  config.sim.seed = 5;
+  config.pump_slots = 64;
+  config.arrivals.rate_per_second = 0.25;
+  config.arrivals.mean_input_gb = 3.0;
+  config.arrivals.seed = 17;
+  // 5x surge through the middle of the run — enough to swamp paper30.
+  config.arrivals.flash_multiplier = 5.0;
+  config.arrivals.flash_start_seconds = 2000.0;
+  config.arrivals.flash_duration_seconds = 10000.0;
+  if (protection) {
+    config.overload.admission_enabled = true;
+    config.overload.high_watermark = 2.0;
+    config.overload.low_watermark = 1.0;
+    config.overload.shed_fraction = 1.0;
+    config.overload.num_tenant_classes = 4;
+    config.overload.protected_classes = 1;
+  }
+  return config;
+}
+
+TEST(OverloadSession, FlashCrowdShedAccountingIsExact) {
+  const SimTime horizon = 1500;
+  Session unprotected(Cluster::paper30(), overloaded_service(false));
+  Session protected_session(Cluster::paper30(), overloaded_service(true));
+  unprotected.run_until(horizon);
+  protected_session.run_until(horizon);
+
+  // Conservation: both sessions saw the identical arrival stream (same
+  // source seed), and every emitted arrival is either ingested or shed —
+  // none vanish, none double-count.
+  EXPECT_EQ(unprotected.arrivals_shed(), 0);
+  EXPECT_EQ(protected_session.totals().jobs_ingested + protected_session.arrivals_shed(),
+            unprotected.totals().jobs_ingested);
+  EXPECT_GT(protected_session.arrivals_shed(), 0);
+
+  // The per-reason counters sum to the aggregate.
+  const SimStats& stats = protected_session.core().stats();
+  EXPECT_EQ(stats.arrivals_shed_admission + stats.arrivals_shed_watermark +
+                stats.arrivals_shed_overload,
+            protected_session.arrivals_shed());
+
+  // Bounded growth: the protected backlog stays near the watermark band
+  // while the unprotected one runs away with the surge.
+  EXPECT_LT(protected_session.live_jobs(), unprotected.live_jobs());
+  EXPECT_LT(protected_session.load_ratio(), 3.0);
+}
+
+TEST(OverloadSession, ShedDecisionsIndependentOfRunUntilGranularity) {
+  // The decision stream is a pure function of (config, horizon sequence):
+  // as long as every horizon lands on a pump boundary, one big run_until
+  // and many small ones produce identical chunking and must not move a
+  // single shed decision.  This is the property the supervisor's
+  // bit-identical recovery stands on (stride % pump == 0).
+  const ServiceConfig config = overloaded_service(true);  // pump_slots = 64
+  Session a(Cluster::paper30(), config);
+  Session b(Cluster::paper30(), config);
+  a.run_until(1280);
+  for (SimTime t = 320; t <= 1280; t += 320) b.run_until(t);
+  EXPECT_EQ(a.stream_hash(), b.stream_hash());
+  EXPECT_EQ(a.arrivals_shed(), b.arrivals_shed());
+}
+
+ServiceConfig everything_on_service() {
+  ServiceConfig config = overloaded_service(true);
+  config.overload.bucket_rate_per_second = 0.4;
+  config.overload.bucket_burst = 16.0;
+  config.overload.governor_enabled = true;
+  config.overload.slo_target_p99_seconds = 400.0;
+  config.overload.slo_window_size = 128;
+  config.overload.slo_min_samples = 32;
+  config.sim.failures.enabled = true;
+  config.sim.failures.mean_time_to_failure_seconds = 900.0;
+  config.sim.failures.mean_repair_seconds = 120.0;
+  return config;
+}
+
+TEST(OverloadSession, CheckpointRestoreBitIdenticalWithAllKnobsOn) {
+  const std::string path = testing::TempDir() + "/dollymp_overload_ckpt.bin";
+  const ServiceConfig config = everything_on_service();
+  Session original(Cluster::paper30(), config);
+  original.run_until(1024);
+  original.checkpoint(path);
+  auto restored = Session::restore(Cluster::paper30(), config, path);
+  EXPECT_EQ(restored->clock(), original.clock());
+  EXPECT_EQ(restored->overload_level(), original.overload_level());
+  EXPECT_EQ(restored->arrivals_shed(), original.arrivals_shed());
+
+  original.run_until(2048);
+  restored->run_until(2048);
+  EXPECT_EQ(restored->stream_hash(), original.stream_hash());
+  EXPECT_EQ(restored->records_written(), original.records_written());
+  EXPECT_EQ(restored->arrivals_shed(), original.arrivals_shed());
+  EXPECT_EQ(restored->totals().jobs_completed, original.totals().jobs_completed);
+  std::remove(path.c_str());
+}
+
+TEST(OverloadSession, GovernorClimbsAndDegradationShowsInStats) {
+  ServiceConfig config = everything_on_service();
+  config.overload.admission_enabled = false;  // let the backlog actually build
+  config.sim.failures.enabled = false;
+  Session session(Cluster::paper30(), config);
+  session.run_until(1500);
+  const SimStats& stats = session.core().stats();
+  // The surge must have pushed the ladder off the ground floor at least
+  // once, and every transition is accounted.
+  EXPECT_GT(stats.overload_transitions, 0);
+  EXPECT_GE(stats.overload_level_max, 1);
+  EXPECT_GE(stats.overload_level_max, session.overload_level());
+}
+
+TEST(OverloadSession, KnobsOffMatchesPlainSession) {
+  // A default OverloadConfig must be a byte-for-byte no-op: same stream,
+  // same totals as a session that predates the overload layer entirely.
+  ServiceConfig plain = overloaded_service(false);
+  ServiceConfig wired = overloaded_service(false);
+  wired.overload = OverloadConfig{};  // explicit defaults
+  Session a(Cluster::paper30(), plain);
+  Session b(Cluster::paper30(), wired);
+  a.run_until(1024);
+  b.run_until(1024);
+  EXPECT_EQ(a.stream_hash(), b.stream_hash());
+  EXPECT_EQ(a.records_written(), b.records_written());
+  EXPECT_EQ(a.arrivals_shed(), 0);
+}
+
+}  // namespace
+}  // namespace dollymp

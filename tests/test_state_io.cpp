@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -155,6 +156,153 @@ TEST(StateIo, FileRoundTripAndIoErrors) {
   write_state_file(path, bytes);
   EXPECT_EQ(read_state_file(path), bytes);
   EXPECT_THROW((void)read_state_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+void write_raw(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// Every possible torn write of a snapshot — the file cut at each byte
+// boundary — must be rejected by the envelope check, never half-accepted.
+// This is the property the crash-recovery path stands on.
+TEST(StateIo, TruncationAtEveryByteIsRejected) {
+  const auto bytes = sample_envelope();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> torn(bytes.begin(),
+                                   bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(StateReader r(torn), std::runtime_error) << "cut at byte " << cut;
+  }
+  // And the untouched envelope still parses, so the loop above is not
+  // passing vacuously.
+  EXPECT_NO_THROW(StateReader r(bytes));
+}
+
+TEST(StateIo, AtomicWriteLeavesNoTempFile) {
+  const std::string path = testing::TempDir() + "/dollymp_atomic_test.ckpt";
+  write_state_file(path, sample_envelope());
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // Overwrite goes through the same temp+rename; the old complete file is
+  // only ever replaced by the new complete file.
+  StateWriter w;
+  w.u32(99);
+  write_state_file(path, w.finish());
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  StateReader r(read_state_file(path));
+  EXPECT_EQ(r.u32(), 99u);
+  std::remove(path.c_str());
+}
+
+TEST(StateIo, WriteFailureCarriesErrnoText) {
+  const std::string path =
+      testing::TempDir() + "/dollymp_no_such_dir_xyzzy/nested.ckpt";
+  try {
+    write_state_file(path, sample_envelope());
+    FAIL() << "write into a missing directory should throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    // The message must carry the OS's explanation (strerror), not just
+    // "failed" — "No such file or directory" on POSIX.
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+TEST(StateIo, RotationKeepsTwoGenerationsAndPicksLatest) {
+  const std::string base = testing::TempDir() + "/dollymp_rotation_a";
+  SnapshotRotation rotation(base);
+  EXPECT_EQ(rotation.newest_valid(), "");  // nothing written yet
+
+  StateWriter w1;
+  w1.u32(1);
+  rotation.write(w1.finish());
+  EXPECT_EQ(rotation.newest_valid(), rotation.latest_path());
+
+  StateWriter w2;
+  w2.u32(2);
+  rotation.write(w2.finish());
+  StateReader latest(read_state_file(rotation.latest_path()));
+  EXPECT_EQ(latest.u32(), 2u);
+  StateReader prev(read_state_file(rotation.previous_path()));
+  EXPECT_EQ(prev.u32(), 1u);
+  EXPECT_EQ(rotation.newest_valid(), rotation.latest_path());
+  EXPECT_EQ(rotation.quarantined_count(), 0);
+
+  std::remove(rotation.latest_path().c_str());
+  std::remove(rotation.previous_path().c_str());
+}
+
+TEST(StateIo, RotationQuarantinesCorruptLatestAndFallsBack) {
+  const std::string base = testing::TempDir() + "/dollymp_rotation_b";
+  SnapshotRotation rotation(base);
+  StateWriter w1;
+  w1.u32(1);
+  rotation.write(w1.finish());
+  StateWriter w2;
+  w2.u32(2);
+  rotation.write(w2.finish());
+
+  // Corrupt the newest generation in place (payload bit flip).
+  auto corrupt = read_state_file(rotation.latest_path());
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  write_raw(rotation.latest_path(), corrupt);
+
+  // Recovery walks past it to the previous generation and moves the bad
+  // file out of the rotation under a quarantine name.
+  EXPECT_EQ(rotation.newest_valid(), rotation.previous_path());
+  EXPECT_EQ(rotation.quarantined_count(), 1);
+  const std::string jail = rotation.latest_path() + ".quarantined.0";
+  EXPECT_TRUE(file_exists(jail));
+  EXPECT_FALSE(file_exists(rotation.latest_path()));
+  EXPECT_TRUE(SnapshotRotation::is_quarantined_path(jail));
+  EXPECT_FALSE(SnapshotRotation::is_quarantined_path(rotation.latest_path()));
+
+  // A second corruption of the same generation gets a fresh jail name —
+  // forensic evidence is never overwritten.
+  write_raw(rotation.latest_path(), corrupt);
+  EXPECT_EQ(rotation.newest_valid(), rotation.previous_path());
+  EXPECT_TRUE(file_exists(rotation.latest_path() + ".quarantined.1"));
+
+  std::remove(rotation.previous_path().c_str());
+  std::remove(jail.c_str());
+  std::remove((rotation.latest_path() + ".quarantined.1").c_str());
+}
+
+TEST(StateIo, RotationWithBothGenerationsCorruptReportsNone) {
+  const std::string base = testing::TempDir() + "/dollymp_rotation_c";
+  SnapshotRotation rotation(base);
+  StateWriter w1;
+  w1.u32(1);
+  rotation.write(w1.finish());
+  StateWriter w2;
+  w2.u32(2);
+  rotation.write(w2.finish());
+
+  for (const std::string& path :
+       {rotation.latest_path(), rotation.previous_path()}) {
+    auto corrupt = read_state_file(path);
+    corrupt[corrupt.size() / 2] ^= 0x01;
+    write_raw(path, corrupt);
+  }
+  EXPECT_EQ(rotation.newest_valid(), "");
+  EXPECT_EQ(rotation.quarantined_count(), 2);
+
+  std::remove((rotation.latest_path() + ".quarantined.0").c_str());
+  std::remove((rotation.previous_path() + ".quarantined.0").c_str());
+}
+
+TEST(StateIo, RotationRejectsEmptyBasePath) {
+  EXPECT_THROW(SnapshotRotation rotation(""), std::invalid_argument);
 }
 
 }  // namespace

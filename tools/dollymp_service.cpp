@@ -34,6 +34,32 @@
 //     --json                print the final status as JSON
 //     --help
 //
+// Overload protection (DESIGN.md §4.9; all off by default):
+//     --admission           enable the admission gate (token bucket +
+//                           watermark shedding)
+//     --bucket RATE:BURST   token-bucket rate cap (jobs/second, burst jobs)
+//     --watermarks HIGH:LOW live-jobs-per-live-server shed watermarks
+//     --shed-fraction F     fraction of sheddable arrivals dropped while
+//                           latched (error-diffused), in [0,1]
+//     --tenants N:PROTECTED tenant classes (job id % N) and how many top
+//                           classes ride through watermark shedding
+//     --governor            enable the SLO degradation ladder
+//     --slo-p99 SECONDS     p99 response-time target (0 = load-only)
+//     --slo-window N        sliding-window sample count
+//
+// Supervised crash-safe mode:
+//     --supervise           run the session in a supervised child process,
+//                           auto-restarting from the newest valid snapshot
+//     --snapshot-base PATH  rotation base (PATH.latest / PATH.prev /
+//                           PATH.progress); required with --supervise
+//     --snapshot-every SLOTS  snapshot stride (multiple of --pump;
+//                           default 4 * pump)
+//     --max-restarts N      restart budget             (default 8)
+//     --watchdog SECONDS    no-progress watchdog       (default 30)
+//     --resume-from FILE    first child resumes from this snapshot
+//                           (quarantined snapshots are refused)
+//     --kill-at S1,S2,...   test hook: child k SIGKILLs itself at slot Sk
+//
 // Script commands:
 //     run SLOTS             advance the parent session
 //     status                print a status line for every session
@@ -58,6 +84,7 @@
 #include "dollymp/common/cli.h"
 #include "dollymp/common/thread_pool.h"
 #include "dollymp/service/session.h"
+#include "dollymp/service/supervisor.h"
 
 namespace {
 
@@ -87,6 +114,26 @@ struct Options {
   std::string script;
   bool repl = false;
   bool json = false;
+  // Overload protection.
+  bool admission = false;
+  double bucket_rate = 0.0;
+  double bucket_burst = 32.0;
+  double high_watermark = 4.0;
+  double low_watermark = 2.0;
+  double shed_fraction = 1.0;
+  int tenant_classes = 4;
+  int protected_classes = 1;
+  bool governor = false;
+  double slo_p99 = 0.0;
+  int slo_window = 512;
+  // Supervised mode.
+  bool supervise = false;
+  std::string snapshot_base;
+  SimTime snapshot_every = 0;  // 0: default to 4 * pump
+  int max_restarts = 8;
+  double watchdog = 30.0;
+  std::string resume_from;
+  std::vector<SimTime> kill_at;
 };
 
 [[noreturn]] void usage(int code) {
@@ -99,6 +146,14 @@ struct Options {
       "                       [--horizon SLOTS] [--checkpoint FILE]\n"
       "                       [--checkpoint-every SECONDS] [--restore FILE]\n"
       "                       [--script FILE] [--repl] [--json]\n"
+      "                       [--admission] [--bucket RATE:BURST]\n"
+      "                       [--watermarks HIGH:LOW] [--shed-fraction F]\n"
+      "                       [--tenants N:PROTECTED] [--governor]\n"
+      "                       [--slo-p99 SECONDS] [--slo-window N]\n"
+      "                       [--supervise] [--snapshot-base PATH]\n"
+      "                       [--snapshot-every SLOTS] [--max-restarts N]\n"
+      "                       [--watchdog SECONDS] [--resume-from FILE]\n"
+      "                       [--kill-at S1,S2,...]\n"
       "\n"
       "script commands: run N | status | checkpoint PATH |\n"
       "                 fork NAME [policy=P] [quarantine=ID,ID,...] |\n"
@@ -111,7 +166,11 @@ const std::vector<std::string> kKnownFlags = {
     "--diurnal",   "--flash",    "--mean-gb",      "--seed",
     "--arrival-seed", "--slot",  "--threads",      "--pump",
     "--failures",  "--horizon",  "--checkpoint",   "--checkpoint-every",
-    "--restore",   "--script",   "--repl",         "--json"};
+    "--restore",   "--script",   "--repl",         "--json",
+    "--admission", "--bucket",   "--watermarks",   "--shed-fraction",
+    "--tenants",   "--governor", "--slo-p99",      "--slo-window",
+    "--supervise", "--snapshot-base", "--snapshot-every", "--max-restarts",
+    "--watchdog",  "--resume-from",   "--kill-at"};
 
 Options parse_options(int argc, char** argv) {
   Options opt;
@@ -164,7 +223,46 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--script") opt.script = need_value(i);
     else if (arg == "--repl") opt.repl = true;
     else if (arg == "--json") opt.json = true;
-    else {
+    else if (arg == "--admission") opt.admission = true;
+    else if (arg == "--bucket") {
+      const auto parts = cli::split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--bucket wants RATE:BURST\n";
+        usage(2);
+      }
+      opt.bucket_rate = std::stod(parts[0]);
+      opt.bucket_burst = std::stod(parts[1]);
+    } else if (arg == "--watermarks") {
+      const auto parts = cli::split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--watermarks wants HIGH:LOW\n";
+        usage(2);
+      }
+      opt.high_watermark = std::stod(parts[0]);
+      opt.low_watermark = std::stod(parts[1]);
+    } else if (arg == "--shed-fraction") opt.shed_fraction = std::stod(need_value(i));
+    else if (arg == "--tenants") {
+      const auto parts = cli::split(need_value(i), ':');
+      if (parts.size() != 2) {
+        std::cerr << "--tenants wants N:PROTECTED\n";
+        usage(2);
+      }
+      opt.tenant_classes = std::stoi(parts[0]);
+      opt.protected_classes = std::stoi(parts[1]);
+    } else if (arg == "--governor") opt.governor = true;
+    else if (arg == "--slo-p99") opt.slo_p99 = std::stod(need_value(i));
+    else if (arg == "--slo-window") opt.slo_window = std::stoi(need_value(i));
+    else if (arg == "--supervise") opt.supervise = true;
+    else if (arg == "--snapshot-base") opt.snapshot_base = need_value(i);
+    else if (arg == "--snapshot-every") opt.snapshot_every = std::stoll(need_value(i));
+    else if (arg == "--max-restarts") opt.max_restarts = std::stoi(need_value(i));
+    else if (arg == "--watchdog") opt.watchdog = std::stod(need_value(i));
+    else if (arg == "--resume-from") opt.resume_from = need_value(i);
+    else if (arg == "--kill-at") {
+      for (const auto& slot : cli::split(need_value(i), ',')) {
+        opt.kill_at.push_back(std::stoll(slot));
+      }
+    } else {
       std::cerr << cli::unknown_flag_message(arg, kKnownFlags) << "\n";
       usage(2);
     }
@@ -207,6 +305,17 @@ ServiceConfig make_service_config(const Options& opt) {
   config.policy = opt.policy;
   config.pump_slots = opt.pump;
   config.checkpoint_interval_seconds = opt.checkpoint_every;
+  config.overload.admission_enabled = opt.admission;
+  config.overload.bucket_rate_per_second = opt.bucket_rate;
+  config.overload.bucket_burst = opt.bucket_burst;
+  config.overload.high_watermark = opt.high_watermark;
+  config.overload.low_watermark = opt.low_watermark;
+  config.overload.shed_fraction = opt.shed_fraction;
+  config.overload.num_tenant_classes = opt.tenant_classes;
+  config.overload.protected_classes = opt.protected_classes;
+  config.overload.governor_enabled = opt.governor;
+  config.overload.slo_target_p99_seconds = opt.slo_p99;
+  config.overload.slo_window_size = opt.slo_window;
   return config;
 }
 
@@ -343,12 +452,53 @@ int run_script(Fleet& fleet, std::istream& in, bool echo) {
   return 0;
 }
 
+/// Supervised one-shot: run the session in a babysat child process and
+/// print the final progress as one deterministic JSON line.  The JSON is
+/// byte-identical for any --kill-at schedule, which is what the CI recovery
+/// gate compares.
+int run_supervise(const Options& opt, const ServiceConfig& config,
+                  const Cluster& cluster) {
+  if (opt.snapshot_base.empty()) {
+    std::cerr << "--supervise requires --snapshot-base PATH\n";
+    return 2;
+  }
+  SupervisorOptions sup;
+  sup.snapshot_base = opt.snapshot_base;
+  sup.horizon_slots = opt.horizon;
+  sup.checkpoint_stride_slots =
+      opt.snapshot_every > 0 ? opt.snapshot_every : 4 * opt.pump;
+  sup.max_restarts = opt.max_restarts;
+  sup.watchdog_seconds = opt.watchdog;
+  sup.resume_from = opt.resume_from;
+  sup.kill_at_slots = opt.kill_at;
+  const SupervisorResult result = run_supervised(cluster, config, sup);
+  std::cout << "{\"clock\":" << result.final_clock << ",\"stream_hash\":\""
+            << hex64(result.stream_hash)
+            << "\",\"stream_records\":" << result.records_written
+            << ",\"jobs_ingested\":" << result.jobs_ingested
+            << ",\"jobs_completed\":" << result.jobs_completed
+            << ",\"arrivals_shed\":" << result.arrivals_shed
+            << ",\"restarts\":" << result.restarts
+            << ",\"snapshots_quarantined\":" << result.snapshots_quarantined
+            << "}\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   const ServiceConfig config = make_service_config(opt);
   const Cluster cluster = make_cluster(opt.cluster);
+
+  if (opt.supervise) {
+    try {
+      return run_supervise(opt, config, cluster);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 3;
+    }
+  }
 
   Fleet fleet;
   try {
