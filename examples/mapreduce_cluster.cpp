@@ -22,8 +22,8 @@ int main() {
 
   const Cluster cluster = Cluster::paper30();
   std::cout << "cluster: " << cluster.size() << " nodes, "
-            << cluster.total_capacity().cpu << " cores, "
-            << cluster.total_capacity().mem << " GB across " << cluster.rack_count()
+            << cluster.total_capacity().cpu() << " cores, "
+            << cluster.total_capacity().mem() << " GB across " << cluster.rack_count()
             << " racks\n";
 
   // 60 jobs: alternating WordCount (2-6 GB inputs) and 2-iteration PageRank,

@@ -81,8 +81,9 @@ double Cluster::utilization() const {
   if (servers_.empty()) return 0.0;
   const Resources used = total_used();
   double util = 0.0;
-  if (total_.cpu > 0.0) util = std::max(util, used.cpu / total_.cpu);
-  if (total_.mem > 0.0) util = std::max(util, used.mem / total_.mem);
+  for (std::size_t d = 0; d < Resources::kMaxDims; ++d) {
+    if (total_[d] > 0.0) util = std::max(util, used[d] / total_[d]);
+  }
   return util;
 }
 
@@ -148,6 +149,26 @@ Cluster Cluster::google_trace(std::size_t servers) {
       cluster.add_server(ServerSpec{{48, 192}, 1.3, rack, "huge-48c"});
     } else {
       cluster.add_server(ServerSpec{{8, 24}, 0.85, rack, "small-8c"});
+    }
+  }
+  return cluster;
+}
+
+Cluster Cluster::gpu_pods(std::size_t servers) {
+  // Mixed ML/analytics inventory: per 8 machines, 2 are 8-GPU training
+  // nodes (the A100-pod shape: fat CPU/memory host feeding 8 accelerators)
+  // and 6 are CPU-only workers, over racks of 16 so a typical 8-rank gang
+  // fits inside one rack when the packing cooperates — which makes the
+  // rack-spread penalty of split gangs observable rather than constant.
+  Cluster cluster;
+  cluster.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    const int rack = static_cast<int>(i / 16);
+    const std::size_t r = i % 8;
+    if (r < 2) {
+      cluster.add_server(ServerSpec{{64.0, 256.0, 8.0}, 1.2, rack, "gpu-8x"});
+    } else {
+      cluster.add_server(ServerSpec{{16.0, 64.0}, 1.0, rack, "cpu-16c"});
     }
   }
   return cluster;

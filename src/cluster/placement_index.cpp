@@ -91,7 +91,10 @@ PlacementIndex::RackClassBucket& PlacementIndex::bucket_of(ServerId id) {
 }
 
 std::int32_t PlacementIndex::group_for(ResourceClass& cls, const Resources& used) {
-  const auto key = std::make_pair(used.cpu, used.mem);
+  // Exact per-dimension key (see the equality-policy note in resources.h):
+  // lexicographic over all dimensions, which reproduces the historical
+  // (cpu, mem) pair ordering when the extra dimensions are all zero.
+  const std::array<double, Resources::kMaxDims>& key = used.dims;
   const auto it = cls.lookup.find(key);
   if (it != cls.lookup.end()) return it->second;
   const auto gid = static_cast<std::int32_t>(cls.groups.size());

@@ -95,7 +95,12 @@ void Server::release(const Resources& demand) {
   // demand vector — a layout bug that the clamp below would otherwise
   // silently absorb.  The epsilon tolerates float noise from fractional
   // demands (which the clamp exists to tidy).
-  DMP_DEBUG_CHECK(used.cpu - demand.cpu >= -1e-6 && used.mem - demand.mem >= -1e-6,
+  DMP_DEBUG_CHECK([&] {
+                    for (std::size_t d = 0; d < Resources::kMaxDims; ++d) {
+                      if (used[d] - demand[d] < -1e-6) return false;
+                    }
+                    return true;
+                  }(),
                   "Server::release: allocation counter underflow");
   used -= demand;
   used = used.clamped();

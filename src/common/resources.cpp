@@ -1,5 +1,6 @@
 #include "dollymp/common/resources.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -7,8 +8,9 @@ namespace dollymp {
 
 double Resources::dominant_share(const Resources& total) const {
   double share = 0.0;
-  if (total.cpu > 0.0) share = std::max(share, cpu / total.cpu);
-  if (total.mem > 0.0) share = std::max(share, mem / total.mem);
+  for (std::size_t d = 0; d < kMaxDims; ++d) {
+    if (total.dims[d] > 0.0) share = std::max(share, dims[d] / total.dims[d]);
+  }
   return share;
 }
 
@@ -19,14 +21,35 @@ std::string Resources::to_string() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Resources& r) {
-  return os << "(" << r.cpu << " cores, " << r.mem << " GB)";
+  // The historical two-dimensional rendering, with populated extra axes
+  // appended — so two-dimensional output (and every test pinned to it) is
+  // byte-identical.
+  os << "(" << r.cpu() << " cores, " << r.mem() << " GB";
+  if (r.gpu() != 0.0) os << ", " << r.gpu() << " gpu";
+  for (std::size_t d = Resources::kGpuDim + 1; d < Resources::kMaxDims; ++d) {
+    if (r[d] != 0.0) os << ", " << r[d] << " r" << d;
+  }
+  return os << ")";
 }
 
 double normalized_sum(const Resources& r, const Resources& total) {
   double sum = 0.0;
-  if (total.cpu > 0.0) sum += r.cpu / total.cpu;
-  if (total.mem > 0.0) sum += r.mem / total.mem;
+  for (std::size_t d = 0; d < Resources::kMaxDims; ++d) {
+    if (total[d] > 0.0) sum += r[d] / total[d];
+  }
   return sum;
+}
+
+double min_free_fraction(const Resources& free, const Resources& total) {
+  double fraction = 0.0;
+  bool any = false;
+  for (std::size_t d = 0; d < Resources::kMaxDims; ++d) {
+    if (total[d] <= 0.0) continue;
+    const double f = free[d] / total[d];
+    fraction = any ? std::min(fraction, f) : f;
+    any = true;
+  }
+  return any ? fraction : 0.0;
 }
 
 }  // namespace dollymp

@@ -85,6 +85,14 @@ class Cluster {
   /// bench/scale_step.cpp).
   static Cluster google_trace(std::size_t servers = 30'000);
 
+  /// Mixed ML/analytics inventory for the GPU gang-scheduling scenario:
+  /// per 8 machines, 2 are 8-GPU training nodes (64 cores / 256 GB / 8
+  /// GPUs) and 6 are CPU-only 16-core workers, over racks of 16.  GPUs are
+  /// the scarce integral third resource dimension (SimConfig::resource_dims
+  /// = 3); gang-scheduled training steps compete with CPU analytics jobs
+  /// for the hosts.
+  static Cluster gpu_pods(std::size_t servers);
+
   /// Single server with the given (normalized) capacity — the transient
   /// setting of Sections 4.1/4.2 and the Fig. 2 example.
   static Cluster single(Resources capacity, double base_speed = 1.0);

@@ -171,7 +171,7 @@ class PlacementIndex {
     std::vector<Group> groups;  ///< pool; slots are never reclaimed
     /// used -> pool slot.  Insert-only: churn revisits the same used
     /// vectors, so in steady state every lookup hits.
-    std::map<std::pair<double, double>, std::int32_t> lookup;
+    std::map<std::array<double, Resources::kMaxDims>, std::int32_t> lookup;
     std::int32_t active_head = kNoGroup;  ///< list of groups with members
   };
 

@@ -1,79 +1,148 @@
-// Multi-dimensional resource vectors (CPU cores + memory GB).
+// N-dimensional resource vectors (CPU cores, memory GB, GPUs, ...).
 //
-// The paper's model (Section 3) is two-dimensional: each task of phase
-// phi_j^k demands c_j^k CPU cores and m_j^k GB of memory, and server i has
-// capacity (C_i, M_i).  Everything the schedulers need from resources is
-// collected here: component-wise arithmetic, the fits-within partial order
-// (capacity constraint Eq. 5), the inner-product alignment score used by
-// Tetris and by DollyMP's intra-priority tie break, and the dominant-share
-// computation of Eq. 9 / Eq. 15.
+// The paper's model (Section 3) is multi-resource: each task of phase
+// phi_j^k demands a vector of resources and server i has a capacity vector.
+// Historically this file hard-coded two dimensions (CPU cores, memory GB);
+// it now carries a fixed-capacity N-dimensional vector with a compile-time
+// maximum (`kMaxDims`).  Dimensions 0 and 1 are always CPU and memory so the
+// two-dimensional reproduction is unchanged; dimension 2 is the GPU axis
+// used by the gang-scheduled ML workload; further dimensions are reserved.
+//
+// Everything the schedulers need from resources is collected here:
+// component-wise arithmetic, the fits-within partial order (capacity
+// constraint Eq. 5), the inner-product alignment score used by Tetris and by
+// DollyMP's intra-priority tie break, and the dominant-share computation of
+// Eq. 9 / Eq. 15 — all generalized as loops over every dimension.
+//
+// Bit-identity contract: unused dimensions are exactly 0.0, and every
+// operation iterates all `kMaxDims` unconditionally.  Adding 0.0, taking
+// min/max against 0.0, and comparing 0.0 <= 0.0 + slack are bitwise
+// invisible for the non-negative values this type holds, so a build with
+// kMaxDims > 2 reproduces the historical two-field arithmetic bit for bit
+// when only CPU and memory are populated (tests/test_resources_nd.cpp is
+// the differential harness that pins this).
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 namespace dollymp {
 
-/// A point in (CPU cores, memory GB) space.  Values are non-negative by
-/// convention; helper constructors and operations never produce NaN for
-/// non-negative inputs.
+/// A point in resource space.  Values are non-negative by convention;
+/// helper constructors and operations never produce NaN for non-negative
+/// inputs.
+///
+/// Equality policy: `operator==` is EXACT (bitwise `double` comparison per
+/// dimension).  It is the key semantics of the `PlacementIndex` usage
+/// groups and of every hash/cache keyed on a resource vector: two servers
+/// belong to the same group iff their used vectors are value-identical,
+/// which holds exactly when they executed the same allocate/release
+/// sequence.  Tolerant comparison lives only in `fits_within` (the kSlack
+/// headroom), which answers a different question — "does this demand fit"
+/// — where accumulated float noise from repeated alloc/release round trips
+/// must not spuriously reject an exact fill.  Do not "fix" `==` to be
+/// approximate: near-equal-but-not-equal vectors landing in distinct index
+/// groups is intended and harmless (both groups stay visible to every
+/// walk), while an approximate key would make group membership depend on
+/// insertion order and break replay determinism.
 struct Resources {
-  double cpu = 0.0;
-  double mem = 0.0;
+  /// Compile-time dimension capacity.  Dimension 0 = CPU cores,
+  /// 1 = memory GB, 2 = GPUs, 3 = reserved.
+  static constexpr std::size_t kMaxDims = 4;
+  static constexpr std::size_t kCpuDim = 0;
+  static constexpr std::size_t kMemDim = 1;
+  static constexpr std::size_t kGpuDim = 2;
+
+  std::array<double, kMaxDims> dims{};
 
   constexpr Resources() = default;
-  constexpr Resources(double cpu_cores, double mem_gb) : cpu(cpu_cores), mem(mem_gb) {}
+  constexpr Resources(double cpu_cores, double mem_gb)
+      : dims{cpu_cores, mem_gb, 0.0, 0.0} {}
+  constexpr Resources(double cpu_cores, double mem_gb, double gpus)
+      : dims{cpu_cores, mem_gb, gpus, 0.0} {}
+
+  [[nodiscard]] constexpr double cpu() const { return dims[kCpuDim]; }
+  [[nodiscard]] constexpr double mem() const { return dims[kMemDim]; }
+  [[nodiscard]] constexpr double gpu() const { return dims[kGpuDim]; }
+
+  constexpr double& operator[](std::size_t d) { return dims[d]; }
+  constexpr double operator[](std::size_t d) const { return dims[d]; }
 
   [[nodiscard]] constexpr bool fits_within(const Resources& capacity) const {
     // Tolerate tiny floating error so that repeated alloc/release round trips
     // never spuriously reject a task that exactly fills a server.
     constexpr double kSlack = 1e-9;
-    return cpu <= capacity.cpu + kSlack && mem <= capacity.mem + kSlack;
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      if (dims[d] > capacity.dims[d] + kSlack) return false;
+    }
+    return true;
   }
 
-  [[nodiscard]] constexpr bool is_zero() const { return cpu == 0.0 && mem == 0.0; }
-  [[nodiscard]] constexpr bool non_negative() const { return cpu >= 0.0 && mem >= 0.0; }
+  [[nodiscard]] constexpr bool is_zero() const {
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      if (dims[d] != 0.0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] constexpr bool non_negative() const {
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      if (dims[d] < 0.0) return false;
+    }
+    return true;
+  }
 
   /// Inner product — the "alignment score" of Tetris (Section 2) and the
   /// resource-fit tie break of Algorithm 2, step 12.
   [[nodiscard]] constexpr double dot(const Resources& other) const {
-    return cpu * other.cpu + mem * other.mem;
+    double sum = 0.0;
+    for (std::size_t d = 0; d < kMaxDims; ++d) sum += dims[d] * other.dims[d];
+    return sum;
   }
 
   /// Dominant share with respect to a total capacity (Eq. 9 / Eq. 15):
-  ///   d = max(cpu / total.cpu, mem / total.mem).
+  ///   d = max over dimensions of dims[d] / total[d].
   /// A zero capacity dimension contributes 0 (that dimension cannot be
   /// dominant when the cluster has none of it and the demand must be 0).
   [[nodiscard]] double dominant_share(const Resources& total) const;
 
   /// Component-wise minimum / maximum.
   [[nodiscard]] constexpr Resources min(const Resources& o) const {
-    return {cpu < o.cpu ? cpu : o.cpu, mem < o.mem ? mem : o.mem};
+    Resources out;
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      out.dims[d] = dims[d] < o.dims[d] ? dims[d] : o.dims[d];
+    }
+    return out;
   }
   [[nodiscard]] constexpr Resources max(const Resources& o) const {
-    return {cpu > o.cpu ? cpu : o.cpu, mem > o.mem ? mem : o.mem};
+    Resources out;
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      out.dims[d] = dims[d] > o.dims[d] ? dims[d] : o.dims[d];
+    }
+    return out;
   }
 
   /// Clamp negatives (from floating noise after release) back to zero.
   [[nodiscard]] constexpr Resources clamped() const {
-    return {cpu < 0.0 ? 0.0 : cpu, mem < 0.0 ? 0.0 : mem};
+    Resources out;
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      out.dims[d] = dims[d] < 0.0 ? 0.0 : dims[d];
+    }
+    return out;
   }
 
   constexpr Resources& operator+=(const Resources& o) {
-    cpu += o.cpu;
-    mem += o.mem;
+    for (std::size_t d = 0; d < kMaxDims; ++d) dims[d] += o.dims[d];
     return *this;
   }
   constexpr Resources& operator-=(const Resources& o) {
-    cpu -= o.cpu;
-    mem -= o.mem;
+    for (std::size_t d = 0; d < kMaxDims; ++d) dims[d] -= o.dims[d];
     return *this;
   }
   constexpr Resources& operator*=(double s) {
-    cpu *= s;
-    mem *= s;
+    for (std::size_t d = 0; d < kMaxDims; ++d) dims[d] *= s;
     return *this;
   }
 
@@ -81,8 +150,12 @@ struct Resources {
   friend constexpr Resources operator-(Resources a, const Resources& b) { return a -= b; }
   friend constexpr Resources operator*(Resources a, double s) { return a *= s; }
   friend constexpr Resources operator*(double s, Resources a) { return a *= s; }
+  /// EXACT comparison — see the equality-policy note on the struct.
   friend constexpr bool operator==(const Resources& a, const Resources& b) {
-    return a.cpu == b.cpu && a.mem == b.mem;
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      if (a.dims[d] != b.dims[d]) return false;
+    }
+    return true;
   }
 
   [[nodiscard]] std::string to_string() const;
@@ -92,7 +165,13 @@ std::ostream& operator<<(std::ostream& os, const Resources& r);
 
 /// Sum of normalized dimensions, used as the scalar "resource usage" in the
 /// paper's Fig. 8 metric ("the sum across the (normalized) CPU and Memory
-/// resource multiplied by the task duration").
+/// resource multiplied by the task duration").  Zero-capacity dimensions
+/// contribute nothing, so the metric is unchanged on two-dimensional runs.
 [[nodiscard]] double normalized_sum(const Resources& r, const Resources& total);
+
+/// Smallest free fraction across provisioned dimensions (total[d] > 0) —
+/// the "how full is the cluster" scalar Hopper's reservation test uses.
+/// Returns 0 when no dimension is provisioned.
+[[nodiscard]] double min_free_fraction(const Resources& free, const Resources& total);
 
 }  // namespace dollymp

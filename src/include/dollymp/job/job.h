@@ -28,6 +28,11 @@ struct PhaseSpec {
   double theta_seconds = 1.0;    ///< mean task duration theta_j^k
   double sigma_seconds = 0.0;    ///< stddev sigma_j^k
   std::vector<PhaseIndex> parents;  ///< upstream phases P(phi_j^k)
+  /// Gang-scheduled phase: every task must be placed atomically in one
+  /// all-or-nothing wave (distributed ML training steps, where a partial
+  /// world cannot make progress).  Placed via SchedulerContext::place_gang.
+  /// Last so historical aggregate initializers keep their field order.
+  bool gang = false;
 
   /// Effective per-task length e_j^k = theta + r * sigma (Section 5; the
   /// paper's sigma-weighting factor defaults to r = 1.5 in Section 6.1).

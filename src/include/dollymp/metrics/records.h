@@ -179,6 +179,15 @@ struct SimStats {
   long long overload_transitions = 0;     ///< degradation-ladder level changes
   long long overload_level_max = 0;       ///< highest ladder level reached
 
+  // Gang scheduling (all zero when the workload has no gang phases).  A
+  // "gang" here is one all-or-nothing placement wave of a PhaseSpec::gang
+  // phase; rollbacks count probe waves that found no complete assignment
+  // and released every tentative allocation.
+  long long gangs_placed = 0;            ///< waves committed atomically
+  long long gang_tasks_placed = 0;       ///< first copies placed across waves
+  long long gang_rollbacks = 0;          ///< probe waves rolled back
+  long long gangs_split_across_racks = 0;  ///< committed waves spanning >1 rack
+
   // End-of-run conservation check inputs (chaos invariant: every launched
   // copy is accounted for and no allocation leaks past the last job).
   long long copies_finished = 0;  ///< copies that ran to natural completion

@@ -57,6 +57,10 @@ enum class TraceEv : std::uint8_t {
                               ///<  2 overload ladder level 3)
   kOverloadLevelChanged = 24, ///< degradation ladder moved
                               ///< (aux = new level<<8 | old level)
+  kGangPlaced = 25,           ///< a gang phase committed atomically
+                              ///< (aux = distinct racks<<32 | tasks placed)
+  kGangRollback = 26,         ///< a gang probe failed; tentative allocations
+                              ///< released (aux = tasks probed before failure)
 };
 
 [[nodiscard]] const char* to_string(TraceEv ev);

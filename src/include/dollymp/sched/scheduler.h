@@ -58,6 +58,15 @@ class SchedulerContext {
   virtual bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase,
                                       TaskRuntime& task, ServerId server) = 0;
 
+  /// All-or-nothing placement of a gang phase (PhaseSpec::gang): either
+  /// every needs-placement task of `phase` receives a copy in this call
+  /// (returns true) or none does and the cluster is left untouched
+  /// (returns false).  Per-task placement of gang phases is refused by
+  /// next_unscheduled_task, so this is the only way a gang starts.  The
+  /// default keeps lightweight contexts (tests, dry runs) compiling: gang
+  /// phases simply stay pending under them.
+  virtual bool place_gang(JobRuntime& /*job*/, PhaseRuntime& /*phase*/) { return false; }
+
   /// Ask to be invoked again at `slot` even if no arrival, completion or
   /// failure lands there.  This is the timer half of the event-driven
   /// control plane: a time-triggered policy computes the next slot at
@@ -233,11 +242,21 @@ class Scheduler {
                                              const TaskRuntime& task);
 
 /// Next task of `phase` that has no copy yet, using the phase's monotone
-/// cursor (O(1) amortized); nullptr when all tasks are scheduled.
+/// cursor (O(1) amortized); nullptr when all tasks are scheduled.  Gang
+/// phases always answer nullptr: their tasks may only start through
+/// SchedulerContext::place_gang, so no per-task greedy path can ever place
+/// a partial gang.
 [[nodiscard]] TaskRuntime* next_unscheduled_task(PhaseRuntime& phase);
 
+/// Offer every runnable gang phase of `job` with pending tasks to the
+/// context's all-or-nothing placer, in phase order.  Returns the number of
+/// tasks placed (0 when nothing committed).  Shared by every policy's
+/// schedule() so gang jobs run under all of them.
+int place_gang_phases(SchedulerContext& ctx, JobRuntime& job);
+
 /// Greedily place unscheduled runnable tasks of `job` (in phase order) on
-/// best-fit servers until nothing more fits; returns number placed.
+/// best-fit servers until nothing more fits; returns number placed.  Gang
+/// phases are offered atomically via place_gang_phases first.
 int place_job_greedy(SchedulerContext& ctx, JobRuntime& job);
 
 /// Total demand-weighted allocation of a job's currently active copies

@@ -121,6 +121,13 @@ class PhaseRuntime {
   RtSpan<double> duration_pool;
   /// Speedup function h_j^k fitted from (theta, sigma) (Eq. 3).
   SpeedupFunction speedup{2.0};
+  /// Rack-spread duration factor of the last committed gang wave:
+  /// 1 + gang_spread_penalty * (distinct racks - 1), set by
+  /// SimCore::place_gang before the commit so every copy of the wave (and
+  /// later clones/re-executions) runs with the all-reduce penalty baked in.
+  /// Exactly 1.0 for non-gang phases, so the != 1.0 fast path keeps the
+  /// historical decision stream bit-identical.
+  double gang_penalty = 1.0;
 
   [[nodiscard]] bool runnable() const { return unfinished_parents == 0 && !finished; }
 };

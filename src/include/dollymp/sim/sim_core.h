@@ -278,6 +278,7 @@ class SimCore final : public SchedulerContext {
                   ServerId server) override;
   bool place_speculative_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
                               ServerId server) override;
+  bool place_gang(JobRuntime& job, PhaseRuntime& phase) override;
   void request_wakeup(SimTime slot) override;
   void set_server_quarantined(ServerId server_id, bool quarantined) override;
   void defer_retry(SimTime release_slot) override;
@@ -370,6 +371,11 @@ class SimCore final : public SchedulerContext {
 
   SimTime now_ = 0;
   Scheduler* scheduler_ = nullptr;  ///< valid from begin()
+  /// place_gang scratch: the probe wave's tentative (task, server)
+  /// assignments and the distinct racks of a committed wave.  Members so
+  /// the steady state allocates nothing.
+  std::vector<std::pair<TaskRuntime*, ServerId>> gang_scratch_;
+  std::vector<int> gang_rack_scratch_;
   long long active_copy_count_ = 0;
   bool placed_this_invocation_ = false;
   /// Set via defer_retry(): the policy held at least one task back on

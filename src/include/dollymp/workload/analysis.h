@@ -23,6 +23,7 @@ struct WorkloadStats {
   long long phases = 0;
   double cpu_core_seconds = 0.0;   ///< sum of tasks x theta x cpu demand
   double mem_gb_seconds = 0.0;     ///< sum of tasks x theta x memory demand
+  double gpu_seconds = 0.0;        ///< sum of tasks x theta x gpu demand
   double arrival_window_seconds = 0.0;  ///< last arrival - first arrival
   double mean_critical_path_seconds = 0.0;  ///< at sigma factor r = 0
   /// Fraction of phases whose sigma/theta marks them straggler-prone

@@ -52,4 +52,28 @@ struct AppConfig {
                                     double arrival_seconds = 0.0,
                                     const AppConfig& config = {});
 
+/// Knobs for the gang-scheduled ML training builder.
+struct MlTrainConfig {
+  int world_size = 8;    ///< data-parallel ranks; the gang width of each step
+  int steps = 4;         ///< chained synchronous training steps
+  /// Per-rank demand: GPU-integral (dim 2), with the CPU/host-memory
+  /// sidecar each rank pins.  Requires SimConfig::resource_dims >= 3 to be
+  /// visible in reports; the arithmetic carries it regardless.
+  Resources rank_demand{4.0, 24.0, 1.0};
+  double setup_theta_seconds = 90.0;  ///< data download + graph compile
+  double step_theta_seconds = 150.0;  ///< mean seconds per synchronous step
+  /// Synchronous steps disperse far less than map tasks (the all-reduce
+  /// barrier is the straggler, not the compute), but not zero: input
+  /// pipeline jitter remains.
+  double straggler_cv = 0.25;
+};
+
+/// Distributed ML training: a CPU-only setup phase, then `steps` chained
+/// gang phases of `world_size` ranks each (PhaseSpec::gang — placed
+/// all-or-nothing, mirroring how a partial world cannot make progress
+/// through an all-reduce).  The iteration chain reuses the PageRank
+/// superstep structure; each step depends on the previous one.
+[[nodiscard]] JobSpec make_mltrain(JobId id, double arrival_seconds = 0.0,
+                                   const MlTrainConfig& config = {});
+
 }  // namespace dollymp

@@ -137,6 +137,7 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                       "events", "arrive", "finish", "fail", "fault_kill",
                       "work_lost_s", "retries", "quarantine", "clone_degr",
                       "shed", "ovl_level", "attempts", "placed",
+                      "gangs", "gang_rb", "rack_split",
                       "rej_cap", "rej_full", "rej_other", "idx_query", "idx_scan",
                       "idx_update", "idx_batch", "threads", "par_sect", "par_shards",
                       "par_widest", "arena", "rec",
@@ -173,6 +174,12 @@ std::string render_control_plane(const std::vector<RunSummary>& summaries) {
                        std::to_string(st.overload_level_max),
                    std::to_string(st.placement_attempts),
                    std::to_string(st.placements_accepted),
+                   // waves/tasks: a healthy gang run reads as
+                   // "64/512" with tasks == waves * world_size.
+                   std::to_string(st.gangs_placed) + "/" +
+                       std::to_string(st.gang_tasks_placed),
+                   std::to_string(st.gang_rollbacks),
+                   std::to_string(st.gangs_split_across_racks),
                    std::to_string(st.rejected_copy_cap),
                    std::to_string(st.rejected_no_capacity),
                    std::to_string(st.rejected_job_not_ready + st.rejected_phase_not_runnable +

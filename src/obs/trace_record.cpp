@@ -32,6 +32,8 @@ const char* to_string(TraceEv ev) {
     case TraceEv::kCloneBudgetDegraded: return "clone-budget-degraded";
     case TraceEv::kArrivalShed: return "arrival-shed";
     case TraceEv::kOverloadLevelChanged: return "overload-level-changed";
+    case TraceEv::kGangPlaced: return "gang-placed";
+    case TraceEv::kGangRollback: return "gang-rollback";
   }
   return "unknown";
 }

@@ -16,6 +16,7 @@ void CapacityScheduler::schedule(SchedulerContext& ctx) {
   // heartbeats with room, with no multi-resource packing (that is Tetris's
   // whole point, Section 2).
   for (JobRuntime* job : ctx.active_jobs()) {
+    place_gang_phases(ctx, *job);
     for (auto& phase : job->phases) {
       if (!phase.runnable()) continue;
       while (TaskRuntime* task = next_unscheduled_task(phase)) {
@@ -26,7 +27,12 @@ void CapacityScheduler::schedule(SchedulerContext& ctx) {
     }
     bool head_blocked = false;
     for (auto& phase : job->phases) {
-      if (phase.runnable() && next_unscheduled_task(phase) != nullptr) {
+      if (!phase.runnable()) continue;
+      // A gang phase never hands out per-task work, so a pending gang
+      // blocks the head of the queue via its unscheduled counter instead.
+      const bool pending = (phase.spec->gang && phase.unscheduled_tasks > 0) ||
+                           next_unscheduled_task(phase) != nullptr;
+      if (pending) {
         head_blocked = true;
         break;
       }

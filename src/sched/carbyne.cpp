@@ -10,6 +10,11 @@ namespace {
 bool place_one(SchedulerContext& ctx, JobRuntime& job) {
   for (auto& phase : job.phases) {
     if (!phase.runnable()) continue;
+    if (phase.spec->gang) {
+      // All-or-nothing: the whole wave counts as this job's one offer.
+      if (phase.unscheduled_tasks > 0 && ctx.place_gang(job, phase)) return true;
+      continue;
+    }
     TaskRuntime* task = next_unscheduled_task(phase);
     if (task == nullptr) continue;
     const ServerId server = best_fit_server(ctx, task->demand);

@@ -273,6 +273,7 @@ int DollyMPScheduler::place_new_tasks(SchedulerContext& ctx) {
   for (auto& jo : order_) {
     JobRuntime& job = *jo.job;
     if (job.finished) continue;
+    placed_total += place_gang_phases(ctx, job);
     for (auto& phase : job.phases) {
       if (!phase.runnable()) continue;
       while (TaskRuntime* task = next_unscheduled_task(phase)) {
@@ -298,8 +299,10 @@ int DollyMPScheduler::place_new_tasks_resilient(SchedulerContext& ctx) {
   for (auto& jo : order_) {
     JobRuntime& job = *jo.job;
     if (job.finished) continue;
+    placed_total += place_gang_phases(ctx, job);
     for (auto& phase : job.phases) {
       if (!phase.runnable() || phase.unscheduled_tasks == 0) continue;
+      if (phase.spec->gang) continue;  // offered atomically above
       bool capacity_exhausted = false;
       const auto first =
           static_cast<std::size_t>(std::max(phase.first_unscheduled_hint, 0));

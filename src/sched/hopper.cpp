@@ -37,17 +37,14 @@ void HopperScheduler::schedule(SchedulerContext& ctx) {
   const double reservation = config_.speculation_budget;
   for (auto& [job, virtual_size] : order) {
     const Resources free = ctx.cluster().total_free();
-    const double free_fraction =
-        std::min(total.cpu > 0 ? free.cpu / total.cpu : 0.0,
-                 total.mem > 0 ? free.mem / total.mem : 0.0);
+    const double free_fraction = min_free_fraction(free, total);
     if (free_fraction <= reservation) break;  // hold the rest back for backups
+    place_gang_phases(ctx, *job);
     for (auto& phase : job->phases) {
       if (!phase.runnable()) continue;
       while (TaskRuntime* task = next_unscheduled_task(phase)) {
         const Resources now_free = ctx.cluster().total_free();
-        const double now_fraction =
-            std::min(total.cpu > 0 ? now_free.cpu / total.cpu : 0.0,
-                     total.mem > 0 ? now_free.mem / total.mem : 0.0);
+        const double now_fraction = min_free_fraction(now_free, total);
         if (now_fraction <= reservation) break;
         const ServerId server = best_fit_server(ctx, task->demand);
         if (server == kInvalidServer) break;

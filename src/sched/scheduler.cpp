@@ -103,6 +103,9 @@ ServerId locality_aware_server(SchedulerContext& ctx, const LocalityModel& local
 
 TaskRuntime* next_unscheduled_task(PhaseRuntime& phase) {
   if (phase.unscheduled_tasks == 0) return nullptr;
+  // Gang phases are all-or-nothing: refusing per-task handout here is the
+  // safety net that keeps every greedy path from starting a partial gang.
+  if (phase.spec != nullptr && phase.spec->gang) return nullptr;
   auto& hint = phase.first_unscheduled_hint;
   const int n = static_cast<int>(phase.tasks.size());
   while (hint < n && !phase.tasks[static_cast<std::size_t>(hint)].needs_placement()) {
@@ -111,8 +114,19 @@ TaskRuntime* next_unscheduled_task(PhaseRuntime& phase) {
   return hint < n ? &phase.tasks[static_cast<std::size_t>(hint)] : nullptr;
 }
 
-int place_job_greedy(SchedulerContext& ctx, JobRuntime& job) {
+int place_gang_phases(SchedulerContext& ctx, JobRuntime& job) {
   int placed = 0;
+  for (auto& phase : job.phases) {
+    if (phase.spec == nullptr || !phase.spec->gang) continue;
+    if (!phase.runnable() || phase.unscheduled_tasks == 0) continue;
+    const int pending = phase.unscheduled_tasks;
+    if (ctx.place_gang(job, phase)) placed += pending - phase.unscheduled_tasks;
+  }
+  return placed;
+}
+
+int place_job_greedy(SchedulerContext& ctx, JobRuntime& job) {
+  int placed = place_gang_phases(ctx, job);
   for (auto& phase : job.phases) {
     if (!phase.runnable()) continue;
     while (TaskRuntime* task = next_unscheduled_task(phase)) {

@@ -37,6 +37,9 @@ void TetrisScheduler::schedule(SchedulerContext& ctx) {
   double max_work = 0.0;
   std::vector<double> work_of;
   for (JobRuntime* job : ctx.active_jobs()) {
+    // Gang phases cannot enter the per-server packing loop (they place as
+    // one atomic wave), so offer them up front in arrival order.
+    place_gang_phases(ctx, *job);
     const double work = remaining_work(*job, total);
     max_work = std::max(max_work, work);
     for (auto& phase : job->phases) {

@@ -35,7 +35,10 @@ void accrue_work(TaskRuntime& task, const PhaseRuntime& phase, SimTime now,
   if (now <= task.work_updated_at) return;
   const int r = task.active_copies();
   if (r > 0) {
-    const double rate = phase.speedup(static_cast<double>(r));
+    double rate = phase.speedup(static_cast<double>(r));
+    // Gang rack-spread penalty slows the work rate (guarded so the exact
+    // historical arithmetic is untouched for non-gang phases).
+    if (phase.gang_penalty != 1.0) rate /= phase.gang_penalty;
     task.work_done_seconds +=
         rate * slot_seconds * static_cast<double>(now - task.work_updated_at);
   }
@@ -48,7 +51,8 @@ SimTime predict_work_finish(const TaskRuntime& task, const PhaseRuntime& phase, 
   if (r <= 0) return kNever;
   const double remaining = phase.spec->theta_seconds - task.work_done_seconds;
   if (remaining <= 0.0) return now;
-  const double rate = phase.speedup(static_cast<double>(r)) * slot_seconds;
+  double rate = phase.speedup(static_cast<double>(r)) * slot_seconds;
+  if (phase.gang_penalty != 1.0) rate /= phase.gang_penalty;
   const double slots = std::ceil(remaining / rate - 1e-9);
   return now + (slots < 1.0 ? 1 : static_cast<SimTime>(slots));
 }

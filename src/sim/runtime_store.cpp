@@ -188,6 +188,7 @@ void RuntimeStore::rematerialize(std::size_t job_index, const JobSpec& spec,
     phase.active_copies = 0;
     phase.finished = false;
     phase.finish_slot = kNever;
+    phase.gang_penalty = 1.0;
     phase.unfinished_parents = static_cast<int>(ps.parents.size());
     for (const auto parent : ps.parents) {
       phases_[job_extent.phase_begin + static_cast<std::size_t>(parent)].has_children = true;
@@ -299,6 +300,7 @@ void RuntimeStore::save_state(StateWriter& w) const {
     w.i32(phase.active_copies);
     w.b(phase.finished);
     w.i64(phase.finish_slot);
+    w.f64(phase.gang_penalty);
     // spec pointer and speedup are rebuilt from the job's spec on load;
     // tasks/duration_pool spans from the extents.
   }
@@ -371,6 +373,7 @@ void RuntimeStore::load_state(StateReader& r, const std::vector<const JobSpec*>&
     phase.active_copies = r.i32();
     phase.finished = r.b();
     phase.finish_slot = r.i64();
+    phase.gang_penalty = r.f64();
   }
 
   const std::uint64_t n_tasks = r.u64();

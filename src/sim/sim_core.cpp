@@ -37,6 +37,7 @@ void save_job_spec(StateWriter& w, const JobSpec& spec) {
     w.pod(ps.demand);
     w.f64(ps.theta_seconds);
     w.f64(ps.sigma_seconds);
+    w.b(ps.gang);
     w.pod_vec(ps.parents);
   }
 }
@@ -54,6 +55,7 @@ JobSpec load_job_spec(StateReader& r) {
     r.pod(ps.demand);
     ps.theta_seconds = r.f64();
     ps.sigma_seconds = r.f64();
+    ps.gang = r.b();
     r.pod_vec(ps.parents);
   }
   return spec;
@@ -293,8 +295,8 @@ SimResult SimCore::finish() {
   // Conservation inputs for the chaos invariants: with every job complete,
   // no allocation and no active copy may survive the run.
   for (const auto& server : cluster_.servers()) {
-    result_.stats.leaked_cpu += server.used().cpu;
-    result_.stats.leaked_mem += server.used().mem;
+    result_.stats.leaked_cpu += server.used().cpu();
+    result_.stats.leaked_mem += server.used().mem();
   }
   result_.stats.leaked_active_copies = active_copy_count_;
   if (index_) {
@@ -362,6 +364,90 @@ bool SimCore::place_copy(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task
 bool SimCore::place_speculative_copy(JobRuntime& job, PhaseRuntime& phase,
                                      TaskRuntime& task, ServerId server) {
   return place(job, phase, task, server, /*speculative=*/true);
+}
+
+bool SimCore::place_gang(JobRuntime& job, PhaseRuntime& phase) {
+  SimStats& stats = result_.stats;
+  if (phase.spec == nullptr || !phase.spec->gang) return false;
+  if (job.finished || !job.arrived || !phase.runnable()) return false;
+  if (phase.unscheduled_tasks == 0) return false;
+
+  // Probe: tentatively reserve a best-fit server per pending task, in task
+  // order.  Reservations go through the live cluster (and index) so every
+  // subsequent query sees the gang's own footprint.  Nothing downstream of
+  // the reservation happens yet — no RNG draw, no completion event, no
+  // placement record — so a rollback is invisible to the decision stream
+  // (only the placement-query trace records of the probe remain, exactly
+  // like any other query that failed to turn into a placement).
+  gang_scratch_.clear();
+  bool complete = true;
+  for (auto& task : phase.tasks) {
+    if (!task.needs_placement()) continue;
+    const ServerId server_id = best_fit_server(*this, task.demand);
+    if (server_id == kInvalidServer) {
+      complete = false;
+      break;
+    }
+    Server& server = cluster_.server(static_cast<std::size_t>(server_id));
+    if (!server.allocate(task.demand)) {
+      complete = false;
+      break;
+    }
+    if (index_) index_->on_allocation_changed(server_id);
+    gang_scratch_.emplace_back(&task, server_id);
+  }
+
+  if (!complete) {
+    // All-or-nothing: release every tentative reservation, newest first.
+    // Demands are added and subtracted as the exact same doubles, so the
+    // cluster's used vectors return to their prior values bit for bit.
+    for (auto it = gang_scratch_.rbegin(); it != gang_scratch_.rend(); ++it) {
+      cluster_.server(static_cast<std::size_t>(it->second)).release(it->first->demand);
+      if (index_) index_->on_allocation_changed(it->second);
+    }
+    ++stats.gang_rollbacks;
+    trace(TraceEv::kGangRollback, job.id, phase.index, -1, -1, -1,
+          static_cast<std::int64_t>(gang_scratch_.size()));
+    gang_scratch_.clear();
+    return false;
+  }
+
+  // The wave's rack-spread penalty: every copy of a gang split across R
+  // racks pays the all-reduce cost of crossing R-1 rack switches.
+  gang_rack_scratch_.clear();
+  for (const auto& [task, server_id] : gang_scratch_) {
+    const int rack = cluster_.server(static_cast<std::size_t>(server_id)).rack();
+    if (std::find(gang_rack_scratch_.begin(), gang_rack_scratch_.end(), rack) ==
+        gang_rack_scratch_.end()) {
+      gang_rack_scratch_.push_back(rack);
+    }
+  }
+  const int racks = static_cast<int>(gang_rack_scratch_.size());
+  phase.gang_penalty =
+      1.0 + config_.gang_spread_penalty * static_cast<double>(racks - 1);
+
+  // Commit: hand each reserved slot to the normal placement path for full
+  // accounting/eventing.  Each reservation is released immediately before
+  // place() re-allocates the identical demand on the identical server, so
+  // place() cannot run out of capacity here.
+  int placed = 0;
+  for (const auto& [task, server_id] : gang_scratch_) {
+    cluster_.server(static_cast<std::size_t>(server_id)).release(task->demand);
+    if (index_) index_->on_allocation_changed(server_id);
+    if (!place(job, phase, *task, server_id, /*speculative=*/false)) {
+      throw std::logic_error("SimCore: gang commit lost its reservation (job " +
+                             std::to_string(job.id) + " phase " +
+                             std::to_string(phase.index) + ")");
+    }
+    ++placed;
+  }
+  ++stats.gangs_placed;
+  stats.gang_tasks_placed += placed;
+  if (racks > 1) ++stats.gangs_split_across_racks;
+  trace(TraceEv::kGangPlaced, job.id, phase.index, -1, -1, -1,
+        (static_cast<std::int64_t>(racks) << 32) | static_cast<std::int64_t>(placed));
+  gang_scratch_.clear();
+  return true;
 }
 
 void SimCore::request_wakeup(SimTime slot) {
@@ -508,6 +594,29 @@ void SimCore::validate_placeable(const JobSpec& spec) const {
                                   phase.name + "' demand " + phase.demand.to_string() +
                                   " exceeds every server capacity");
     }
+    // A gang phase must fit collectively on an otherwise-empty cluster or
+    // it could never commit, deadlocking the run once it reaches the head.
+    // All tasks share one demand, so the check is a per-server copy count.
+    if (phase.gang && phase.task_count > 1) {
+      long long slots = 0;
+      for (const auto& server : cluster_.servers()) {
+        long long per_server = -1;
+        for (std::size_t d = 0; d < Resources::kMaxDims; ++d) {
+          if (phase.demand[d] <= 0.0) continue;
+          const auto fit = static_cast<long long>(
+              server.capacity()[d] / phase.demand[d] + 1e-9);
+          per_server = per_server < 0 ? fit : std::min(per_server, fit);
+        }
+        slots += per_server < 0 ? static_cast<long long>(phase.task_count) : per_server;
+        if (slots >= phase.task_count) break;
+      }
+      if (slots < phase.task_count) {
+        throw std::invalid_argument(
+            "Simulator: job " + std::to_string(spec.id) + " gang phase '" + phase.name +
+            "' (" + std::to_string(phase.task_count) + " tasks of " +
+            phase.demand.to_string() + ") cannot fit on the cluster even when empty");
+      }
+    }
   }
 }
 
@@ -562,12 +671,15 @@ bool SimCore::place(JobRuntime& job, PhaseRuntime& phase, TaskRuntime& task,
         sample_copy_base_seconds(phase, task.ref.task, first_copy, rng_exec_);
     // Fail-slow degradation multiplies the realized duration; the healthy
     // factor is exactly 1.0, so this is bit-identical when faults are off.
-    const double seconds =
+    double seconds =
         scale_copy_seconds(
             base, server.base_speed(), locality_.penalty(copy.locality),
             background_.slowdown(static_cast<std::size_t>(server_id),
                                  static_cast<double>(now_) * config_.slot_seconds)) *
         server.slow_factor();
+    // Gang rack-spread penalty (guarded: exactly 1.0 for non-gang phases,
+    // keeping the historical arithmetic untouched).
+    if (phase.gang_penalty != 1.0) seconds *= phase.gang_penalty;
     copy.base_seconds = seconds;
     copy.finish = now_ + seconds_to_slots(seconds, config_.slot_seconds);
     task.copies.push_back(copy);
@@ -1045,8 +1157,8 @@ void SimCore::sample_utilization() {
   const Resources total = cluster_.total_capacity();
   UtilizationSample sample;
   sample.seconds = static_cast<double>(now_) * config_.slot_seconds;
-  sample.cpu = total.cpu > 0 ? used.cpu / total.cpu : 0.0;
-  sample.mem = total.mem > 0 ? used.mem / total.mem : 0.0;
+  sample.cpu = total.cpu() > 0 ? used.cpu() / total.cpu() : 0.0;
+  sample.mem = total.mem() > 0 ? used.mem() / total.mem() : 0.0;
   result_.utilization.push_back(sample);
 }
 

@@ -63,6 +63,11 @@ void SimConfig::validate() const {
   require(threads <= 512, "SimConfig: threads must be <= 512");
   require(event_shards >= 1 && event_shards <= 64,
           "SimConfig: event_shards must be in [1, 64]");
+  require(resource_dims >= 2 &&
+              resource_dims <= static_cast<int>(Resources::kMaxDims),
+          "SimConfig: resource_dims must be in [2, Resources::kMaxDims]");
+  require(gang_spread_penalty >= 0.0 && std::isfinite(gang_spread_penalty),
+          "SimConfig: gang_spread_penalty must be finite and >= 0");
   // Infinity slips past the `> 0` checks above; a non-finite slot length or
   // sigma factor turns every derived time into NaN soup downstream.
   require(std::isfinite(slot_seconds), "SimConfig: slot_seconds must be finite");

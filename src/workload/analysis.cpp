@@ -25,8 +25,9 @@ WorkloadStats analyze_workload(const std::vector<JobSpec>& jobs) {
       stats.tasks += phase.task_count;
       const double task_seconds =
           static_cast<double>(phase.task_count) * phase.theta_seconds;
-      stats.cpu_core_seconds += task_seconds * phase.demand.cpu;
-      stats.mem_gb_seconds += task_seconds * phase.demand.mem;
+      stats.cpu_core_seconds += task_seconds * phase.demand.cpu();
+      stats.mem_gb_seconds += task_seconds * phase.demand.mem();
+      stats.gpu_seconds += task_seconds * phase.demand.gpu();
       if (phase.theta_seconds > 0.0 &&
           phase.sigma_seconds / phase.theta_seconds > 0.5) {
         ++straggly_phases;
@@ -48,13 +49,17 @@ double offered_load(const std::vector<JobSpec>& jobs, const Cluster& cluster) {
   if (stats.arrival_window_seconds <= 0.0 || cluster.empty()) return 0.0;
   const Resources total = cluster.total_capacity();
   double load = 0.0;
-  if (total.cpu > 0.0) {
+  if (total.cpu() > 0.0) {
     load = std::max(load,
-                    stats.cpu_core_seconds / stats.arrival_window_seconds / total.cpu);
+                    stats.cpu_core_seconds / stats.arrival_window_seconds / total.cpu());
   }
-  if (total.mem > 0.0) {
+  if (total.mem() > 0.0) {
     load = std::max(load,
-                    stats.mem_gb_seconds / stats.arrival_window_seconds / total.mem);
+                    stats.mem_gb_seconds / stats.arrival_window_seconds / total.mem());
+  }
+  if (total.gpu() > 0.0) {
+    load = std::max(load,
+                    stats.gpu_seconds / stats.arrival_window_seconds / total.gpu());
   }
   return load;
 }

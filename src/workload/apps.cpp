@@ -119,7 +119,7 @@ JobSpec make_terasort(JobId id, double input_gb, double arrival_seconds,
   sort.name = "partition-sort";
   sort.task_count = partitions;
   // Memory-heavy: spill buffers roughly double the mapper footprint.
-  sort.demand = {config.map_demand.cpu, config.map_demand.mem * 2.0};
+  sort.demand = {config.map_demand.cpu(), config.map_demand.mem() * 2.0};
   sort.theta_seconds = base_theta * 1.2;
   sort.sigma_seconds = config.straggler_cv * sort.theta_seconds;
   sort.parents = {0};
@@ -128,7 +128,7 @@ JobSpec make_terasort(JobId id, double input_gb, double arrival_seconds,
   PhaseSpec merge;
   merge.name = "merge";
   merge.task_count = std::max(1, partitions / 4);
-  merge.demand = {config.reduce_demand.cpu * 2.0, config.reduce_demand.mem};
+  merge.demand = {config.reduce_demand.cpu() * 2.0, config.reduce_demand.mem()};
   merge.theta_seconds = base_theta;
   merge.sigma_seconds = config.straggler_cv * merge.theta_seconds;
   merge.parents = {1};
@@ -169,7 +169,7 @@ JobSpec make_sql_join(JobId id, double left_gb, double right_gb, double arrival_
   PhaseSpec join;
   join.name = "join";
   join.task_count = std::max(1, (left_parts + right_parts) / 4);
-  join.demand = {config.reduce_demand.cpu, config.reduce_demand.mem * 1.5};
+  join.demand = {config.reduce_demand.cpu(), config.reduce_demand.mem() * 1.5};
   join.theta_seconds = scan_theta * 1.5;
   join.sigma_seconds = config.straggler_cv * join.theta_seconds;
   join.parents = {0, 1};  // the diamond: waits on both scans
@@ -183,6 +183,43 @@ JobSpec make_sql_join(JobId id, double left_gb, double right_gb, double arrival_
   aggregate.sigma_seconds = config.straggler_cv * aggregate.theta_seconds;
   aggregate.parents = {2};
   job.phases.push_back(aggregate);
+
+  job.validate();
+  return job;
+}
+
+JobSpec make_mltrain(JobId id, double arrival_seconds, const MlTrainConfig& config) {
+  if (config.world_size < 1) throw std::invalid_argument("make_mltrain: world_size >= 1");
+  if (config.steps < 1) throw std::invalid_argument("make_mltrain: steps >= 1");
+
+  JobSpec job;
+  job.id = id;
+  job.name = "mltrain-" + std::to_string(id);
+  job.app = "mltrain";
+  job.arrival_seconds = arrival_seconds;
+
+  PhaseSpec setup;
+  setup.name = "setup";
+  setup.task_count = 1;
+  // CPU-only: dataset download and graph compilation hold no GPU.
+  setup.demand = {2.0, 8.0};
+  setup.theta_seconds = config.setup_theta_seconds;
+  setup.sigma_seconds = config.straggler_cv * setup.theta_seconds;
+  job.phases.push_back(setup);
+
+  PhaseIndex previous = 0;
+  for (int s = 0; s < config.steps; ++s) {
+    PhaseSpec step;
+    step.name = "step-" + std::to_string(s);
+    step.task_count = config.world_size;
+    step.demand = config.rank_demand;
+    step.theta_seconds = config.step_theta_seconds;
+    step.sigma_seconds = config.straggler_cv * config.step_theta_seconds;
+    step.gang = true;
+    step.parents = {previous};
+    job.phases.push_back(step);
+    previous = static_cast<PhaseIndex>(job.phases.size() - 1);
+  }
 
   job.validate();
   return job;

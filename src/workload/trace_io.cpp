@@ -30,9 +30,12 @@ std::vector<PhaseIndex> split_parents(const std::string& text) {
   return parents;
 }
 
+// The `gpu` and `gang` columns are written unconditionally but optional on
+// read, so pre-GPU trace files keep loading unchanged (demand defaults to
+// zero GPUs, phases to non-gang).
 const std::vector<std::string> kHeader = {
-    "job_id", "job_name", "app",     "arrival_s", "phase",   "phase_name",
-    "tasks",  "cpu",      "mem_gb",  "theta_s",   "sigma_s", "parents"};
+    "job_id",  "job_name", "app",     "arrival_s", "phase", "phase_name", "tasks",
+    "cpu",     "mem_gb",   "gpu",     "theta_s",   "sigma_s", "gang",     "parents"};
 
 }  // namespace
 
@@ -45,8 +48,9 @@ std::string trace_to_csv(const std::vector<JobSpec>& jobs) {
       const auto& p = job.phases[k];
       writer.write_row(static_cast<long long>(job.id), job.name, job.app,
                        job.arrival_seconds, static_cast<long long>(k), p.name,
-                       static_cast<long long>(p.task_count), p.demand.cpu, p.demand.mem,
-                       p.theta_seconds, p.sigma_seconds, join_parents(p.parents));
+                       static_cast<long long>(p.task_count), p.demand.cpu(),
+                       p.demand.mem(), p.demand.gpu(), p.theta_seconds, p.sigma_seconds,
+                       static_cast<long long>(p.gang ? 1 : 0), join_parents(p.parents));
     }
   }
   return os.str();
@@ -75,9 +79,12 @@ std::vector<JobSpec> trace_from_csv(const std::string& csv_text) {
     PhaseSpec& phase = job.phases[phase_idx];
     phase.name = table.cell(r, "phase_name");
     phase.task_count = static_cast<int>(table.cell_int(r, "tasks"));
-    phase.demand = {table.cell_double(r, "cpu"), table.cell_double(r, "mem_gb")};
+    const double gpus =
+        table.column("gpu").has_value() ? table.cell_double(r, "gpu") : 0.0;
+    phase.demand = {table.cell_double(r, "cpu"), table.cell_double(r, "mem_gb"), gpus};
     phase.theta_seconds = table.cell_double(r, "theta_s");
     phase.sigma_seconds = table.cell_double(r, "sigma_s");
+    phase.gang = table.column("gang").has_value() && table.cell_int(r, "gang") != 0;
     phase.parents = split_parents(table.cell(r, "parents"));
   }
   for (const auto& job : jobs) job.validate();

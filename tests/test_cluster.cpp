@@ -85,14 +85,14 @@ TEST(Cluster, Paper30Inventory) {
   const Cluster c = Cluster::paper30();
   // Section 6.1: 30 heterogeneous nodes, 328 cores, two racks.
   EXPECT_EQ(c.size(), 30u);
-  EXPECT_DOUBLE_EQ(c.total_capacity().cpu, 328.0);
+  EXPECT_DOUBLE_EQ(c.total_capacity().cpu(), 328.0);
   EXPECT_EQ(c.rack_count(), 2);
   // 2 powerful nodes with 24 cores / 48 GB.
   int powerful = 0;
   for (const auto& s : c.servers()) {
-    if (s.capacity().cpu == 24.0) {
+    if (s.capacity().cpu() == 24.0) {
       ++powerful;
-      EXPECT_DOUBLE_EQ(s.capacity().mem, 48.0);
+      EXPECT_DOUBLE_EQ(s.capacity().mem(), 48.0);
       EXPECT_GT(s.base_speed(), 1.0);
     }
   }
@@ -107,8 +107,8 @@ TEST(Cluster, GoogleLikeInventory) {
   bool saw_small = false;
   bool saw_big = false;
   for (const auto& s : c.servers()) {
-    saw_small |= s.capacity().cpu == 8.0;
-    saw_big |= s.capacity().cpu == 32.0;
+    saw_small |= s.capacity().cpu() == 8.0;
+    saw_big |= s.capacity().cpu() == 32.0;
   }
   EXPECT_TRUE(saw_small);
   EXPECT_TRUE(saw_big);

@@ -92,7 +92,7 @@ TEST(Apps, TeraSortStructure) {
   EXPECT_EQ(job.phases[1].parents, (std::vector<PhaseIndex>{0}));
   EXPECT_EQ(job.phases[2].parents, (std::vector<PhaseIndex>{1}));
   // The sort phase is memory-heavy relative to the maps.
-  EXPECT_GT(job.phases[1].demand.mem, job.phases[0].demand.mem);
+  EXPECT_GT(job.phases[1].demand.mem(), job.phases[0].demand.mem());
   EXPECT_NO_THROW(job.validate());
 }
 

@@ -269,7 +269,7 @@ TEST(ParallelEquivalence, WeightedBestFitUnitSerialVsSharded) {
     for (const BlockPlacement* boost : boosts) {
       const ServerId a = serial.weighted_best_fit(demand, boost);
       const ServerId b = sharded.weighted_best_fit(demand, boost);
-      EXPECT_EQ(a, b) << "demand=(" << demand.cpu << "," << demand.mem << ")"
+      EXPECT_EQ(a, b) << "demand=(" << demand.cpu() << "," << demand.mem() << ")"
                       << " boost=" << (boost != nullptr);
     }
   }

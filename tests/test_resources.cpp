@@ -9,8 +9,8 @@ namespace {
 
 TEST(Resources, DefaultIsZero) {
   const Resources r;
-  EXPECT_EQ(r.cpu, 0.0);
-  EXPECT_EQ(r.mem, 0.0);
+  EXPECT_EQ(r.cpu(), 0.0);
+  EXPECT_EQ(r.mem(), 0.0);
   EXPECT_TRUE(r.is_zero());
 }
 

@@ -215,8 +215,8 @@ TEST(ServerTableFuzz, ViewsMatchStructMirror) {
       server.set_slow_factor(f);
       m.slow_factor = f;
     }
-    EXPECT_EQ(server.used().cpu, m.used.cpu) << label;
-    EXPECT_EQ(server.used().mem, m.used.mem) << label;
+    EXPECT_EQ(server.used().cpu(), m.used.cpu()) << label;
+    EXPECT_EQ(server.used().mem(), m.used.mem()) << label;
     EXPECT_EQ(server.is_down(), m.down) << label;
     EXPECT_EQ(server.is_quarantined(), m.quarantined) << label;
     EXPECT_EQ(server.slow_factor(), m.slow_factor) << label;

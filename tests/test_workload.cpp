@@ -109,10 +109,10 @@ TEST(TraceModel, DemandsWithinConfiguredBounds) {
   const auto jobs = model.sample_jobs(200);
   for (const auto& j : jobs) {
     for (const auto& p : j.phases) {
-      EXPECT_GE(p.demand.cpu, 1.0);
-      EXPECT_LE(p.demand.cpu, config.cpu_max);
-      EXPECT_GE(p.demand.mem, 0.5);
-      EXPECT_LE(p.demand.mem, config.mem_max);
+      EXPECT_GE(p.demand.cpu(), 1.0);
+      EXPECT_LE(p.demand.cpu(), config.cpu_max);
+      EXPECT_GE(p.demand.mem(), 0.5);
+      EXPECT_LE(p.demand.mem(), config.mem_max);
       EXPECT_LE(p.task_count, config.max_tasks_per_phase);
       EXPECT_GE(p.theta_seconds, 5.0);
       EXPECT_LE(p.theta_seconds, config.theta_max_seconds);

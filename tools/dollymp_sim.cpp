@@ -12,6 +12,10 @@
 //     --scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp<0-3> (default dollymp2)
 //     --jobs N           synthesize N trace-model jobs          (default 200)
 //     --gap SECONDS      mean Poisson inter-arrival gap         (default 20)
+//     --gpus K           mix K gang-scheduled ML training jobs into the
+//                        workload, report GPUs as a third resource dimension,
+//                        and (unless a cluster was named) run on the mixed
+//                        gpu-pod inventory; --inventory gpu selects it alone
 //     --trace FILE       replay a trace CSV instead of synthesizing
 //     --seed S           environment seed                        (default 1)
 //     --slot SECONDS     slot length                             (default 5)
@@ -48,6 +52,7 @@
 //   dollymp_sim --cluster google:300 --trace mytrace.csv --out results.csv
 //   dollymp_sim --jobs 50 --trace-out run.trace.json
 //   dollymp_sim --inventory google-trace --servers 3000 --verify-replay
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -71,6 +76,7 @@
 #include "dollymp/sched/simple_priority.h"
 #include "dollymp/sched/tetris.h"
 #include "dollymp/sim/simulator.h"
+#include "dollymp/workload/apps.h"
 #include "dollymp/workload/arrivals.h"
 #include "dollymp/workload/trace_io.h"
 #include "dollymp/workload/trace_model.h"
@@ -86,6 +92,7 @@ struct Options {
   std::string scheduler = "dollymp2";
   int jobs = 200;
   double gap = 20.0;
+  int gpus = 0;
   std::string trace;
   std::uint64_t seed = 1;
   double slot = 5.0;
@@ -115,9 +122,9 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "usage: dollymp_sim [--cluster paper30|google:N|uniform:N:CPU:MEM]\n"
-      "                   [--inventory paper30|google|google-trace] [--servers N]\n"
+      "                   [--inventory paper30|google|google-trace|gpu] [--servers N]\n"
       "                   [--scheduler capacity|hopper|drf|tetris|carbyne|srpt|svf|dollymp0-3]\n"
-      "                   [--jobs N] [--gap SECONDS] [--trace FILE] [--seed S]\n"
+      "                   [--jobs N] [--gap SECONDS] [--gpus K] [--trace FILE] [--seed S]\n"
       "                   [--slot SECONDS] [--threads N] [--clones K] [--straggler-aware]\n"
       "                   [--failures MTBF:REPAIR] [--rack-faults MTTF:REPAIR]\n"
       "                   [--fail-slow ONSET:RECOVERY:FACTOR] [--copy-faults MEAN]\n"
@@ -148,7 +155,8 @@ using cli::split;
 /// Every flag the dispatch loop below accepts — the did-you-mean corpus.
 const std::vector<std::string> kKnownFlags = {
     "--help",          "--cluster",      "--inventory",       "--servers",
-    "--scheduler",     "--jobs",         "--gap",             "--trace",
+    "--scheduler",     "--jobs",         "--gap",             "--gpus",
+    "--trace",
     "--seed",          "--slot",         "--threads",         "--clones",
     "--straggler-aware", "--failures",   "--rack-faults",     "--fail-slow",
     "--copy-faults",   "--weibull",      "--resilience",      "--out",
@@ -175,6 +183,7 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--scheduler") opt.scheduler = need_value(i);
     else if (arg == "--jobs") opt.jobs = std::stoi(need_value(i));
     else if (arg == "--gap") opt.gap = std::stod(need_value(i));
+    else if (arg == "--gpus") opt.gpus = std::stoi(need_value(i));
     else if (arg == "--trace") opt.trace = need_value(i);
     else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
     else if (arg == "--slot") opt.slot = std::stod(need_value(i));
@@ -239,6 +248,7 @@ Cluster make_cluster_from_inventory(const Options& opt) {
   if (opt.inventory == "google-trace") {
     return servers > 0 ? Cluster::google_trace(servers) : Cluster::google_trace();
   }
+  if (opt.inventory == "gpu") return Cluster::gpu_pods(servers > 0 ? servers : 64);
   std::cerr << "unknown inventory '" << opt.inventory << "'\n";
   usage(2);
 }
@@ -291,7 +301,12 @@ std::unique_ptr<Scheduler> make_policy(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse_options(argc, argv);
+  Options opt = parse_options(argc, argv);
+  // The GPU scenario defaults to the mixed gpu-pod inventory, but an
+  // explicit --cluster/--inventory choice wins.
+  if (opt.gpus > 0 && opt.inventory.empty() && opt.cluster == "paper30") {
+    opt.inventory = "gpu";
+  }
 
   const Cluster cluster =
       opt.inventory.empty() ? make_cluster(opt.cluster) : make_cluster_from_inventory(opt);
@@ -303,11 +318,24 @@ int main(int argc, char** argv) {
     jobs = model.sample_jobs(opt.jobs);
     assign_poisson_arrivals(jobs, opt.gap, opt.seed + 1);
   }
+  if (opt.gpus > 0) {
+    JobId next_id = 0;
+    for (const auto& job : jobs) next_id = std::max(next_id, job.id + 1);
+    std::vector<JobSpec> trainers;
+    trainers.reserve(static_cast<std::size_t>(opt.gpus));
+    for (int k = 0; k < opt.gpus; ++k) {
+      trainers.push_back(make_mltrain(next_id + k));
+    }
+    // Training jobs trickle in more slowly than the analytics stream.
+    assign_poisson_arrivals(trainers, opt.gap * 4.0, opt.seed + 2);
+    jobs.insert(jobs.end(), trainers.begin(), trainers.end());
+  }
 
   SimConfig config;
   config.slot_seconds = opt.slot;
   config.seed = opt.seed;
   config.threads = opt.threads;
+  if (opt.gpus > 0) config.resource_dims = 3;
   if (opt.failure_mtbf > 0.0) {
     config.failures.enabled = true;
     config.failures.mean_time_to_failure_seconds = opt.failure_mtbf;

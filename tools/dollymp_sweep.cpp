@@ -9,9 +9,13 @@
 // fixed grid order and the document carries no wall-clock/host fields.
 //
 //   dollymp_sweep [options]
-//     --cluster paper30 | google:<N> | google-trace[:<N>]   (default paper30)
+//     --cluster paper30 | google:<N> | google-trace[:<N>] | gpu[:<N>]
+//                                                           (default paper30)
 //     --jobs N           synthesize N trace-model jobs       (default 200)
 //     --gap SECONDS      mean Poisson inter-arrival gap      (default 20)
+//     --gpus K           mix K gang-scheduled ML training jobs into the
+//                        workload, report GPUs as a third dimension, and
+//                        default --cluster to the gpu-pod inventory
 //     --slot SECONDS     slot length                         (default 5)
 //     --seed S           workload seed / first environment seed (default 1)
 //     --replications R   environment seeds S, S+1, ..., S+R-1  (default 3)
@@ -30,6 +34,7 @@
 //   dollymp_sweep --replications 5 --threads 0
 //   dollymp_sweep --faults healthy,crash,all --policies dollymp2,capacity
 //                 --threads 4 --out sweep.json   (one line)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -49,6 +54,7 @@
 #include "dollymp/sched/hopper.h"
 #include "dollymp/sched/simple_priority.h"
 #include "dollymp/sched/tetris.h"
+#include "dollymp/workload/apps.h"
 #include "dollymp/workload/arrivals.h"
 #include "dollymp/workload/trace_model.h"
 
@@ -60,6 +66,7 @@ struct Options {
   std::string cluster = "paper30";
   int jobs = 200;
   double gap = 20.0;
+  int gpus = 0;
   double slot = 5.0;
   std::uint64_t seed = 1;
   int replications = 3;
@@ -73,8 +80,8 @@ struct Options {
 
 [[noreturn]] void usage(int code) {
   std::cout <<
-      "usage: dollymp_sweep [--cluster paper30|google:N|google-trace[:N]]\n"
-      "                     [--jobs N] [--gap SECONDS] [--slot SECONDS]\n"
+      "usage: dollymp_sweep [--cluster paper30|google:N|google-trace[:N]|gpu[:N]]\n"
+      "                     [--jobs N] [--gap SECONDS] [--gpus K] [--slot SECONDS]\n"
       "                     [--seed S] [--replications R] [--seeds A,B,...]\n"
       "                     [--policies a,b,...] [--faults a,b,...]\n"
       "                     [--threads N] [--out FILE] [--quiet]\n"
@@ -96,9 +103,9 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 const std::vector<std::string> kKnownFlags = {
-    "--help", "--cluster",      "--jobs",  "--gap",      "--slot",
-    "--seed", "--replications", "--seeds", "--policies", "--faults",
-    "--threads", "--out",       "--quiet"};
+    "--help", "--cluster",      "--jobs",  "--gap",      "--gpus",
+    "--slot", "--seed", "--replications", "--seeds", "--policies",
+    "--faults", "--threads", "--out",       "--quiet"};
 
 Options parse_options(int argc, char** argv) {
   Options opt;
@@ -117,6 +124,7 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--cluster") opt.cluster = need_value(i);
     else if (arg == "--jobs") opt.jobs = std::stoi(need_value(i));
     else if (arg == "--gap") opt.gap = std::stod(need_value(i));
+    else if (arg == "--gpus") opt.gpus = std::stoi(need_value(i));
     else if (arg == "--slot") opt.slot = std::stod(need_value(i));
     else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
     else if (arg == "--replications") opt.replications = std::stoi(need_value(i));
@@ -141,12 +149,16 @@ Options parse_options(int argc, char** argv) {
 Cluster make_cluster(const std::string& spec) {
   if (spec == "paper30") return Cluster::paper30();
   if (spec == "google-trace") return Cluster::google_trace();
+  if (spec == "gpu") return Cluster::gpu_pods(64);
   const auto parts = split(spec, ':');
   if (parts.size() == 2 && parts[0] == "google") {
     return Cluster::google_like(static_cast<std::size_t>(std::stoul(parts[1])));
   }
   if (parts.size() == 2 && parts[0] == "google-trace") {
     return Cluster::google_trace(static_cast<std::size_t>(std::stoul(parts[1])));
+  }
+  if (parts.size() == 2 && parts[0] == "gpu") {
+    return Cluster::gpu_pods(static_cast<std::size_t>(std::stoul(parts[1])));
   }
   std::cerr << "unknown cluster spec '" << spec << "'\n";
   usage(2);
@@ -195,16 +207,29 @@ ComparisonEntry make_policy(const std::string& key) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse_options(argc, argv);
+  Options opt = parse_options(argc, argv);
+  if (opt.gpus > 0 && opt.cluster == "paper30") opt.cluster = "gpu";
 
   SweepSpec spec;
   spec.cluster = make_cluster(opt.cluster);
   spec.base.slot_seconds = opt.slot;
   spec.base.seed = opt.seed;
+  if (opt.gpus > 0) spec.base.resource_dims = 3;
 
   TraceModel model({}, opt.seed);
   spec.jobs = model.sample_jobs(opt.jobs);
   assign_poisson_arrivals(spec.jobs, opt.gap, opt.seed);
+  if (opt.gpus > 0) {
+    JobId next_id = 0;
+    for (const auto& job : spec.jobs) next_id = std::max(next_id, job.id + 1);
+    std::vector<JobSpec> trainers;
+    trainers.reserve(static_cast<std::size_t>(opt.gpus));
+    for (int k = 0; k < opt.gpus; ++k) {
+      trainers.push_back(make_mltrain(next_id + k));
+    }
+    assign_poisson_arrivals(trainers, opt.gap * 4.0, opt.seed + 2);
+    spec.jobs.insert(spec.jobs.end(), trainers.begin(), trainers.end());
+  }
 
   for (const auto& key : split(opt.policies, ',')) {
     spec.policies.push_back(make_policy(key));
